@@ -1,0 +1,24 @@
+"""Benchmark (extension E6): transition-fault coverage of final sets.
+
+The paper argues (Sections 1 and 4) that its long at-speed sequences
+"contribute to the detection of delay defects" but never quantifies
+the claim.  This bench does: transition-fault coverage under
+launch-on-capture for the [4]-compacted sets versus the proposed sets.
+
+Expected shape: the proposed sets dominate [4] on every circuit --
+single-vector tests have no at-speed vector pairs at all, and [4]'s
+combining produces only short sequences.
+"""
+
+from repro.experiments import tables
+
+
+def test_transition_coverage(benchmark, suite_runs):
+    table = benchmark(tables.table_atspeed_coverage, suite_runs)
+    print()
+    print(table.render())
+    for row in table.rows:
+        circuit, b4, prop, rand = row
+        assert prop >= b4, circuit
+    # Strictly better somewhere (usually everywhere).
+    assert any(row[2] > row[1] for row in table.rows)

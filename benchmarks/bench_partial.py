@@ -1,0 +1,44 @@
+"""Benchmark (extension): partial-scan trade-off.
+
+The paper's stated extension ("the proposed procedure can be extended
+to the case of partial-scan circuits"), measured: test application
+time and fault coverage under a cycle-cutting scan-chain selection
+versus full scan.
+
+Expected shape: partial scan reduces clock cycles (cheaper scan
+operations) and loses some coverage -- monotonically in the chain
+length.
+"""
+
+import pytest
+
+from repro.circuits import suite
+from repro.core.partial import PartialScanPlan, compact_partial
+
+
+def test_partial_scan_tradeoff(benchmark):
+    netlist = suite.profile("b06").build()
+
+    def run_all():
+        rows = []
+        plans = [("full", PartialScanPlan.full(netlist)),
+                 ("cut", PartialScanPlan.by_cycle_cutting(netlist))]
+        for label, plan in plans:
+            result = compact_partial(plan, seed=1, t0_length=120)
+            final = result.compacted_set or result.test_set
+            rows.append((label, plan.n_scanned, final.clock_cycles(),
+                         len(result.final_detected)))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for label, chain, cycles, detected in rows:
+        print(f"  {label:>5}: chain={chain} cycles={cycles} "
+              f"detected={detected}")
+    (_, full_chain, full_cycles, full_det) = rows[0]
+    (_, cut_chain, cut_cycles, cut_det) = rows[1]
+    assert cut_chain <= full_chain
+    assert cut_det <= full_det
+    if cut_chain < full_chain:
+        # Cheaper scans must show up in the cost when chains shrink.
+        assert cut_cycles < full_cycles + full_chain

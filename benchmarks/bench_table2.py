@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the paper's Table 2 (test lengths).
+
+Expected shape: ``L(T_seq) <= L(T0)`` (Phases 1-2 only truncate and
+omit vectors), and the number of added Phase-3 tests stays small
+relative to the combinational test set.
+"""
+
+from repro.experiments import tables
+
+
+def test_table2(benchmark, suite_runs):
+    table = benchmark(tables.table2, suite_runs)
+    print()
+    print(table.render())
+    by_name = {run.name: run for run in suite_runs}
+    for row in table.rows:
+        circuit, t0_len, scan_len, added = row
+        assert scan_len <= t0_len, circuit
+        assert scan_len >= 1, circuit
+        assert added <= by_name[circuit].comb_tests, circuit

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate the paper's Table 3 (clock cycles).
+
+Expected shape (the paper's headline result):
+
+* compaction helps every method: ``[4] comp <= [4] init`` and
+  ``prop comp <= prop init``;
+* the proposed initial sets beat the [4] initial sets overall, and the
+  totals of the proposed method beat the totals of [4];
+* the dynamic [2,3] baseline trails static compaction.
+"""
+
+from repro.experiments import tables
+
+
+def test_table3(benchmark, suite_runs):
+    table = benchmark(tables.table3, suite_runs)
+    print()
+    print(table.render())
+    for row in table.rows[:-1]:
+        circuit, dyn, b4i, b4c, pi, pc, ri, rc = row
+        assert b4c <= b4i, circuit
+        assert pc <= pi, circuit
+        assert rc <= ri, circuit
+    total = table.rows[-1]
+    _, dyn_t, b4i_t, b4c_t, pi_t, pc_t, ri_t, rc_t = total
+    # Paper Section 4: "both the initial and the final test sets of the
+    # method proposed here require overall a lower number of clock
+    # cycles than those of [4]".
+    assert pi_t < b4i_t
+    assert pc_t < b4c_t
+    # Dynamic compaction trails the compacted static sets overall.
+    assert dyn_t >= b4c_t

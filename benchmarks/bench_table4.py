@@ -1,0 +1,26 @@
+"""Benchmark: regenerate the paper's Table 4 (at-speed lengths).
+
+Expected shape: the proposed procedure yields *much* longer at-speed
+primary-input sequences than the [4] baseline (paper: often an order
+of magnitude), and the random-T0 arm sits above [4] as well.
+"""
+
+from repro.experiments import tables
+
+
+def test_table4(benchmark, suite_runs):
+    table = benchmark(tables.table4, suite_runs)
+    print()
+    print(table.render())
+    prop_wins = 0
+    rand_wins = 0
+    for row in table.rows:
+        circuit, ave4, rng4, avep, rngp, aver, rngr = row
+        assert avep >= ave4, circuit
+        if avep >= 2 * ave4:
+            prop_wins += 1
+        if aver >= ave4:
+            rand_wins += 1
+    # The shape, not exact factors: proposed is >=2x on most circuits.
+    assert prop_wins >= len(table.rows) // 2
+    assert rand_wins >= len(table.rows) // 2

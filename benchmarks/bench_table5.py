@@ -1,0 +1,24 @@
+"""Benchmark: regenerate the paper's Table 5 (random sequences).
+
+Expected shape: the selected scan prefix is far shorter than the
+random ``T0`` (the paper's length-1000 sequences shrink to tens of
+vectors on most circuits), the scan test detects more than ``T0``
+alone, and the final set completes coverage with a moderate number of
+added tests.
+"""
+
+from repro.experiments import tables
+
+
+def test_table5(benchmark, suite_runs):
+    table = benchmark(tables.table5, suite_runs)
+    print()
+    print(table.render())
+    shrunk = 0
+    for row in table.rows:
+        circuit, t0, scan, final, t0_len, scan_len, added = row
+        assert t0 <= scan <= final, circuit
+        assert scan_len <= t0_len, circuit
+        if scan_len <= t0_len // 2:
+            shrunk += 1
+    assert shrunk >= len(table.rows) // 2

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Scenario: bring your own circuit through the full DFT flow.
+
+Models the workflow of a user with their own design: write (or load)
+an ISCAS-style ``.bench`` netlist, validate it, inspect the fault
+universe, generate tests, and export the compacted scan test program.
+
+Run with::
+
+    python examples/custom_circuit.py
+"""
+
+from repro import api
+from repro.circuits import bench, validate
+from repro.sim import values as V
+from repro.sim.faults import FaultSet
+
+# A small bus-arbiter-style design: two request inputs, a priority
+# toggle, a 2-bit grant register with hold logic.
+ARBITER = """
+# toy round-robin arbiter
+INPUT(req0)
+INPUT(req1)
+INPUT(rst)
+OUTPUT(grant0)
+OUTPUT(grant1)
+OUTPUT(busy)
+
+pri    = DFF(pri_n)
+g0     = DFF(g0_n)
+g1     = DFF(g1_n)
+
+nrst   = NOT(rst)
+any    = OR(req0, req1)
+busy   = AND(any, nrst)
+
+# priority flips whenever a grant is given
+gave   = OR(g0_n, g1_n)
+pri_t  = XOR(pri, gave)
+pri_n  = AND(pri_t, nrst)
+
+# grant0 wins ties when pri=0, grant1 when pri=1
+npri   = NOT(pri)
+only0  = AND(req0, npri)
+nreq1  = NOT(req1)
+solo0  = AND(req0, nreq1)
+w0     = OR(only0, solo0)
+g0_n   = AND(w0, nrst)
+
+nreq0  = NOT(req0)
+only1  = AND(req1, pri)
+solo1  = AND(req1, nreq0)
+w1     = OR(only1, solo1)
+g1_raw = AND(w1, nrst)
+ng0    = NOT(g0_n)
+g1_n   = AND(g1_raw, ng0)
+
+grant0 = BUF(g0)
+grant1 = BUF(g1)
+"""
+
+
+def main() -> None:
+    # 1. Parse and validate.
+    netlist = bench.loads(ARBITER, name="arbiter")
+    issues = validate.check(netlist)
+    print(f"circuit: {netlist!r}")
+    for issue in issues:
+        print(f"  {issue}")
+
+    # 2. Inspect the fault universe.
+    faults = FaultSet.collapsed(netlist)
+    print(f"collapsed stuck-at faults: {len(faults)}")
+
+    # 3. Full flow: C generation, the proposed procedure, phase 4.
+    wb = api.Workbench.for_netlist(netlist)
+    comb = api.generate_comb_set(netlist, seed=7, workbench=wb)
+    print(f"combinational test set: {len(comb.tests)} tests, "
+          f"{len(comb.redundant)} provably redundant faults")
+
+    result = api.compact_tests(netlist, seed=7, comb_tests=comb.tests,
+                               workbench=wb)
+    final = result.compacted_set or result.test_set
+    print(f"\nfinal scan test program "
+          f"({final.clock_cycles()} clock cycles):")
+    for i, test in enumerate(final):
+        so = test.expected_scan_out(wb.circuit)
+        print(f"  test {i}: scan-in {V.vec_str(test.scan_in)}  "
+              f"{test.length:3d} at-speed vectors  "
+              f"expect scan-out {V.vec_str(so)}")
+
+    # 4. Export the circuit back to .bench for the next tool.
+    text = bench.dumps(netlist)
+    print(f"\n(.bench export is {len(text.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so offline environments without `wheel` can install -e."""
+
+from setuptools import setup
+
+setup()

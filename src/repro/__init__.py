@@ -1,0 +1,28 @@
+"""repro: scan test compaction that enhances at-speed testing.
+
+A complete reproduction of Pomeranz & Reddy, "An Approach to Test
+Compaction for Scan Circuits that Enhances At-Speed Testing"
+(DAC 2001), with every substrate implemented from scratch: gate-level
+netlists, 3-valued logic simulation, bit-parallel stuck-at fault
+simulation, combinational and sequential test generation, static and
+dynamic compaction baselines, and the paper's four-phase procedure.
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .version import __version__
+from .api import (
+    compact_tests,
+    generate_comb_set,
+    baseline_static,
+    baseline_dynamic,
+)
+
+__all__ = [
+    "__version__",
+    "compact_tests",
+    "generate_comb_set",
+    "baseline_static",
+    "baseline_dynamic",
+]

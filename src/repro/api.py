@@ -1,0 +1,157 @@
+"""High-level convenience API.
+
+These wrappers bundle the common setup (compile the circuit, collapse
+the fault list, build the simulators, generate the combinational set)
+so a downstream user can go from a netlist to a compacted scan test set
+in one call.  Power users compose the pieces from :mod:`repro.core`,
+:mod:`repro.sim` and :mod:`repro.atpg` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .atpg import comb_set as comb_set_mod
+from .atpg import random_gen, seqgen
+from .atpg.comb_set import CombSetResult, CombTest
+from .circuits.netlist import Netlist
+from .core.combine import CombineResult, static_compact
+from .core.dynamic import DynamicResult, dynamic_compact
+from .core.proposed import ProposedResult, run as run_proposed
+from .core.scan_test import ScanTestSet, single_vector_test
+from .sim import values as V
+from .sim.comb_sim import CombPatternSim
+from .sim.fault_sim import FaultSimulator
+from .sim.faults import FaultSet
+from .sim.logicsim import CompiledCircuit
+
+
+@dataclass
+class Workbench:
+    """Compiled circuit + fault set + simulators, built once."""
+
+    netlist: Netlist
+    circuit: CompiledCircuit
+    faults: FaultSet
+    sim: FaultSimulator
+    comb_sim: CombPatternSim
+
+    @classmethod
+    def for_netlist(cls, netlist: Netlist) -> "Workbench":
+        circuit = CompiledCircuit(netlist)
+        faults = FaultSet.collapsed(netlist)
+        return cls(
+            netlist=netlist,
+            circuit=circuit,
+            faults=faults,
+            sim=FaultSimulator(circuit, faults),
+            comb_sim=CombPatternSim(circuit, faults),
+        )
+
+
+def generate_comb_set(netlist: Netlist, seed: int = 0,
+                      workbench: Optional[Workbench] = None,
+                      **kwargs) -> CombSetResult:
+    """Generate the combinational test set ``C`` for a circuit.
+
+    Keyword arguments are forwarded to
+    :func:`repro.atpg.comb_set.generate`.
+    """
+    wb = workbench or Workbench.for_netlist(netlist)
+    return comb_set_mod.generate(wb.circuit, wb.faults, seed=seed, **kwargs)
+
+
+def compact_tests(
+    netlist: Netlist,
+    seed: int = 0,
+    t0_source: str = "seqgen",
+    t0_length: int = 500,
+    t0: Optional[Sequence[V.Vector]] = None,
+    comb_tests: Optional[Sequence[CombTest]] = None,
+    run_phase4: bool = True,
+    workbench: Optional[Workbench] = None,
+) -> ProposedResult:
+    """Run the paper's proposed procedure on a circuit.
+
+    Parameters
+    ----------
+    netlist:
+        The full-scan circuit.
+    seed:
+        Master seed for all randomized stages.
+    t0_source:
+        ``"seqgen"`` (sequential-ATPG-like generator, the [10]/[12]
+        arm) or ``"random"`` (the Table-5 arm).  Ignored when ``t0``
+        is given.
+    t0_length:
+        Length budget for the initial sequence.
+    t0:
+        An explicit initial sequence (overrides ``t0_source``).
+    comb_tests:
+        An explicit combinational test set; generated when omitted.
+    run_phase4:
+        Apply the [4] static compaction at the end.
+
+    Raises
+    ------
+    ValueError
+        On an unknown ``t0_source``.
+    """
+    wb = workbench or Workbench.for_netlist(netlist)
+    if comb_tests is None:
+        comb_tests = generate_comb_set(netlist, seed=seed,
+                                       workbench=wb).tests
+    if t0 is None:
+        if t0_source == "seqgen":
+            hints = [t.pi for t in comb_tests]
+            t0 = seqgen.generate_sequence(
+                wb.circuit, wb.faults, max_length=t0_length, seed=seed,
+                hints=hints, targeted=True).sequence
+        elif t0_source == "random":
+            t0 = random_gen.random_sequence(wb.circuit, t0_length,
+                                            seed=seed)
+        else:
+            raise ValueError(
+                f"unknown t0_source {t0_source!r}; "
+                f"use 'seqgen', 'random' or pass t0=")
+    return run_proposed(wb.sim, wb.comb_sim, t0, comb_tests,
+                        run_phase4=run_phase4)
+
+
+def baseline_static(
+    netlist: Netlist,
+    seed: int = 0,
+    comb_tests: Optional[Sequence[CombTest]] = None,
+    workbench: Optional[Workbench] = None,
+) -> CombineResult:
+    """The [4] baseline: combine a single-vector-per-test initial set.
+
+    The initial set is the scan equivalent of the combinational test
+    set (each test is ``(c_js, (c_ji))``), exactly the starting point
+    [4] used.  The returned
+    :attr:`~repro.core.combine.CombineStats.initial_cycles` /
+    ``final_cycles`` are the paper's Table-3 ``[4] init`` / ``comp``.
+    """
+    wb = workbench or Workbench.for_netlist(netlist)
+    if comb_tests is None:
+        comb_tests = generate_comb_set(netlist, seed=seed,
+                                       workbench=wb).tests
+    initial = ScanTestSet(
+        len(wb.circuit.ff_ids),
+        [single_vector_test(t.state, t.pi) for t in comb_tests])
+    return static_compact(wb.sim, initial)
+
+
+def baseline_dynamic(
+    netlist: Netlist,
+    seed: int = 0,
+    comb_tests: Optional[Sequence[CombTest]] = None,
+    workbench: Optional[Workbench] = None,
+) -> DynamicResult:
+    """The [2,3]-style dynamic compaction baseline."""
+    wb = workbench or Workbench.for_netlist(netlist)
+    if comb_tests is None:
+        comb_tests = generate_comb_set(netlist, seed=seed,
+                                       workbench=wb).tests
+    return dynamic_compact(wb.sim, wb.comb_sim, comb_tests, seed=seed)

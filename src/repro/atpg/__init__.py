@@ -1,0 +1,13 @@
+"""Test generation: PODEM, combinational sets, sequences."""
+
+from .podem import Podem, PodemResult, TESTABLE, REDUNDANT, ABORTED
+from .comb_set import CombTest, CombSetResult, generate, random_selected
+from .random_gen import random_sequence, weighted_sequence, random_state
+from .seqgen import SeqGenResult, generate_sequence
+
+__all__ = [
+    "Podem", "PodemResult", "TESTABLE", "REDUNDANT", "ABORTED",
+    "CombTest", "CombSetResult", "generate", "random_selected",
+    "random_sequence", "weighted_sequence", "random_state",
+    "SeqGenResult", "generate_sequence",
+]

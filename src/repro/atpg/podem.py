@@ -1,0 +1,406 @@
+"""PODEM combinational ATPG on the pseudo-combinational circuit.
+
+Generates a test pattern ``(state, pi)`` for one stuck-at fault of the
+full-scan circuit: flip-flop outputs act as pseudo primary inputs and
+flip-flop data nets as pseudo primary outputs (observed via scan-out).
+
+The implementation is the classical PODEM loop:
+
+1. *Objective*: activate the fault (fault net to the non-stuck value),
+   then advance a D-frontier gate (one X input to its non-controlling
+   value).
+2. *Backtrace*: map the objective back to an unassigned (pseudo) primary
+   input, guided by SCOAP-style controllability estimates.
+3. *Imply*: assign the input and run a dual-machine (good / faulty)
+   3-valued simulation of the whole cone.
+4. *Check*: success when any observed output carries a binary
+   good-vs-faulty difference; prune when the fault effect can no longer
+   reach an output (empty D-frontier or no X-path).
+5. *Backtrack* on failure, flipping or popping decisions, bounded by a
+   backtrack limit.
+
+Outcomes are ``TESTABLE`` (with the pattern), ``REDUNDANT`` (search
+space exhausted -- the fault is combinationally untestable) or
+``ABORTED`` (limit hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sim import values as V
+from ..sim.faults import FaultSet
+from ..sim.logicsim import (CompiledCircuit, OP_AND, OP_BUF, OP_CONST0,
+                            OP_CONST1, OP_NAND, OP_NOR, OP_NOT, OP_OR,
+                            OP_XNOR, OP_XOR)
+
+TESTABLE = "testable"
+REDUNDANT = "redundant"
+ABORTED = "aborted"
+
+_GOOD = 1          # machine bit 0
+_FAULTY = 2        # machine bit 1
+_MASK = 3
+
+#: Controllability cost treated as infinite (unjustifiable).
+_INF = 10 ** 9
+
+
+@dataclass
+class PodemResult:
+    """Outcome of one PODEM run."""
+
+    status: str
+    pattern: Optional[Tuple[V.Vector, V.Vector]] = None  # (state, pi)
+    backtracks: int = 0
+
+
+class Podem:
+    """PODEM engine bound to one circuit and fault set."""
+
+    def __init__(self, circuit: CompiledCircuit, faults: FaultSet,
+                 backtrack_limit: int = 256,
+                 scan_positions: Optional[Sequence[int]] = None) -> None:
+        self.circuit = circuit
+        self.faults = faults
+        self.backtrack_limit = backtrack_limit
+        net = circuit.netlist
+        self._ids = net.net_ids
+        if scan_positions is None:
+            assignable_ffs = list(circuit.ff_ids)
+            observed_ppos = list(circuit.ff_d_ids)
+            self._observed_ff_pos = set(range(len(circuit.ff_ids)))
+        else:
+            # Partial scan: only scanned flip-flops are controllable
+            # (pseudo primary inputs) and observable (pseudo POs).
+            positions = sorted(scan_positions)
+            assignable_ffs = [circuit.ff_ids[p] for p in positions]
+            observed_ppos = [circuit.ff_d_ids[p] for p in positions]
+            self._observed_ff_pos = set(positions)
+        self._sources: List[int] = list(circuit.pi_ids) + assignable_ffs
+        self._source_set: Set[int] = set(self._sources)
+        self._observed: List[int] = list(circuit.po_ids) + observed_ppos
+        self._gate_of: Dict[int, Tuple[int, Tuple[int, ...]]] = {
+            out: (op, fins) for op, out, fins in circuit.ops}
+        self._fanout_ids: Dict[int, List[int]] = {}
+        for name, succs in net.fanout.items():
+            nid = self._ids[name]
+            self._fanout_ids[nid] = [
+                self._ids[s] for s in succs
+                if net.gates[s].gtype != "DFF"]
+        self._cc0, self._cc1 = self._controllability()
+        ff_pos = {name: i for i, name in enumerate(net.flip_flops)}
+        # Per-fault: (site_net_id, stuck, stems, branch, ff_check)
+        self._spec = []
+        for fault in faults:
+            ids = self._ids
+            if fault.pin is None:
+                nid = ids[fault.net]
+                stems = {nid: (_FAULTY, 0) if fault.stuck == 0
+                         else (0, _FAULTY)}
+                self._spec.append((nid, fault.stuck, stems, {}, None))
+            else:
+                gate_name, pin = fault.pin
+                gate = net.gates[gate_name]
+                nid = ids[fault.net]
+                if gate.gtype == "DFF":
+                    self._spec.append((nid, fault.stuck, {}, {},
+                                       ff_pos[gate_name]))
+                else:
+                    branch = {ids[gate_name]: [(
+                        pin,
+                        _FAULTY if fault.stuck == 0 else 0,
+                        _FAULTY if fault.stuck == 1 else 0)]}
+                    self._spec.append((nid, fault.stuck, {}, branch,
+                                       None))
+
+    # ------------------------------------------------------------------
+    def _controllability(self) -> Tuple[List[int], List[int]]:
+        """SCOAP-style CC0/CC1 per net (lower = easier to justify)."""
+        n = self.circuit.n_nets
+        cc0 = [_INF] * n
+        cc1 = [_INF] * n
+        for nid in self._sources:
+            cc0[nid] = cc1[nid] = 1
+        for op, out, fins in self.circuit.ops:
+            f0 = [cc0[f] for f in fins]
+            f1 = [cc1[f] for f in fins]
+            if op == OP_AND:
+                c1, c0 = sum(f1) + 1, min(f0) + 1
+            elif op == OP_NAND:
+                c0, c1 = sum(f1) + 1, min(f0) + 1
+            elif op == OP_OR:
+                c0, c1 = sum(f0) + 1, min(f1) + 1
+            elif op == OP_NOR:
+                c1, c0 = sum(f0) + 1, min(f1) + 1
+            elif op == OP_NOT:
+                c0, c1 = f1[0] + 1, f0[0] + 1
+            elif op == OP_BUF:
+                c0, c1 = f0[0] + 1, f1[0] + 1
+            elif op in (OP_XOR, OP_XNOR):
+                # Fold pairwise over inputs.
+                a0, a1 = f0[0], f1[0]
+                for b0, b1 in zip(f0[1:], f1[1:]):
+                    x1 = min(a0 + b1, a1 + b0) + 1
+                    x0 = min(a0 + b0, a1 + b1) + 1
+                    a0, a1 = x0, x1
+                if op == OP_XNOR:
+                    a0, a1 = a1, a0
+                c0, c1 = a0, a1
+            elif op == OP_CONST0:
+                c0, c1 = 1, _INF
+            else:  # OP_CONST1
+                c0, c1 = _INF, 1
+            cc0[out] = min(c0, _INF)
+            cc1[out] = min(c1, _INF)
+        return cc0, cc1
+
+    # ------------------------------------------------------------------
+    def generate(self, fault_index: int) -> PodemResult:
+        """Run PODEM for one fault (by index into the fault set)."""
+        return self.generate_spec(self._spec[fault_index])
+
+    def generate_spec(self, spec: Tuple,
+                      fixed: Optional[Dict[int, int]] = None
+                      ) -> PodemResult:
+        """Run PODEM for an explicit injection spec.
+
+        ``spec`` is ``(site, stuck, stems, branch, ff_check)`` -- the
+        same format the constructor builds, but callers (notably the
+        time-frame-expansion extender) may inject multi-site specs.
+        ``fixed`` pre-assigns source nets (e.g. a known circuit state);
+        fixed sources are never reconsidered during backtracking, so a
+        REDUNDANT outcome means "untestable *under these constraints*".
+        """
+        site, stuck, stems, branch, ff_check = spec
+        branch_gate = next(iter(branch), None)
+        zero = [0] * self.circuit.n_nets
+        one = [0] * self.circuit.n_nets
+        assign: Dict[int, int] = dict(fixed or {})
+        stack: List[Tuple[int, int, bool]] = []  # (source, value, flipped)
+        backtracks = 0
+
+        def imply() -> None:
+            for nid in self._sources:
+                val = assign.get(nid, V.X)
+                zero[nid], one[nid] = V.pack_scalar(val, _MASK)
+            for nid, (m0, m1) in stems.items():
+                if nid in self._source_set:
+                    zero[nid] = (zero[nid] & ~(m0 | m1)) | m0
+                    one[nid] = (one[nid] & ~(m0 | m1)) | m1
+            self.circuit.eval_frame(zero, one, _MASK, stems, branch)
+
+        imply()
+        while True:
+            objective = self._objective(zero, one, site, stuck, ff_check,
+                                        branch_gate)
+            if objective == "detected":
+                return PodemResult(TESTABLE, self._extract(zero, one),
+                                   backtracks)
+            if objective is None:
+                source_assign = None
+            else:
+                source_assign = self._backtrace(zero, one, *objective, assign)
+            if source_assign is None:
+                # Dead end: backtrack.
+                while stack:
+                    nid, val, flipped = stack.pop()
+                    del assign[nid]
+                    if not flipped:
+                        backtracks += 1
+                        if backtracks > self.backtrack_limit:
+                            return PodemResult(ABORTED, None, backtracks)
+                        assign[nid] = 1 - val
+                        stack.append((nid, 1 - val, True))
+                        break
+                else:
+                    return PodemResult(REDUNDANT, None, backtracks)
+                imply()
+                continue
+            nid, val = source_assign
+            assign[nid] = val
+            stack.append((nid, val, False))
+            imply()
+
+    # ------------------------------------------------------------------
+    def _value(self, zero: List[int], one: List[int], nid: int,
+               machine: int) -> int:
+        if zero[nid] & machine:
+            return V.ZERO
+        if one[nid] & machine:
+            return V.ONE
+        return V.X
+
+    def _detected(self, zero: List[int], one: List[int],
+                  ff_check: Optional[int], site: int, stuck: int) -> bool:
+        if ff_check is not None:
+            if ff_check not in self._observed_ff_pos:
+                return False
+            d_nid = self.circuit.ff_d_ids[ff_check]
+            good = self._value(zero, one, d_nid, _GOOD)
+            return good in (V.ZERO, V.ONE) and good != stuck
+        for nid in self._observed:
+            g = self._value(zero, one, nid, _GOOD)
+            f = self._value(zero, one, nid, _FAULTY)
+            if g in (V.ZERO, V.ONE) and f in (V.ZERO, V.ONE) and g != f:
+                return True
+        return False
+
+    def _d_nets(self, zero: List[int], one: List[int]) -> List[int]:
+        """Nets carrying a binary good/faulty difference."""
+        out = []
+        for nid in range(self.circuit.n_nets):
+            g = self._value(zero, one, nid, _GOOD)
+            f = self._value(zero, one, nid, _FAULTY)
+            if g != f and g != V.X and f != V.X:
+                out.append(nid)
+        return out
+
+    def _objective(self, zero, one, site, stuck, ff_check, branch_gate):
+        """Next (net, value) objective, or "detected", or None (dead end)."""
+        good_site = self._value(zero, one, site, _GOOD)
+        if good_site == V.X:
+            return (site, 1 - stuck)
+        if good_site == stuck:
+            return None  # activation impossible under current assignments
+        if self._detected(zero, one, ff_check, site, stuck):
+            return "detected"
+        if ff_check is not None:
+            # Site justified but good value equals stuck: impossible here
+            # (good_site != stuck already ensured detection).
+            return None
+        # Advance the D-frontier.
+        frontier = self._d_frontier(zero, one, branch_gate)
+        if not frontier:
+            return None
+        if not self._xpath_ok(zero, one, frontier):
+            return None
+        gate_out = frontier[0]
+        op, fins = self._gate_of[gate_out]
+        noncontrolling = 1 if op in (OP_AND, OP_NAND) else 0
+        for fin in fins:
+            if self._value(zero, one, fin, _GOOD) == V.X:
+                return (fin, noncontrolling)
+        # Frontier gate has no free input left; try the next one.
+        for gate_out in frontier[1:]:
+            op, fins = self._gate_of[gate_out]
+            noncontrolling = 1 if op in (OP_AND, OP_NAND) else 0
+            for fin in fins:
+                if self._value(zero, one, fin, _GOOD) == V.X:
+                    return (fin, noncontrolling)
+        return None
+
+    def _d_frontier(self, zero, one, branch_gate=None) -> List[int]:
+        """Gates with a D input and an X output, nearest-to-output first.
+
+        For a fanout-branch fault the effect first exists *inside* the
+        consuming gate, so that gate joins the frontier while its output
+        has not resolved to a difference.
+        """
+        frontier = []
+        levels = self.circuit.netlist.levels
+        names = self.circuit.netlist.net_names
+        for nid in self._d_nets(zero, one):
+            for succ in self._fanout_ids.get(nid, ()):
+                if self._value(zero, one, succ, _GOOD) == V.X or \
+                        self._value(zero, one, succ, _FAULTY) == V.X:
+                    frontier.append(succ)
+        if branch_gate is not None:
+            g = self._value(zero, one, branch_gate, _GOOD)
+            f = self._value(zero, one, branch_gate, _FAULTY)
+            if (g == V.X or f == V.X) and not (
+                    g != f and g != V.X and f != V.X):
+                frontier.append(branch_gate)
+        frontier = sorted(set(frontier),
+                          key=lambda n: -levels[names[n]])
+        return frontier
+
+    def _xpath_ok(self, zero, one, frontier) -> bool:
+        """Can the fault effect still reach an observed output through
+        X-valued nets?"""
+        dnets = set(self._d_nets(zero, one))
+        start = list(dnets) + list(frontier)
+        seen = set(start)
+        stack = list(start)
+        observed = set(self._observed)
+        while stack:
+            nid = stack.pop()
+            if nid in observed:
+                return True
+            for succ in self._fanout_ids.get(nid, ()):
+                if succ in seen:
+                    continue
+                if succ in dnets or \
+                        self._value(zero, one, succ, _GOOD) == V.X or \
+                        self._value(zero, one, succ, _FAULTY) == V.X:
+                    seen.add(succ)
+                    stack.append(succ)
+        return False
+
+    # ------------------------------------------------------------------
+    def _backtrace(self, zero, one, net: int, value: int,
+                   assign: Dict[int, int]) -> Optional[Tuple[int, int]]:
+        """Walk the objective back to an unassigned source assignment."""
+        for _ in range(4 * self.circuit.n_nets + 8):
+            if net in self._source_set:
+                if net in assign:
+                    return None  # already assigned: conflicting objective
+                return (net, value)
+            if net not in self._gate_of:
+                # Uncontrollable source (an unscanned flip-flop under
+                # partial scan): the objective cannot be justified.
+                return None
+            op, fins = self._gate_of[net]
+            if op in (OP_CONST0, OP_CONST1):
+                return None
+            if op == OP_NOT:
+                net, value = fins[0], 1 - value
+                continue
+            if op == OP_BUF:
+                net = fins[0]
+                continue
+            if op in (OP_XOR, OP_XNOR):
+                # Choose an X input; target parity assuming other Xs = 0.
+                x_fins = [f for f in fins
+                          if self._value(zero, one, f, _GOOD) == V.X]
+                if not x_fins:
+                    return None
+                parity = value if op == OP_XOR else 1 - value
+                for f in fins:
+                    v = self._value(zero, one, f, _GOOD)
+                    if v == V.ONE:
+                        parity ^= 1
+                chosen = min(x_fins, key=lambda f: min(self._cc0[f],
+                                                       self._cc1[f]))
+                for f in x_fins:
+                    if f != chosen:
+                        parity ^= 0  # other Xs assumed 0
+                net, value = chosen, parity
+                continue
+            inverted = op in (OP_NAND, OP_NOR)
+            base = 1 - value if inverted else value
+            all_value = 1 if op in (OP_AND, OP_NAND) else 0
+            x_fins = [f for f in fins
+                      if self._value(zero, one, f, _GOOD) == V.X]
+            if not x_fins:
+                return None
+            if base == all_value:
+                # All inputs must take all_value: hardest X first.
+                cc = self._cc1 if all_value == 1 else self._cc0
+                net = max(x_fins, key=lambda f: cc[f])
+                value = all_value
+            else:
+                # Any input at the controlling value suffices: easiest X.
+                cc = self._cc1 if all_value == 0 else self._cc0
+                net = min(x_fins, key=lambda f: cc[f])
+                value = 1 - all_value
+        return None
+
+    def _extract(self, zero, one) -> Tuple[V.Vector, V.Vector]:
+        """Read the (state, pi) pattern off the good machine."""
+        state = tuple(self._value(zero, one, nid, _GOOD)
+                      for nid in self.circuit.ff_ids)
+        pi = tuple(self._value(zero, one, nid, _GOOD)
+                   for nid in self.circuit.pi_ids)
+        return state, pi

@@ -1,0 +1,51 @@
+"""Random input-sequence and pattern generation.
+
+The paper's Table 5 arm uses "a random input sequence of length 1000"
+as the initial sequence ``T0``.  :func:`random_sequence` reproduces
+exactly that; the helpers below are shared by other generators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..sim import values as V
+from ..sim.logicsim import CompiledCircuit
+
+
+def random_sequence(circuit: CompiledCircuit, length: int,
+                    seed: int = 0) -> List[V.Vector]:
+    """A fully-specified random primary-input sequence.
+
+    Deterministic for a given seed; the paper uses ``length=1000``.
+    """
+    if length < 1:
+        raise ValueError("sequence length must be positive")
+    rng = random.Random(seed)
+    n_pi = len(circuit.pi_ids)
+    return [V.random_binary_vector(n_pi, rng) for _ in range(length)]
+
+
+def weighted_sequence(circuit: CompiledCircuit, length: int,
+                      one_probability: float = 0.5,
+                      seed: int = 0) -> List[V.Vector]:
+    """A random sequence with biased bit probabilities.
+
+    Useful for circuits with deep AND/OR cones where uniform vectors
+    rarely reach interesting states.
+    """
+    if not 0.0 <= one_probability <= 1.0:
+        raise ValueError("one_probability must be within [0, 1]")
+    rng = random.Random(seed)
+    n_pi = len(circuit.pi_ids)
+    return [tuple(V.ONE if rng.random() < one_probability else V.ZERO
+                  for _ in range(n_pi))
+            for _ in range(length)]
+
+
+def random_state(circuit: CompiledCircuit, seed: int = 0,
+                 rng: Optional[random.Random] = None) -> V.Vector:
+    """A random fully-specified flip-flop state vector."""
+    rng = rng or random.Random(seed)
+    return V.random_binary_vector(len(circuit.ff_ids), rng)

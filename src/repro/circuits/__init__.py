@@ -1,0 +1,11 @@
+"""Circuit substrate: netlist model, bench I/O, libraries, generators."""
+
+from .netlist import Gate, Netlist, NetlistError
+from .bench import load, loads, dump, dumps, BenchFormatError
+from . import library, suite, synth, validate
+
+__all__ = [
+    "Gate", "Netlist", "NetlistError",
+    "load", "loads", "dump", "dumps", "BenchFormatError",
+    "library", "suite", "synth", "validate",
+]

@@ -1,0 +1,120 @@
+"""Reader and writer for the ISCAS-89 ``.bench`` netlist format.
+
+The format is line oriented::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G1)
+    G7  = DFF(G10)
+
+Gate names are case-insensitive in the type position; net names are kept
+verbatim.  ``DFF`` declarations create state elements; everything else is
+combinational.  The writer emits a canonical form that this parser (and
+the original ISCAS tools) can read back.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Union
+
+from .netlist import ALL_TYPES, Netlist, NetlistError
+
+_DECL_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)\s*$",
+                      re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^\s*([^=\s]+)\s*=\s*([A-Za-z01]+)\s*\(\s*([^)]*)\)\s*$")
+
+#: Aliases seen in the wild for standard gate types.
+_TYPE_ALIASES = {
+    "BUFF": "BUF",
+    "INV": "NOT",
+    "DFFSR": "DFF",
+}
+
+
+class BenchFormatError(NetlistError):
+    """Raised when a ``.bench`` file cannot be parsed."""
+
+
+def loads(text: str, name: str = "circuit") -> Netlist:
+    """Parse ``.bench`` source text into a compiled :class:`Netlist`.
+
+    Parameters
+    ----------
+    text:
+        The file contents.
+    name:
+        Name to give the resulting netlist.
+
+    Raises
+    ------
+    BenchFormatError
+        On any unparseable non-comment line or unknown gate type.
+    """
+    net = Netlist(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _DECL_RE.match(line)
+        if m:
+            kind, signal = m.group(1).upper(), m.group(2)
+            if kind == "INPUT":
+                net.add_input(signal)
+            else:
+                net.add_output(signal)
+            continue
+        m = _GATE_RE.match(line)
+        if m:
+            out, gtype, fanin_str = m.groups()
+            gtype = gtype.upper()
+            gtype = _TYPE_ALIASES.get(gtype, gtype)
+            fanins = [f.strip() for f in fanin_str.split(",") if f.strip()]
+            if gtype not in ALL_TYPES:
+                raise BenchFormatError(
+                    f"line {lineno}: unknown gate type {gtype!r}")
+            if gtype == "DFF":
+                if len(fanins) != 1:
+                    raise BenchFormatError(
+                        f"line {lineno}: DFF must have one fanin")
+                net.add_dff(out, fanins[0])
+            elif gtype in ("CONST0", "CONST1"):
+                net.add_const(out, 1 if gtype == "CONST1" else 0)
+            else:
+                net.add_gate(out, gtype, fanins)
+            continue
+        raise BenchFormatError(f"line {lineno}: cannot parse {raw!r}")
+    return net.compile()
+
+
+def load(path: Union[str, Path], name: str = "") -> Netlist:
+    """Parse a ``.bench`` file from disk."""
+    path = Path(path)
+    return loads(path.read_text(), name or path.stem)
+
+
+def dumps(net: Netlist) -> str:
+    """Serialize a netlist to canonical ``.bench`` text."""
+    lines = [f"# {net.name}",
+             f"# {net.num_inputs} inputs, {net.num_outputs} outputs, "
+             f"{net.num_ffs} flip-flops, {net.num_gates} gates"]
+    for pi in net.inputs:
+        lines.append(f"INPUT({pi})")
+    for po in net.outputs:
+        lines.append(f"OUTPUT({po})")
+    lines.append("")
+    for ff in net.flip_flops:
+        gate = net.gates[ff]
+        lines.append(f"{ff} = DFF({gate.fanins[0]})")
+    for gname in net.comb_gates:
+        gate = net.gates[gname]
+        lines.append(f"{gname} = {gate.gtype}({', '.join(gate.fanins)})")
+    return "\n".join(lines) + "\n"
+
+
+def dump(net: Netlist, path: Union[str, Path]) -> None:
+    """Write a netlist to ``path`` in ``.bench`` format."""
+    Path(path).write_text(dumps(net))

@@ -1,0 +1,280 @@
+"""Built-in circuits: the exact ISCAS-89 s27 plus hand-written designs.
+
+The hand-written circuits (counters, an LFSR, FSM controllers, a serial
+pattern detector) give the test suite and the examples realistic,
+fully-understood sequential structure.  Larger paper-suite circuits are
+produced by :mod:`repro.circuits.synth`.
+
+Every factory returns a *compiled* :class:`~repro.circuits.netlist.Netlist`.
+"""
+
+from __future__ import annotations
+
+from . import bench
+from .netlist import Netlist
+
+#: The ISCAS-89 s27 benchmark, verbatim.
+S27_BENCH = """\
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+
+def s27() -> Netlist:
+    """The ISCAS-89 s27 benchmark: 4 PI, 1 PO, 3 DFF, 10 gates."""
+    return bench.loads(S27_BENCH, name="s27")
+
+
+def counter(n_bits: int = 4) -> Netlist:
+    """An ``n_bits`` synchronous up-counter with enable.
+
+    Inputs: ``en``.  Outputs: all count bits, plus ``carry`` (high when
+    the counter is at its maximum and enabled) and ``parity`` (XOR of
+    all bits).  Bit ``i`` toggles when ``en`` and all lower bits are 1.
+    """
+    if n_bits < 1:
+        raise ValueError("counter needs at least one bit")
+    net = Netlist(f"counter{n_bits}")
+    net.add_input("en")
+    for i in range(n_bits):
+        net.add_dff(f"q{i}", f"d{i}")
+        net.add_output(f"q{i}")
+    # tc{i} = en AND q0 AND ... AND q{i-1}  (toggle condition of bit i)
+    net.add_gate("tc0", "BUF", ["en"])
+    for i in range(1, n_bits):
+        net.add_gate(f"tc{i}", "AND", [f"tc{i-1}", f"q{i-1}"])
+    for i in range(n_bits):
+        net.add_gate(f"d{i}", "XOR", [f"q{i}", f"tc{i}"])
+    net.add_gate("carry", "AND", [f"tc{n_bits-1}", f"q{n_bits-1}"])
+    net.add_output("carry")
+    parity_in = [f"q{i}" for i in range(n_bits)]
+    if n_bits == 1:
+        net.add_gate("parity", "BUF", parity_in)
+    else:
+        net.add_gate("parity", "XOR", parity_in)
+    net.add_output("parity")
+    return net.compile()
+
+
+def lfsr(n_bits: int = 5, taps=(0, 2)) -> Netlist:
+    """A Fibonacci LFSR with a load input.
+
+    Inputs: ``load`` and ``sin`` (serial data).  When ``load`` is high
+    the feedback is replaced by ``sin``; otherwise the XOR of the tap
+    bits feeds the shift chain.  Outputs: the last stage and the
+    feedback net.
+    """
+    if n_bits < 2:
+        raise ValueError("lfsr needs at least two bits")
+    if any(t >= n_bits for t in taps) or len(taps) < 2:
+        raise ValueError("taps must name at least two stages within range")
+    net = Netlist(f"lfsr{n_bits}")
+    net.add_input("load")
+    net.add_input("sin")
+    for i in range(n_bits):
+        net.add_dff(f"r{i}", f"rd{i}")
+    tap_nets = [f"r{t}" for t in taps]
+    net.add_gate("fb", "XOR", tap_nets)
+    # rd0 = load ? sin : fb
+    net.add_gate("nload", "NOT", ["load"])
+    net.add_gate("sel_sin", "AND", ["load", "sin"])
+    net.add_gate("sel_fb", "AND", ["nload", "fb"])
+    net.add_gate("rd0", "OR", ["sel_sin", "sel_fb"])
+    for i in range(1, n_bits):
+        net.add_gate(f"rd{i}", "BUF", [f"r{i-1}"])
+    net.add_output(f"r{n_bits-1}")
+    net.add_output("fb")
+    return net.compile()
+
+
+def traffic_light() -> Netlist:
+    """A 2-bit Moore FSM: a traffic-light controller.
+
+    States (s1 s0): 00 = GREEN, 01 = YELLOW, 10 = RED, 11 = RED+YELLOW.
+    Inputs: ``timer`` (advance) and ``hold`` (freeze).  The state
+    advances through the cycle whenever ``timer & ~hold``.  Outputs are
+    the one-hot lamp signals.
+    """
+    net = Netlist("traffic")
+    net.add_input("timer")
+    net.add_input("hold")
+    net.add_dff("s0", "ns0")
+    net.add_dff("s1", "ns1")
+    net.add_gate("nhold", "NOT", ["hold"])
+    net.add_gate("adv", "AND", ["timer", "nhold"])
+    net.add_gate("nadv", "NOT", ["adv"])
+    # next state = state + adv (mod 4): a 2-bit increment.
+    net.add_gate("ns0", "XOR", ["s0", "adv"])
+    net.add_gate("c0", "AND", ["s0", "adv"])
+    net.add_gate("ns1", "XOR", ["s1", "c0"])
+    net.add_gate("n_s0", "NOT", ["s0"])
+    net.add_gate("n_s1", "NOT", ["s1"])
+    net.add_gate("green", "AND", ["n_s1", "n_s0"])
+    net.add_gate("yellow", "AND", ["n_s1", "s0"])
+    net.add_gate("red", "AND", ["s1", "n_s0"])
+    net.add_gate("redyellow", "AND", ["s1", "s0"])
+    for lamp in ("green", "yellow", "red", "redyellow"):
+        net.add_output(lamp)
+    return net.compile()
+
+
+def pattern_detector(pattern: str = "1011") -> Netlist:
+    """A serial detector for ``pattern`` (overlapping matches).
+
+    A shift register captures the serial input ``din``; the output
+    ``match`` is high in the cycle after the last pattern bit arrived.
+    """
+    if not pattern or any(c not in "01" for c in pattern):
+        raise ValueError("pattern must be a non-empty binary string")
+    n = len(pattern)
+    net = Netlist(f"detect_{pattern}")
+    net.add_input("din")
+    net.add_dff("h0", "din")
+    for i in range(1, n):
+        net.add_dff(f"h{i}", f"h{i-1}")
+    # h0 holds the newest bit; pattern[-1] must match h0.
+    terms = []
+    for i, ch in enumerate(reversed(pattern)):
+        if ch == "1":
+            terms.append(f"h{i}")
+        else:
+            net.add_gate(f"nh{i}", "NOT", [f"h{i}"])
+            terms.append(f"nh{i}")
+    if len(terms) == 1:
+        net.add_gate("match", "BUF", terms)
+    else:
+        net.add_gate("match", "AND", terms)
+    net.add_output("match")
+    return net.compile()
+
+
+def gray_counter(n_bits: int = 3) -> Netlist:
+    """A Gray-code counter built as binary counter + binary-to-Gray XORs.
+
+    Inputs: ``en``.  Outputs: the Gray-coded count bits ``g0..g{n-1}``.
+    """
+    if n_bits < 2:
+        raise ValueError("gray counter needs at least two bits")
+    net = Netlist(f"gray{n_bits}")
+    net.add_input("en")
+    for i in range(n_bits):
+        net.add_dff(f"b{i}", f"bd{i}")
+    net.add_gate("gtc0", "BUF", ["en"])
+    for i in range(1, n_bits):
+        net.add_gate(f"gtc{i}", "AND", [f"gtc{i-1}", f"b{i-1}"])
+    for i in range(n_bits):
+        net.add_gate(f"bd{i}", "XOR", [f"b{i}", f"gtc{i}"])
+    for i in range(n_bits - 1):
+        net.add_gate(f"g{i}", "XOR", [f"b{i}", f"b{i+1}"])
+        net.add_output(f"g{i}")
+    net.add_gate(f"g{n_bits-1}", "BUF", [f"b{n_bits-1}"])
+    net.add_output(f"g{n_bits-1}")
+    return net.compile()
+
+
+def accumulator(n_bits: int = 4) -> Netlist:
+    """A small accumulator datapath with opcode decode.
+
+    Inputs: ``op1 op0`` (opcode) and ``d0..d{n-1}`` (data bus).
+    The accumulator register ``a0..a{n-1}`` executes:
+
+    ==  =========  =======================================
+    op  mnemonic   next accumulator value
+    ==  =========  =======================================
+    00  HOLD       a
+    01  LOAD       d
+    10  ADD        a + d  (ripple carry, carry-out flag)
+    11  AND        a & d
+    ==  =========  =======================================
+
+    Outputs: the accumulator bits, the ADD carry-out ``cout`` and a
+    ``zero`` flag.  A realistic mix of control decode, a ripple adder
+    and muxes -- the kind of structure the ITC-99 circuits have.
+    """
+    if n_bits < 2:
+        raise ValueError("accumulator needs at least two bits")
+    net = Netlist(f"accu{n_bits}")
+    net.add_input("op1")
+    net.add_input("op0")
+    for i in range(n_bits):
+        net.add_input(f"d{i}")
+    for i in range(n_bits):
+        net.add_dff(f"a{i}", f"an{i}")
+        net.add_output(f"a{i}")
+    # Opcode decode.
+    net.add_gate("nop1", "NOT", ["op1"])
+    net.add_gate("nop0", "NOT", ["op0"])
+    net.add_gate("is_hold", "AND", ["nop1", "nop0"])
+    net.add_gate("is_load", "AND", ["nop1", "op0"])
+    net.add_gate("is_add", "AND", ["op1", "nop0"])
+    net.add_gate("is_and", "AND", ["op1", "op0"])
+    # Ripple-carry adder a + d.
+    net.add_gate("c0", "AND", ["a0", "d0"])
+    net.add_gate("s0", "XOR", ["a0", "d0"])
+    for i in range(1, n_bits):
+        net.add_gate(f"p{i}", "XOR", [f"a{i}", f"d{i}"])
+        net.add_gate(f"g{i}", "AND", [f"a{i}", f"d{i}"])
+        net.add_gate(f"pc{i}", "AND", [f"p{i}", f"c{i-1}"])
+        net.add_gate(f"c{i}", "OR", [f"g{i}", f"pc{i}"])
+        net.add_gate(f"s{i}", "XOR", [f"p{i}", f"c{i-1}"])
+    net.add_gate("cout", "BUF", [f"c{n_bits-1}"])
+    net.add_output("cout")
+    # Per-bit 4-way mux into the register.
+    for i in range(n_bits):
+        net.add_gate(f"andv{i}", "AND", [f"a{i}", f"d{i}"])
+        net.add_gate(f"m_h{i}", "AND", ["is_hold", f"a{i}"])
+        net.add_gate(f"m_l{i}", "AND", ["is_load", f"d{i}"])
+        net.add_gate(f"m_a{i}", "AND", ["is_add", f"s{i}"])
+        net.add_gate(f"m_n{i}", "AND", ["is_and", f"andv{i}"])
+        net.add_gate(f"an{i}", "OR",
+                     [f"m_h{i}", f"m_l{i}", f"m_a{i}", f"m_n{i}"])
+    # Zero flag over the accumulator.
+    net.add_gate("zor", "OR", [f"a{i}" for i in range(n_bits)])
+    net.add_gate("zero", "NOT", ["zor"])
+    net.add_output("zero")
+    return net.compile()
+
+
+#: Name -> zero-argument factory for every built-in circuit.
+BUILTINS = {
+    "s27": s27,
+    "counter4": counter,
+    "lfsr5": lfsr,
+    "traffic": traffic_light,
+    "detect1011": pattern_detector,
+    "gray3": gray_counter,
+    "accu4": accumulator,
+}
+
+
+def by_name(name: str) -> Netlist:
+    """Instantiate a built-in circuit by name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not in :data:`BUILTINS`.
+    """
+    try:
+        factory = BUILTINS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown builtin {name!r}; have {sorted(BUILTINS)}") from None
+    return factory()

@@ -1,0 +1,293 @@
+"""Seeded synthetic sequential benchmark generator.
+
+The original ISCAS-89 / ITC-99 netlists are not redistributed here, so
+the paper suite is built from seeded random circuits with matching
+interface sizes (PI / PO / FF counts) and comparable gate counts.  The
+generator is deterministic for a given parameter set, so every run of
+the experiments sees identical circuits.
+
+Structure: the circuit is a forest of *cones*, one per flip-flop
+next-state function and one per primary output, the way synthesized RTL
+looks.  Each cone is a random tree of gates over the primary inputs and
+flip-flop outputs, with a bounded amount of cross-cone sharing (taps
+into internal nets of earlier cones).  Trees are inherently testable,
+so -- like real benchmarks and unlike uniform random netlists -- only a
+small fraction of faults is combinationally redundant.
+
+Construction guarantees:
+
+* no combinational cycles (cross-cone taps only reach *earlier*,
+  completed cones);
+* every primary input and every flip-flop output drives something;
+* every flip-flop next-state function is real logic, and the flip-flop
+  outputs feed back into the cones (a genuine state machine).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from .netlist import Netlist
+
+#: Relative weights of generated gate types (XOR-rich trees stay
+#: testable and propagate fault effects well, as real datapaths do).
+_TYPE_WEIGHTS = [
+    ("NAND", 20), ("NOR", 14), ("AND", 16), ("OR", 14),
+    ("NOT", 10), ("XOR", 14), ("XNOR", 6), ("BUF", 2),
+]
+
+
+def _pick_type(rng: random.Random) -> str:
+    total = sum(w for _, w in _TYPE_WEIGHTS)
+    roll = rng.randrange(total)
+    for gtype, weight in _TYPE_WEIGHTS:
+        roll -= weight
+        if roll < 0:
+            return gtype
+    raise AssertionError("unreachable")
+
+
+class _ConeBuilder:
+    """Builds one gate tree, drawing leaves from sources and taps."""
+
+    def __init__(self, net: Netlist, rng: random.Random,
+                 sources: List[str], taps: List[str], share_p: float,
+                 max_fanin: int, next_gate_id: int) -> None:
+        self.net = net
+        self.rng = rng
+        self.sources = sources
+        self.taps = taps
+        self.share_p = share_p
+        self.max_fanin = max_fanin
+        self.gate_id = next_gate_id
+        self.internal: List[str] = []
+        self.used_leaves: set = set()
+
+    def build(self, budget: int) -> str:
+        """Build a tree of roughly ``budget`` gates; returns the root."""
+        return self._node(max(1, budget))
+
+    def _node(self, budget: int) -> str:
+        rng = self.rng
+        if budget <= 0:
+            return self._leaf([])
+        gtype = _pick_type(rng)
+        if gtype in ("NOT", "BUF"):
+            arity = 1
+        else:
+            arity = rng.randint(2, self.max_fanin)
+        shares = self._split(budget - 1, arity)
+        fanins: List[str] = []
+        for share in shares:
+            if share <= 0 and rng.random() < 0.8:
+                fanins.append(self._leaf(fanins))
+            else:
+                fanins.append(self._node(share))
+        # A unary gate over a leaf it already... (not possible: one pin).
+        name = f"g{self.gate_id}"
+        self.gate_id += 1
+        self.net.add_gate(name, gtype, fanins)
+        self.internal.append(name)
+        return name
+
+    def _split(self, budget: int, parts: int) -> List[int]:
+        """Randomly split ``budget`` into ``parts`` non-negative shares."""
+        if parts == 1:
+            return [budget]
+        cuts = sorted(self.rng.randint(0, budget) for _ in range(parts - 1))
+        shares = []
+        prev = 0
+        for cut in cuts:
+            shares.append(cut - prev)
+            prev = cut
+        shares.append(budget - prev)
+        return shares
+
+    def _leaf(self, already: List[str]) -> str:
+        """Pick a leaf, preferring sources not yet used in this cone.
+
+        Mostly-distinct leaves keep each cone close to a fanout-free
+        tree, whose faults are all testable; repeats (and with them a
+        small, realistic amount of redundancy) appear only once the
+        source pool is exhausted.
+        """
+        rng = self.rng
+        candidate = self.sources[0]
+        for attempt in range(12):
+            if self.taps and rng.random() < self.share_p:
+                candidate = rng.choice(self.taps)
+            else:
+                candidate = rng.choice(self.sources)
+            if candidate in already:
+                continue
+            if candidate not in self.used_leaves or attempt >= 8:
+                break
+        self.used_leaves.add(candidate)
+        return candidate
+
+
+def generate(
+    name: str,
+    n_pi: int,
+    n_po: int,
+    n_ff: int,
+    n_gates: int,
+    seed: int = 0,
+    max_fanin: int = 3,
+    share_p: float = 0.15,
+) -> Netlist:
+    """Generate a compiled random sequential circuit.
+
+    Parameters
+    ----------
+    name:
+        Netlist name.
+    n_pi, n_po, n_ff, n_gates:
+        Interface and size targets.  ``n_gates`` counts combinational
+        gates only; the result lands within a few gates of the target.
+    seed:
+        RNG seed; same parameters + seed give an identical circuit.
+    max_fanin:
+        Maximum fanin of variadic gates (at least 2).
+    share_p:
+        Probability that a tree leaf taps an internal net of an earlier
+        cone instead of a source -- controls reconvergence (and with it
+        the redundant-fault fraction).
+
+    Raises
+    ------
+    ValueError
+        If the size parameters cannot form a valid circuit.
+    """
+    if n_pi < 1 or n_po < 1 or n_ff < 1:
+        raise ValueError("need at least one PI, PO and FF")
+    n_cones = n_po + n_ff
+    if n_gates < max(2 * n_cones, 4):
+        raise ValueError("n_gates too small for the requested interface")
+    if max_fanin < 2:
+        raise ValueError("max_fanin must be at least 2")
+    if not 0.0 <= share_p <= 1.0:
+        raise ValueError("share_p must be within [0, 1]")
+
+    rng = random.Random(seed)
+    net = Netlist(name)
+    for i in range(n_pi):
+        net.add_input(f"pi{i}")
+    sources = [f"pi{i}" for i in range(n_pi)] + \
+              [f"ff{i}" for i in range(n_ff)]
+
+    # Two gates per flip-flop are reserved for the synchronizing wrapper
+    # (see _add_sync_wrapper); the rest is split across the cones.
+    tree_gates = max(n_cones, n_gates - 2 * n_ff)
+    base = tree_gates // n_cones
+    extra = tree_gates - base * n_cones
+    budgets = [base + (1 if c < extra else 0) for c in range(n_cones)]
+    rng.shuffle(budgets)
+
+    taps: List[str] = []
+    roots: List[str] = []
+    gate_id = 0
+    for budget in budgets:
+        builder = _ConeBuilder(net, rng, sources, taps, share_p,
+                               max_fanin, gate_id)
+        roots.append(builder.build(budget))
+        gate_id = builder.gate_id
+        taps.extend(builder.internal)
+        if len(taps) > 64:
+            taps[:] = taps[-64:]
+
+    ff_roots, po_roots = roots[:n_ff], roots[n_ff:]
+    for i, root in enumerate(ff_roots):
+        d_net = _add_sync_wrapper(net, rng, root, i, n_pi, gate_id)
+        gate_id += 2
+        net.add_dff(f"ff{i}", d_net)
+    for root in _distinct_outputs(net, rng, po_roots):
+        net.add_output(root)
+
+    _wire_unused_sources(net, rng, sources)
+    return net.compile()
+
+
+def _add_sync_wrapper(net: Netlist, rng: random.Random, root: str,
+                      ff_index: int, n_pi: int, gate_id: int) -> str:
+    """Make flip-flop ``ff_index`` initializable from the primary inputs.
+
+    Real benchmark circuits are initializable (synchronizing sequences
+    exist), otherwise a no-scan test sequence starting from the all-X
+    power-up state could detect almost nothing.  The wrapper forces the
+    next-state value to a constant under one combination of two primary
+    inputs (probability 1/4 per random vector), and passes the cone's
+    value through otherwise::
+
+        force-0:  d = AND(root, OR(pi_a, pi_b))
+        force-1:  d = OR(root, AND(pi_a, pi_b))
+
+    Returns the name of the wrapped next-state net.
+    """
+    inner = f"g{gate_id}"
+    outer = f"g{gate_id + 1}"
+    force_zero = rng.random() < 0.5
+    if n_pi >= 2:
+        a, b = rng.sample(range(n_pi), 2)
+        pins = [f"pi{a}", f"pi{b}"]
+        net.add_gate(inner, "OR" if force_zero else "AND", pins)
+    else:
+        net.add_gate(inner, "BUF", ["pi0"])
+    if force_zero:
+        net.add_gate(outer, "AND", [root, inner])
+    else:
+        net.add_gate(outer, "OR", [root, inner])
+    return outer
+
+
+def _distinct_outputs(net: Netlist, rng: random.Random,
+                      po_roots: List[str]) -> List[str]:
+    """Replace duplicate PO roots (tiny cones can collapse to a shared
+    leaf) with distinct internal nets."""
+    seen = set()
+    out = []
+    comb = [g.name for g in net.gates.values()
+            if g.gtype not in ("INPUT", "DFF")]
+    for root in po_roots:
+        if root in seen:
+            spare = [g for g in comb if g not in seen]
+            root = rng.choice(spare) if spare else root
+        seen.add(root)
+        out.append(root)
+    return out
+
+
+def _wire_unused_sources(net: Netlist, rng: random.Random,
+                         sources: List[str]) -> None:
+    """Rewire random gate pins so every PI and FF output is used."""
+    used = set()
+    for gate in net.gates.values():
+        used.update(gate.fanins)
+    unused = [s for s in sources if s not in used]
+    comb = [g for g in net.gates.values()
+            if g.gtype not in ("INPUT", "DFF") and len(g.fanins) >= 2]
+    rng.shuffle(comb)
+    for src, gate in zip(unused, comb):
+        pin = rng.randrange(len(gate.fanins))
+        if src not in gate.fanins:
+            gate.fanins[pin] = src
+
+
+def paper_like(
+    paper_name: str,
+    n_pi: int,
+    n_po: int,
+    n_ff: int,
+    n_gates: int,
+    seed: Optional[int] = None,
+) -> Netlist:
+    """A synthetic stand-in for a named paper benchmark circuit.
+
+    The seed defaults to a stable hash of the paper name so each
+    stand-in is reproducible and distinct.
+    """
+    if seed is None:
+        seed = sum(ord(c) * (i + 1) for i, c in enumerate(paper_name)) % 10007
+    return generate(f"syn-{paper_name}", n_pi, n_po, n_ff, n_gates,
+                    seed=seed)

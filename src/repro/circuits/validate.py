@@ -1,0 +1,113 @@
+"""Structural sanity checks beyond what :meth:`Netlist.compile` enforces.
+
+``compile`` already rejects hard errors (undriven nets, combinational
+cycles, bad arities).  :func:`check` reports softer structural issues
+that usually indicate a modelling mistake: dangling nets, unused inputs,
+flip-flops whose value can never be observed, and so on.  Each issue is
+an :class:`Issue` with a severity and a message; :func:`assert_clean`
+raises if any *error*-severity issue is present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .netlist import Netlist
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding."""
+
+    severity: str   # ERROR or WARNING
+    code: str       # stable machine-readable code
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+def check(net: Netlist) -> List[Issue]:
+    """Run all structural checks and return the list of findings."""
+    if not net.is_compiled():
+        net.compile()
+    issues: List[Issue] = []
+    issues.extend(_check_dangling(net))
+    issues.extend(_check_unused_inputs(net))
+    issues.extend(_check_no_outputs(net))
+    issues.extend(_check_duplicate_fanins(net))
+    issues.extend(_check_unobservable_ffs(net))
+    return issues
+
+
+def assert_clean(net: Netlist, allow_warnings: bool = True) -> None:
+    """Raise :class:`ValueError` when validation finds problems.
+
+    With ``allow_warnings`` (default) only *error* findings raise.
+    """
+    issues = check(net)
+    bad = [i for i in issues
+           if i.severity == ERROR or not allow_warnings]
+    if bad:
+        raise ValueError("netlist validation failed:\n" +
+                         "\n".join(str(i) for i in bad))
+
+
+def _check_dangling(net: Netlist) -> List[Issue]:
+    """Nets that drive nothing and are not primary outputs."""
+    out = []
+    po = set(net.outputs)
+    for name in net.gates:
+        if not net.fanout[name] and name not in po:
+            out.append(Issue(WARNING, "dangling-net",
+                             f"net {name!r} drives nothing and is not a PO"))
+    return out
+
+
+def _check_unused_inputs(net: Netlist) -> List[Issue]:
+    out = []
+    po = set(net.outputs)
+    for pi in net.inputs:
+        if not net.fanout[pi] and pi not in po:
+            out.append(Issue(WARNING, "unused-input",
+                             f"primary input {pi!r} is unused"))
+    return out
+
+
+def _check_no_outputs(net: Netlist) -> List[Issue]:
+    if not net.outputs:
+        return [Issue(ERROR, "no-outputs",
+                      "circuit has no primary outputs")]
+    return []
+
+
+def _check_duplicate_fanins(net: Netlist) -> List[Issue]:
+    """Repeated pins on one gate: legal but usually a mistake (and a
+    source of undetectable faults)."""
+    out = []
+    for gate in net.gates.values():
+        if len(set(gate.fanins)) != len(gate.fanins):
+            out.append(Issue(WARNING, "duplicate-fanin",
+                             f"gate {gate.name!r} has repeated fanins"))
+    return out
+
+
+def _check_unobservable_ffs(net: Netlist) -> List[Issue]:
+    """Flip-flops outside every PO cone.
+
+    With full scan they are still observable through scan-out, so this
+    is only a warning -- but faults behind them are sequentially
+    untestable without scan.
+    """
+    po_cone = set(net.transitive_fanin(net.outputs, stop_at_ffs=False))
+    out = []
+    for ff in net.flip_flops:
+        if ff not in po_cone:
+            out.append(Issue(WARNING, "ff-outside-po-cone",
+                             f"flip-flop {ff!r} feeds no primary output "
+                             f"(observable only via scan)"))
+    return out

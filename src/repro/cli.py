@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-compact list                         # suite circuits
+    repro-compact circuit s298 [--seed N]      # one circuit, all methods
+    repro-compact tables [--full] [--transition] [--json OUT]
+    repro-compact bench-info                   # how to run the benches
+
+``tables`` regenerates the paper's Tables 1-5 (quick suite by default;
+``--full`` runs every reproduced circuit and takes correspondingly
+longer).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .circuits import suite as suite_mod
+from .experiments import (all_tables, dump_json, paper_comparison,
+                          render_all, run_circuit, run_suite)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("suite circuits (quick set marked *):")
+    quick = {p.name for p in suite_mod.quick_suite()}
+    for profile in suite_mod.paper_suite():
+        net = profile.build()
+        marker = "*" if profile.name in quick else " "
+        print(f" {marker} {profile.name:8s} pi={net.num_inputs:3d} "
+              f"po={net.num_outputs:3d} ff={net.num_ffs:4d} "
+              f"gates={net.num_gates:4d}")
+    return 0
+
+
+def _cmd_circuit(args: argparse.Namespace) -> int:
+    profile = suite_mod.profile(args.name)
+    run = run_circuit(profile, seed=args.seed,
+                      with_transition=args.transition)
+    print(render_all(all_tables([run],
+                                with_transition=args.transition)))
+    print()
+    print(paper_comparison([run]).render())
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    profiles = None
+    if args.circuits:
+        profiles = [suite_mod.profile(n) for n in args.circuits]
+    runs = run_suite(profiles, quick=not args.full, seed=args.seed,
+                     with_transition=args.transition, verbose=True)
+    tables = all_tables(runs, with_transition=args.transition)
+    tables.append(paper_comparison(runs))
+    print(render_all(tables))
+    if args.json:
+        dump_json(tables, args.json)
+        print(f"\n(wrote {args.json})")
+    return 0
+
+
+def _cmd_partial(args: argparse.Namespace) -> int:
+    from .core.partial import PartialScanPlan, compact_partial
+    profile = suite_mod.profile(args.name)
+    netlist = profile.build()
+    plans = [("full", PartialScanPlan.full(netlist)),
+             ("cut", PartialScanPlan.by_cycle_cutting(netlist))]
+    if args.extra:
+        plans.append((f"cut+{args.extra}",
+                      PartialScanPlan.by_cycle_cutting(
+                          netlist, extra=args.extra)))
+    print(f"{args.name}: {netlist.num_ffs} flip-flops")
+    for label, plan in plans:
+        result = compact_partial(plan, seed=args.seed,
+                                 t0_length=min(profile.t0_length, 300))
+        final = result.compacted_set or result.test_set
+        print(f"  {label:>8}: chain={plan.n_scanned:3d} "
+              f"tests={len(final):3d} cycles={final.clock_cycles():6d} "
+              f"detected={len(result.final_detected)}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from . import api
+    from .core import tester, testio
+    profile = suite_mod.profile(args.name)
+    netlist = profile.build()
+    wb = api.Workbench.for_netlist(netlist)
+    result = api.compact_tests(
+        netlist, seed=args.seed,
+        t0_source="random" if args.random else "seqgen",
+        t0_length=min(profile.t0_length, 300), workbench=wb)
+    final = result.compacted_set or result.test_set
+    program = tester.schedule(final, wb.circuit)
+    replay = tester.execute(program, wb.circuit)
+    if not replay.passed:  # pragma: no cover - internal consistency
+        print("internal error: program fails its own replay")
+        return 1
+    testio.dump(program, args.output)
+    print(f"wrote {args.output}: {len(final)} tests, "
+          f"{len(program)} cycles "
+          f"({program.n_shift_cycles} shift / "
+          f"{program.n_functional_cycles} functional), replay OK")
+    return 0
+
+
+def _cmd_bench_info(_args: argparse.Namespace) -> int:
+    print("Benchmarks live under benchmarks/ -- run them with:\n"
+          "  pytest benchmarks/ --benchmark-only\n"
+          "Set REPRO_BENCH_FULL=1 for the full (slow) suite.")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-compact",
+        description="Scan test compaction that enhances at-speed "
+                    "testing (DAC 2001 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list suite circuits")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_circuit = sub.add_parser("circuit", help="run one suite circuit")
+    p_circuit.add_argument("name")
+    p_circuit.add_argument("--seed", type=int, default=1)
+    p_circuit.add_argument("--transition", action="store_true",
+                           help="also compute transition-fault coverage")
+    p_circuit.set_defaults(func=_cmd_circuit)
+
+    p_tables = sub.add_parser("tables",
+                              help="regenerate the paper's tables")
+    p_tables.add_argument("--full", action="store_true",
+                          help="run the full suite (slow)")
+    p_tables.add_argument("--seed", type=int, default=1)
+    p_tables.add_argument("--transition", action="store_true")
+    p_tables.add_argument("--json", help="also dump tables as JSON")
+    p_tables.add_argument("--circuits", nargs="*",
+                          help="explicit circuit names")
+    p_tables.set_defaults(func=_cmd_tables)
+
+    p_partial = sub.add_parser(
+        "partial", help="full-vs-partial scan trade-off on a circuit")
+    p_partial.add_argument("name")
+    p_partial.add_argument("--seed", type=int, default=1)
+    p_partial.add_argument("--extra", type=int, default=0,
+                           help="extra scanned flip-flops beyond "
+                                "cycle cutting")
+    p_partial.set_defaults(func=_cmd_partial)
+
+    p_export = sub.add_parser(
+        "export", help="compact a circuit and export the cycle-"
+                       "accurate tester program")
+    p_export.add_argument("name")
+    p_export.add_argument("-o", "--output", default="program.rtp")
+    p_export.add_argument("--seed", type=int, default=1)
+    p_export.add_argument("--random", action="store_true",
+                          help="use a random T0 (Table-5 arm)")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_bench = sub.add_parser("bench-info", help="benchmark pointers")
+    p_bench.set_defaults(func=_cmd_bench_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

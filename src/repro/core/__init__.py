@@ -1,0 +1,28 @@
+"""The paper's contribution: the four-phase compaction procedure."""
+
+from .scan_test import ScanTest, ScanTestSet, single_vector_test
+from .metrics import AtSpeedStats, Coverage, at_speed_stats, clock_cycles, \
+    coverage
+from .phase1 import Phase1Result, run_phase1
+from .omission import OmissionResult, omit_vectors
+from .topoff import TopOffResult, top_off
+from .combine import CombineResult, CombineStats, static_compact
+from .dynamic import DynamicResult, dynamic_compact
+from .proposed import ProposedResult, run as run_proposed
+from .tester import TesterProgram, execute, schedule
+from .partial import PartialScanPlan, compact_partial
+from . import testio
+
+__all__ = [
+    "TesterProgram", "execute", "schedule",
+    "PartialScanPlan", "compact_partial",
+    "ScanTest", "ScanTestSet", "single_vector_test",
+    "AtSpeedStats", "Coverage", "at_speed_stats", "clock_cycles",
+    "coverage",
+    "Phase1Result", "run_phase1",
+    "OmissionResult", "omit_vectors",
+    "TopOffResult", "top_off",
+    "CombineResult", "CombineStats", "static_compact",
+    "DynamicResult", "dynamic_compact",
+    "ProposedResult", "run_proposed",
+]

@@ -1,0 +1,266 @@
+"""Static compaction by combining tests (the procedure of ref [4]).
+
+Combining ``tau_i = (SI_i, T_i)`` and ``tau_j = (SI_j, T_j)`` removes
+``SO_i`` and ``SI_j`` and concatenates the sequences:
+``tau_ij = (SI_i, T_i T_j)``.  Each combination saves one scan
+operation (``N_SV`` clock cycles) and is accepted only if the *test
+set's* fault coverage does not drop.  The procedure repeats until no
+pair can be combined.
+
+Implementation notes
+--------------------
+Checking "coverage does not drop" is done with essential-fault
+bookkeeping: a fault is *essential* to a test when no other test in the
+current set detects it.  A combination of ``tau_i`` and ``tau_j`` is
+acceptable iff the combined test detects every fault essential to
+either -- all other faults stay covered by the rest of the set.  On
+acceptance the combined test is re-simulated over the whole target set
+(coverage can also *grow*: the second sequence now runs from the state
+the first one left behind).
+
+This module serves double duty as the paper's Phase 4 and as the [4]
+baseline (applied to a single-vector-per-test initial set built from a
+combinational test set).
+
+Transfer sequences (ref [7])
+----------------------------
+The paper points to an improvement of [4]: when two tests cannot be
+combined directly (the state left by ``T_i`` breaks ``tau_j``'s
+detections), a short *transfer sequence* of primary-input vectors
+inserted between them can steer the circuit into a usable state.  The
+combination then saves ``N_SV - L(transfer)`` cycles instead of
+``N_SV``, so only transfers shorter than the scan chain are worth
+taking.  Enable with ``max_transfer > 0``; the paper runs [4] without
+it ("we use the procedure of [4] for all our experiments"), so it
+defaults off and is evaluated separately in the ablation bench.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sim import values as V
+from ..sim.fault_sim import FaultSimulator
+from .scan_test import ScanTest, ScanTestSet
+
+
+@dataclass
+class CombineStats:
+    """Bookkeeping from a static-compaction run."""
+
+    combinations_accepted: int = 0
+    combinations_tried: int = 0
+    transfers_used: int = 0
+    transfer_vectors_added: int = 0
+    initial_tests: int = 0
+    final_tests: int = 0
+    initial_cycles: int = 0
+    final_cycles: int = 0
+
+
+@dataclass
+class CombineResult:
+    """Result of :func:`static_compact`."""
+
+    test_set: ScanTestSet
+    detected: Set[int]
+    stats: CombineStats = field(default_factory=CombineStats)
+
+
+def _detections(sim: FaultSimulator, tests: Sequence[ScanTest],
+                target: Sequence[int]) -> List[Set[int]]:
+    return [sim.detect(list(t.vectors), t.scan_in, target=target,
+                       early_exit=False) for t in tests]
+
+
+def _detection_counts(detects: List[Set[int]]) -> Dict[int, int]:
+    """How many tests of the set detect each fault."""
+    count: Dict[int, int] = {}
+    for det in detects:
+        for fid in det:
+            count[fid] = count.get(fid, 0) + 1
+    return count
+
+
+def _pair_essentials(count: Dict[int, int], det_i: Set[int],
+                     det_j: Set[int]) -> Set[int]:
+    """Faults covered *only* by tests ``i`` and/or ``j``.
+
+    These are exactly the faults the combined test must keep: every
+    other fault of ``det_i | det_j`` stays covered by some third test.
+    Note a fault detected by both ``i`` and ``j`` (count 2) is
+    essential to the *pair* even though it is essential to neither
+    test alone.
+    """
+    essential = set()
+    for fid in det_i | det_j:
+        outside = count[fid] - (fid in det_i) - (fid in det_j)
+        if outside == 0:
+            essential.add(fid)
+    return essential
+
+
+def static_compact(
+    sim: FaultSimulator,
+    test_set: ScanTestSet,
+    target: Optional[Set[int]] = None,
+    max_rounds: int = 16,
+    max_sequence_length: Optional[int] = None,
+    max_transfer: int = 0,
+    transfer_pool: Optional[Sequence[V.Vector]] = None,
+    transfer_attempts: int = 4,
+    seed: int = 0,
+) -> CombineResult:
+    """Compact ``test_set`` by combining test pairs ([4]).
+
+    Parameters
+    ----------
+    sim:
+        Fault simulator for the circuit.
+    test_set:
+        The initial tests (not mutated).
+    target:
+        Fault indices that define coverage; defaults to all faults.
+    max_rounds:
+        Safety bound on full passes (each pass needs at least one
+        accepted combination to continue).
+    max_sequence_length:
+        Optional cap on combined sequence length (no cap by default,
+        as in [4]).
+    max_transfer:
+        Maximum transfer-sequence length tried when a direct
+        combination fails (ref [7]); 0 disables transfers (the paper's
+        setting).  Transfers are capped at ``N_SV - 1`` regardless --
+        longer ones cost more than the scan they replace.
+    transfer_pool:
+        Candidate transfer vectors (e.g. the primary-input parts of
+        the combinational test set); random vectors fill in when
+        absent.
+    transfer_attempts:
+        Candidate transfer sequences tried per length.
+    seed:
+        RNG seed for transfer candidates (deterministic).
+    """
+    if target is None:
+        target = set(range(len(sim.faults)))
+    order = sorted(target)
+    tests: List[ScanTest] = list(test_set.tests)
+    stats = CombineStats(initial_tests=len(tests),
+                         initial_cycles=test_set.clock_cycles())
+    detects = _detections(sim, tests, order)
+    coverage = set().union(*detects) if detects else set()
+    failed: Set[Tuple[ScanTest, ScanTest]] = set()
+    max_transfer = min(max_transfer, max(0, sim.n_state_vars - 1))
+    rng = random.Random(seed)
+    n_pi = len(sim.circuit.pi_ids)
+
+    for _ in range(max_rounds):
+        count = _detection_counts(detects)
+        accepted_any = False
+        i = 0
+        while i < len(tests):
+            j = 0
+            while j < len(tests):
+                if i == j:
+                    j += 1
+                    continue
+                first, second = tests[i], tests[j]
+                if (first, second) in failed:
+                    j += 1
+                    continue
+                if max_sequence_length is not None and \
+                        first.length + second.length > max_sequence_length:
+                    j += 1
+                    continue
+                combined = first.combined_with(second)
+                must = _pair_essentials(count, detects[i], detects[j])
+                stats.combinations_tried += 1
+                det_must = sim.detect(list(combined.vectors),
+                                      combined.scan_in,
+                                      target=sorted(must),
+                                      early_exit=True)
+                if not must <= det_must and max_transfer > 0:
+                    transfer = _find_transfer_sequence(
+                        sim, first, second, must, max_transfer,
+                        transfer_pool, transfer_attempts, rng, n_pi)
+                    if transfer is not None:
+                        combined = ScanTest(
+                            first.scan_in,
+                            first.vectors + tuple(transfer) +
+                            second.vectors)
+                        det_must = sim.detect(list(combined.vectors),
+                                              combined.scan_in,
+                                              target=sorted(must),
+                                              early_exit=True)
+                        if must <= det_must:
+                            stats.transfers_used += 1
+                            stats.transfer_vectors_added += len(transfer)
+                if must <= det_must:
+                    det_full = sim.detect(list(combined.vectors),
+                                          combined.scan_in, target=order,
+                                          early_exit=False)
+                    hi, lo = max(i, j), min(i, j)
+                    for idx in (hi, lo):
+                        tests.pop(idx)
+                        detects.pop(idx)
+                    tests.insert(lo, combined)
+                    detects.insert(lo, det_full)
+                    coverage |= det_full
+                    count = _detection_counts(detects)
+                    stats.combinations_accepted += 1
+                    accepted_any = True
+                    if j < i:
+                        i -= 1
+                    j = 0  # rescan partners for the new combined test
+                else:
+                    failed.add((first, second))
+                    j += 1
+            i += 1
+        if not accepted_any:
+            break
+
+    final = ScanTestSet(test_set.n_state_vars, tests)
+    stats.final_tests = len(tests)
+    stats.final_cycles = final.clock_cycles()
+    return CombineResult(final, coverage, stats)
+
+
+def _find_transfer_sequence(
+    sim: FaultSimulator,
+    first: ScanTest,
+    second: ScanTest,
+    must: Set[int],
+    max_transfer: int,
+    transfer_pool: Optional[Sequence[V.Vector]],
+    attempts: int,
+    rng: random.Random,
+    n_pi: int,
+) -> Optional[List[V.Vector]]:
+    """A transfer sequence making ``first ++ transfer ++ second`` keep
+    every pair-essential fault (ref [7]), or ``None``.
+
+    Candidates per length: vectors from the pool (when given), a hold
+    of ``first``'s last vector, and random vectors.  Shortest working
+    transfer wins, since each transfer vector eats into the ``N_SV``
+    cycles the combination saves.
+    """
+    for length in range(1, max_transfer + 1):
+        for attempt in range(attempts):
+            transfer: List[V.Vector] = []
+            for position in range(length):
+                roll = (attempt + position) % 3
+                if roll == 0 and transfer_pool:
+                    transfer.append(tuple(
+                        transfer_pool[rng.randrange(len(transfer_pool))]))
+                elif roll == 1:
+                    transfer.append(tuple(first.vectors[-1]))
+                else:
+                    transfer.append(V.random_binary_vector(n_pi, rng))
+            trial = first.vectors + tuple(transfer) + second.vectors
+            detected = sim.detect(list(trial), first.scan_in,
+                                  target=sorted(must), early_exit=True)
+            if must <= detected:
+                return transfer
+    return None

@@ -1,0 +1,195 @@
+"""The paper's proposed compaction procedure (Sections 3.1-3.5).
+
+:func:`run` orchestrates the full pipeline:
+
+1. iterate Phase 1 (scan-in + scan-out selection) and Phase 2 (vector
+   omission) starting from ``T0``, re-feeding ``T_C`` as the next
+   iteration's sequence, until the selected scan-in state repeats
+   (Section 3.3's selected/unselected rule) or the iteration cap hits;
+2. Phase 3: top off the remaining detectable faults with single-vector
+   tests chosen by the ``min n(f)`` / ``last(f)`` rule;
+3. Phase 4 (optional): static compaction of the final set with the
+   combining procedure of [4].
+
+The result records per-phase statistics matching the paper's Tables
+1-3: faults detected by ``T0`` alone, by ``tau_seq``, and by the final
+set; the lengths of ``T0`` and ``T_seq``; the number of added tests;
+and the clock-cycle counts before and after Phase 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from ..atpg.comb_set import CombTest
+from ..sim import values as V
+from ..sim.comb_sim import CombPatternSim
+from ..sim.fault_sim import FaultSimulator
+from .combine import CombineStats, static_compact
+from .omission import omit_vectors
+from .phase1 import detect_no_scan, run_phase1
+from .scan_test import ScanTest, ScanTestSet
+from .topoff import top_off
+
+
+@dataclass
+class IterationLog:
+    """One Phase 1+2 iteration, for reporting and debugging."""
+
+    scan_in_index: int
+    u_so: int
+    length_before: int
+    length_after: int
+    detected_before: int
+    detected_after: int
+
+
+@dataclass
+class ProposedResult:
+    """Full outcome of the proposed procedure.
+
+    Attributes mirror the paper's tables; see the class body comments.
+    """
+
+    tau_seq: ScanTest                 # the long-sequence test
+    test_set: ScanTestSet             # end of Phase 3 ("init" in Table 3)
+    compacted_set: Optional[ScanTestSet]  # end of Phase 4 ("comp")
+    t0_length: int                    # L(T0)           (Table 2)
+    t0_detected: Set[int]             # detected by T0  (Table 1 "T0")
+    seq_detected: Set[int]            # by tau_seq      (Table 1 "scan")
+    final_detected: Set[int]          # by the test set (Table 1 "final")
+    added_tests: int                  # Phase-3 additions (Table 2)
+    uncovered: Set[int]               # undetectable leftovers
+    iterations: List[IterationLog] = field(default_factory=list)
+    combine_stats: Optional[CombineStats] = None
+
+    @property
+    def seq_length(self) -> int:
+        """``L(T_seq)`` (Table 2 ``scan`` column)."""
+        return self.tau_seq.length
+
+    def initial_cycles(self) -> int:
+        """Clock cycles at the end of Phase 3 (Table 3 ``init``)."""
+        return self.test_set.clock_cycles()
+
+    def compacted_cycles(self) -> int:
+        """Clock cycles after Phase 4 (Table 3 ``comp``)."""
+        final = self.compacted_set or self.test_set
+        return final.clock_cycles()
+
+
+def run(
+    sim: FaultSimulator,
+    comb_sim: CombPatternSim,
+    t0: Sequence[V.Vector],
+    comb_tests: Sequence[CombTest],
+    target: Optional[Set[int]] = None,
+    max_iterations: Optional[int] = None,
+    omission_passes: int = 2,
+    run_phase4: bool = True,
+    scan_out_rule: str = "earliest",
+) -> ProposedResult:
+    """Run the proposed procedure end to end.
+
+    Parameters
+    ----------
+    sim, comb_sim:
+        Sequential and pattern-parallel fault simulators over the same
+        circuit and fault set.
+    t0:
+        The initial test sequence (from a sequential test generator, or
+        random -- the paper evaluates both).
+    comb_tests:
+        The combinational test set ``C``.
+    target:
+        Target fault indices; defaults to the whole fault set.
+    max_iterations:
+        Cap on Phase 1+2 iterations; defaults to ``len(comb_tests)``
+        (the paper's bound: at most ``K`` iterations).
+    omission_passes:
+        Sweeps per Phase-2 run.
+    run_phase4:
+        Apply [4]'s static compaction at the end (paper Phase 4).
+    scan_out_rule:
+        Step-3 variant: "earliest" (the paper's ``i0``) or
+        "max_coverage" (the rejected ``i1`` -- kept for the ablation
+        study).
+
+    Raises
+    ------
+    ValueError
+        If ``t0`` or ``comb_tests`` is empty.
+    """
+    if not t0:
+        raise ValueError("initial sequence T0 is empty")
+    if not comb_tests:
+        raise ValueError("combinational test set is empty")
+    if target is None:
+        target = set(range(len(sim.faults)))
+    if max_iterations is None:
+        max_iterations = len(comb_tests)
+
+    selected = [False] * len(comb_tests)
+    current: List[V.Vector] = [tuple(v) for v in t0]
+    t0_detected = detect_no_scan(sim, current, sorted(target))
+    f0 = set(t0_detected)
+    tau: Optional[ScanTest] = None
+    tau_detected: Set[int] = set()
+    logs: List[IterationLog] = []
+
+    for _ in range(max(1, max_iterations)):
+        phase1 = run_phase1(sim, current, comb_tests, selected,
+                            target=target, f0=f0,
+                            scan_out_rule=scan_out_rule)
+        candidate = ScanTest(phase1.scan_in, phase1.vectors)
+        omission = omit_vectors(sim, candidate, phase1.f_so,
+                                passes=omission_passes)
+        logs.append(IterationLog(
+            scan_in_index=phase1.chosen_index,
+            u_so=phase1.u_so,
+            length_before=len(current),
+            length_after=omission.test.length,
+            detected_before=len(phase1.f_so),
+            detected_after=len(omission.detected),
+        ))
+        tau = omission.test
+        tau_detected = omission.detected
+        if phase1.chose_selected:
+            break
+        selected[phase1.chosen_index] = True
+        current = list(tau.vectors)
+        # Next iteration's Step 1 runs on the new sequence.
+        f0 = detect_no_scan(sim, current, sorted(target))
+
+    assert tau is not None
+    # Full detection set of tau_seq over the target faults.
+    seq_detected = sim.detect(list(tau.vectors), tau.scan_in,
+                              target=sorted(target), early_exit=False)
+
+    undetected = target - seq_detected
+    topoff = top_off(comb_sim, comb_tests, undetected)
+    n_sv = sim.n_state_vars
+    test_set = ScanTestSet(n_sv, [tau] + list(topoff.tests))
+    final_detected = seq_detected | topoff.covered
+
+    compacted = None
+    combine_stats = None
+    if run_phase4:
+        outcome = static_compact(sim, test_set, target=target)
+        compacted = outcome.test_set
+        combine_stats = outcome.stats
+
+    return ProposedResult(
+        tau_seq=tau,
+        test_set=test_set,
+        compacted_set=compacted,
+        t0_length=len(t0),
+        t0_detected=t0_detected,
+        seq_detected=seq_detected,
+        final_detected=final_detected,
+        added_tests=len(topoff.tests),
+        uncovered=topoff.uncovered,
+        iterations=logs,
+        combine_stats=combine_stats,
+    )

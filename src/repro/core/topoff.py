@@ -1,0 +1,89 @@
+"""Phase 3: complete fault coverage with single-vector scan tests.
+
+Faults left undetected by ``tau_seq`` are covered by tests drawn from
+the combinational test set ``C``: each ``c_j`` becomes the scan test
+``tau_j = (c_js, (c_ji))``.  Selection follows the paper exactly:
+
+* simulate every ``tau_j`` against ``F - F_seq`` to get ``F_j``;
+* for each undetected fault ``f``, record ``n(f)`` (how many tests
+  detect it) and ``last(f)`` (the index of the last test detecting it);
+* repeatedly pick the fault with minimum ``n(f)``, add
+  ``tau_last(f)``, and drop everything that test detects.
+
+Faults with ``n(f) = 1`` force their unique test into the set, so they
+are naturally selected first by the minimum rule.  Faults detected by
+no ``tau_j`` are returned as ``uncovered`` (combinationally redundant
+or aborted faults -- the paper's tables likewise stop at the
+detectable set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..atpg.comb_set import CombTest
+from ..sim.comb_sim import CombPatternSim
+from .scan_test import ScanTest, single_vector_test
+
+
+@dataclass
+class TopOffResult:
+    """Phase-3 outcome.
+
+    Attributes
+    ----------
+    tests:
+        The added single-vector scan tests, in selection order.
+    chosen_indices:
+        Indices into ``C`` of the selected tests.
+    covered:
+        Previously-undetected faults now covered.
+    uncovered:
+        Faults no candidate test detects (left undetected).
+    """
+
+    tests: List[ScanTest]
+    chosen_indices: List[int]
+    covered: Set[int]
+    uncovered: Set[int]
+
+
+def top_off(
+    comb_sim: CombPatternSim,
+    comb_tests: Sequence[CombTest],
+    undetected: Set[int],
+) -> TopOffResult:
+    """Select single-vector tests covering ``undetected`` faults."""
+    remaining = set(undetected)
+    if not remaining:
+        return TopOffResult([], [], set(), set())
+
+    detects: List[Set[int]] = []
+    n_of: Dict[int, int] = {}
+    last_of: Dict[int, int] = {}
+    order = sorted(remaining)
+    for j, test in enumerate(comb_tests):
+        hits = comb_sim.detect_single(test.as_pattern(), order)
+        detects.append(hits)
+        for fid in hits:
+            n_of[fid] = n_of.get(fid, 0) + 1
+            last_of[fid] = j
+
+    uncovered = remaining - set(n_of)
+    remaining -= uncovered
+    chosen: List[int] = []
+    tests: List[ScanTest] = []
+    covered: Set[int] = set()
+    while remaining:
+        # The fault hardest to cover (fewest detecting tests) first;
+        # ties broken deterministically by fault index.
+        fault = min(remaining, key=lambda f: (n_of[f], f))
+        j = last_of[fault]
+        chosen.append(j)
+        test = comb_tests[j]
+        tests.append(single_vector_test(test.state, test.pi))
+        newly = detects[j] & remaining
+        covered |= newly
+        remaining -= newly
+    return TopOffResult(tests, chosen, covered, uncovered)

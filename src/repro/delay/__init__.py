@@ -1,0 +1,6 @@
+"""Delay-defect (transition fault) analysis of scan test sets."""
+
+from .transition import (TransitionFault, TransitionSim,
+                         all_transition_faults)
+
+__all__ = ["TransitionFault", "TransitionSim", "all_transition_faults"]

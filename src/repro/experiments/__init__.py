@@ -1,0 +1,13 @@
+"""Experiment harness: suite runner and paper-table regeneration."""
+
+from .reporting import Table, dump_json, render_all
+from .runner import ArmResult, CircuitRun, run_circuit, run_suite
+from .tables import (all_tables, paper_comparison, table1, table2, table3,
+                     table4, table5, table_atspeed_coverage)
+
+__all__ = [
+    "Table", "dump_json", "render_all",
+    "ArmResult", "CircuitRun", "run_circuit", "run_suite",
+    "all_tables", "paper_comparison", "table1", "table2", "table3",
+    "table4", "table5", "table_atspeed_coverage",
+]

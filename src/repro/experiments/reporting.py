@@ -1,0 +1,67 @@
+"""Plain-text table rendering and JSON export for experiment results.
+
+The renderers aim for the paper's look: fixed-width columns, one row
+per circuit, a ``total`` row where the paper prints one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+
+class Table:
+    """A titled grid of rows used by every experiment report."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[Any]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}")
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        cells = [self.headers] + [[_fmt(c) for c in row]
+                                  for row in self.rows]
+        widths = [max(len(str(row[i])) for row in cells)
+                  for i in range(len(self.headers))]
+        lines = [self.title]
+        lines.append("  ".join(str(h).ljust(w)
+                               for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(str(c).ljust(w)
+                                   for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"title": self.title, "headers": self.headers,
+                "rows": self.rows}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    if cell is None:
+        return "-"
+    return str(cell)
+
+
+def dump_json(tables: Sequence[Table], path: Union[str, Path]) -> None:
+    """Write a list of tables as JSON (for regression tracking)."""
+    payload = [t.to_dict() for t in tables]
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def render_all(tables: Sequence[Table]) -> str:
+    """Render several tables separated by blank lines."""
+    return "\n\n".join(t.render() for t in tables)

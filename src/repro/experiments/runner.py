@@ -1,0 +1,157 @@
+"""Per-circuit experiment runner.
+
+One :class:`CircuitRun` gathers everything the paper's five tables need
+for one circuit: the combinational test set, both arms of the proposed
+procedure (sequential-generator ``T0`` and random ``T0``), the [4]
+static baseline, the [2,3]-style dynamic baseline, and (optionally)
+transition-fault coverage of the final test sets.
+
+Runs are deterministic for a given profile + seed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .. import api
+from ..atpg import comb_set as comb_set_mod
+from ..atpg import random_gen, seqgen
+from ..circuits.suite import CircuitProfile, suite
+from ..core.combine import CombineResult
+from ..core.dynamic import DynamicResult
+from ..core.proposed import ProposedResult
+from ..delay.transition import TransitionSim
+
+
+@dataclass
+class ArmResult:
+    """One arm (T0 source) of the proposed procedure."""
+
+    t0_source: str
+    t0_length: int
+    result: ProposedResult
+    seconds: float
+
+
+@dataclass
+class CircuitRun:
+    """All measurements for one suite circuit."""
+
+    profile: CircuitProfile
+    n_ffs: int
+    n_gates: int
+    n_faults: int
+    n_detectable: int
+    comb_tests: int
+    arms: Dict[str, ArmResult]
+    baseline4: Optional[CombineResult]
+    dynamic: Optional[DynamicResult]
+    transition: Dict[str, float] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+
+def run_circuit(
+    profile: CircuitProfile,
+    seed: int = 1,
+    arms: Sequence[str] = ("seqgen", "random"),
+    with_baselines: bool = True,
+    with_transition: bool = False,
+) -> CircuitRun:
+    """Run every experiment on one circuit.
+
+    Parameters
+    ----------
+    profile:
+        Suite profile (carries the circuit builder and budgets).
+    seed:
+        Master seed.
+    arms:
+        Which ``T0`` sources to run ("seqgen" and/or "random").
+    with_baselines:
+        Also run the [4] and [2,3] baselines.
+    with_transition:
+        Also compute transition-fault coverage of the final test sets.
+    """
+    started = time.time()
+    netlist = profile.build()
+    wb = api.Workbench.for_netlist(netlist)
+    comb = comb_set_mod.generate(wb.circuit, wb.faults, seed=seed)
+
+    arm_results: Dict[str, ArmResult] = {}
+    for source in arms:
+        t0_started = time.time()
+        if source == "seqgen":
+            length = profile.seq_budget
+        elif source == "random":
+            length = profile.t0_length
+        else:
+            raise ValueError(f"unknown arm {source!r}")
+        result = api.compact_tests(
+            netlist, seed=seed, t0_source=source, t0_length=length,
+            comb_tests=comb.tests, workbench=wb)
+        arm_results[source] = ArmResult(
+            t0_source=source, t0_length=length, result=result,
+            seconds=time.time() - t0_started)
+
+    baseline4 = None
+    dynamic = None
+    if with_baselines:
+        baseline4 = api.baseline_static(netlist, seed=seed,
+                                        comb_tests=comb.tests,
+                                        workbench=wb)
+        dynamic = api.baseline_dynamic(netlist, seed=seed,
+                                       comb_tests=comb.tests,
+                                       workbench=wb)
+
+    transition: Dict[str, float] = {}
+    if with_transition:
+        tsim = TransitionSim(wb.circuit)
+        if baseline4 is not None:
+            transition["baseline4"] = tsim.coverage_percent(
+                baseline4.test_set)
+        for source, arm in arm_results.items():
+            final = arm.result.compacted_set or arm.result.test_set
+            transition[source] = tsim.coverage_percent(final)
+
+    return CircuitRun(
+        profile=profile,
+        n_ffs=netlist.num_ffs,
+        n_gates=netlist.num_gates,
+        n_faults=len(wb.faults),
+        n_detectable=len(comb.detectable),
+        comb_tests=len(comb.tests),
+        arms=arm_results,
+        baseline4=baseline4,
+        dynamic=dynamic,
+        transition=transition,
+        seconds=time.time() - started,
+    )
+
+
+def run_suite(
+    profiles: Optional[Sequence[CircuitProfile]] = None,
+    quick: bool = True,
+    seed: int = 1,
+    arms: Sequence[str] = ("seqgen", "random"),
+    with_baselines: bool = True,
+    with_transition: bool = False,
+    verbose: bool = False,
+) -> List[CircuitRun]:
+    """Run the whole suite; see :func:`run_circuit` for the knobs."""
+    if profiles is None:
+        profiles = suite(quick=quick)
+    runs = []
+    for profile in profiles:
+        run = run_circuit(profile, seed=seed, arms=arms,
+                          with_baselines=with_baselines,
+                          with_transition=with_transition)
+        if verbose:  # pragma: no cover - console feedback only
+            print(f"  {profile.name}: {run.seconds:.1f}s")
+        runs.append(run)
+    return runs

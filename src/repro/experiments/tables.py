@@ -1,0 +1,216 @@
+"""Regeneration of the paper's Tables 1-5 plus the extension tables.
+
+Each ``table*`` function turns a list of :class:`CircuitRun` into a
+:class:`~repro.experiments.reporting.Table` with the same columns the
+paper prints.  Where the paper reports a total (Table 3), so do we.
+Paper-published values, where the profile carries them, are available
+through :func:`paper_comparison` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.metrics import at_speed_stats
+from .reporting import Table
+from .runner import CircuitRun
+
+
+def _arm(run: CircuitRun, source: str):
+    arm = run.arms.get(source)
+    return arm.result if arm else None
+
+
+def table1(runs: Sequence[CircuitRun], source: str = "seqgen") -> Table:
+    """Table 1: faults detected by T0, by tau_seq, and by the final set."""
+    table = Table(f"Table 1: Detected faults (T0 source: {source})",
+                  ["circuit", "ff", "comb tsts", "flts",
+                   "T0", "scan", "final"])
+    for run in runs:
+        res = _arm(run, source)
+        if res is None:
+            continue
+        table.add_row(
+            run.name,
+            run.n_ffs,
+            run.comb_tests,
+            run.n_faults,
+            len(res.t0_detected),
+            len(res.seq_detected),
+            len(res.final_detected),
+        )
+    return table
+
+
+def table2(runs: Sequence[CircuitRun], source: str = "seqgen") -> Table:
+    """Table 2: sequence lengths and Phase-3 additions."""
+    table = Table(f"Table 2: Test lengths (T0 source: {source})",
+                  ["circuit", "T0 len", "scan len", "added c.tst"])
+    for run in runs:
+        res = _arm(run, source)
+        if res is None:
+            continue
+        table.add_row(run.name, res.t0_length, res.seq_length,
+                      res.added_tests)
+    return table
+
+
+def table3(runs: Sequence[CircuitRun]) -> Table:
+    """Table 3: clock cycles for every method.
+
+    Columns mirror the paper: the [2,3] dynamic baseline, the [4]
+    baseline before/after compaction, and the proposed procedure
+    before/after Phase 4 for both ``T0`` sources.
+    """
+    table = Table(
+        "Table 3: Numbers of clock cycles",
+        ["circuit", "[2,3]", "[4] init", "[4] comp",
+         "prop init", "prop comp", "rand init", "rand comp"])
+    totals = [0] * 7
+    have = [False] * 7
+    for run in runs:
+        cells: List[Optional[int]] = []
+        dyn = run.dynamic.test_set.clock_cycles() if run.dynamic else None
+        cells.append(dyn)
+        if run.baseline4:
+            cells.append(run.baseline4.stats.initial_cycles)
+            cells.append(run.baseline4.stats.final_cycles)
+        else:
+            cells.extend([None, None])
+        for source in ("seqgen", "random"):
+            res = _arm(run, source)
+            if res is None:
+                cells.extend([None, None])
+            else:
+                cells.append(res.initial_cycles())
+                cells.append(res.compacted_cycles())
+        table.add_row(run.name, *cells)
+        for i, cell in enumerate(cells):
+            if cell is not None:
+                totals[i] += cell
+                have[i] = True
+    table.add_row("total",
+                  *[totals[i] if have[i] else None for i in range(7)])
+    return table
+
+
+def table4(runs: Sequence[CircuitRun]) -> Table:
+    """Table 4: at-speed primary-input sequence lengths (ave / range)."""
+    table = Table(
+        "Table 4: At-speed test lengths",
+        ["circuit", "[4] ave", "[4] range",
+         "prop ave", "prop range", "rand ave", "rand range"])
+    for run in runs:
+        cells: List[Optional[object]] = []
+        if run.baseline4:
+            stats = at_speed_stats(run.baseline4.test_set)
+            cells.extend([stats.average, stats.range_str])
+        else:
+            cells.extend([None, None])
+        for source in ("seqgen", "random"):
+            res = _arm(run, source)
+            if res is None:
+                cells.extend([None, None])
+            else:
+                final = res.compacted_set or res.test_set
+                stats = at_speed_stats(final)
+                cells.extend([stats.average, stats.range_str])
+        table.add_row(run.name, *cells)
+    return table
+
+
+def table5(runs: Sequence[CircuitRun]) -> Table:
+    """Table 5: the random-T0 arm in detail."""
+    table = Table(
+        "Table 5: Results for random sequences",
+        ["circuit", "T0", "scan", "final",
+         "T0 len", "scan len", "added c.tst"])
+    for run in runs:
+        res = _arm(run, "random")
+        if res is None:
+            continue
+        table.add_row(
+            run.name,
+            len(res.t0_detected),
+            len(res.seq_detected),
+            len(res.final_detected),
+            res.t0_length,
+            res.seq_length,
+            res.added_tests,
+        )
+    return table
+
+
+def table_atspeed_coverage(runs: Sequence[CircuitRun]) -> Table:
+    """Extension E6: transition-fault coverage of the final test sets.
+
+    Quantifies the paper's at-speed claim: the long-sequence test sets
+    detect far more delay defects than the [4]-style sets.
+    """
+    table = Table(
+        "Extension: transition-fault coverage (%) of final test sets",
+        ["circuit", "[4]", "proposed", "rand"])
+    for run in runs:
+        table.add_row(
+            run.name,
+            run.transition.get("baseline4"),
+            run.transition.get("seqgen"),
+            run.transition.get("random"),
+        )
+    return table
+
+
+def all_tables(runs: Sequence[CircuitRun],
+               with_transition: bool = False) -> List[Table]:
+    """Every paper table (plus the extension when data is present)."""
+    tables = [table1(runs), table2(runs), table3(runs), table4(runs),
+              table5(runs)]
+    if with_transition or any(run.transition for run in runs):
+        tables.append(table_atspeed_coverage(runs))
+    return tables
+
+
+def paper_comparison(runs: Sequence[CircuitRun]) -> Table:
+    """Paper-published vs measured key figures, where known.
+
+    Used to fill EXPERIMENTS.md; absolute values are expected to
+    differ (synthetic stand-in circuits) while orderings should hold.
+    """
+    table = Table(
+        "Paper vs measured (key figures)",
+        ["circuit", "metric", "paper", "measured"])
+    for run in runs:
+        paper = run.profile.paper
+        res = _arm(run, "seqgen")
+        b4 = run.baseline4
+        rows = []
+        if "faults" in paper:
+            rows.append(("faults", paper["faults"], run.n_faults))
+        if res is not None:
+            if "t0_detected" in paper:
+                rows.append(("T0 detected", paper["t0_detected"],
+                             len(res.t0_detected)))
+            if "scan_detected" in paper:
+                rows.append(("tau_seq detected", paper["scan_detected"],
+                             len(res.seq_detected)))
+            if "added" in paper:
+                rows.append(("added tests", paper["added"],
+                             res.added_tests))
+            if "cycles_prop_init" in paper:
+                rows.append(("prop init cycles",
+                             paper["cycles_prop_init"],
+                             res.initial_cycles()))
+            if "cycles_prop_comp" in paper:
+                rows.append(("prop comp cycles",
+                             paper["cycles_prop_comp"],
+                             res.compacted_cycles()))
+        if b4 is not None:
+            if "cycles_4_init" in paper:
+                rows.append(("[4] init cycles", paper["cycles_4_init"],
+                             b4.stats.initial_cycles))
+            if "cycles_4_comp" in paper:
+                rows.append(("[4] comp cycles", paper["cycles_4_comp"],
+                             b4.stats.final_cycles))
+        for metric, expected, measured in rows:
+            table.add_row(run.name, metric, expected, measured)
+    return table

@@ -1,0 +1,13 @@
+"""Simulation substrate: 3-valued logic sim and stuck-at fault sim."""
+
+from .values import ZERO, ONE, X, vec, vec_str
+from .logicsim import CompiledCircuit, simulate_sequence, simulate_comb
+from .faults import Fault, FaultSet, all_faults, collapse
+from .fault_sim import FaultSimulator, SimRecords
+
+__all__ = [
+    "ZERO", "ONE", "X", "vec", "vec_str",
+    "CompiledCircuit", "simulate_sequence", "simulate_comb",
+    "Fault", "FaultSet", "all_faults", "collapse",
+    "FaultSimulator", "SimRecords",
+]

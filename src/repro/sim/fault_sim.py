@@ -1,0 +1,523 @@
+"""Bit-parallel parallel-fault sequential fault simulation.
+
+The simulator packs up to ``width - 1`` faulty machines plus the
+fault-free machine (always bit 0) into one pair of Python big-ints per
+net.  One pass over a sequence costs ``frames x gates x chunks`` big-int
+operations regardless of how many faults share a chunk.
+
+Two entry points cover all the needs of the compaction procedures:
+
+* :meth:`FaultSimulator.detect` -- which target faults does a test
+  ``(SI, T)`` (or a scan-less sequence) detect?  Supports early exit and
+  per-chunk retirement, used heavily by vector omission and combining.
+* :meth:`FaultSimulator.run_with_records` -- a single full pass that
+  records, per fault, the first frame with a primary-output difference
+  and, per frame, which faults would be caught by a scan-out at that
+  frame.  This turns the paper's Phase-1 Step 3 scan over all candidate
+  scan-out times into one simulation plus a cheap post-pass (the result
+  is identical to simulating every candidate, by construction).
+
+Detection semantics (see DESIGN.md section 4): a binary good/faulty
+difference at a primary output in any functional frame, or -- when a
+scan-out is performed -- a binary difference in the flip-flop state
+captured by the final frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from . import values as V
+from .faults import Fault, FaultSet
+from .logicsim import CompiledCircuit
+
+DEFAULT_WIDTH = 128
+
+
+@dataclass
+class _Chunk:
+    """Injection data for one word of packed faulty machines."""
+
+    indices: List[int]                 # global fault index of bit w+1
+    mask: int                          # all machine bits incl. good bit 0
+    stem0: Dict[int, int] = field(default_factory=dict)
+    stem1: Dict[int, int] = field(default_factory=dict)
+    stems: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    branch: Dict[int, List[Tuple[int, int, int]]] = field(
+        default_factory=dict)
+    ff_branch: List[Tuple[int, int, int]] = field(default_factory=list)
+    src_stem_ids: List[int] = field(default_factory=list)
+
+    def bit_of(self, position: int) -> int:
+        """Machine bit for the fault at local position ``position``."""
+        return 1 << (position + 1)
+
+
+@dataclass
+class SimRecords:
+    """Per-frame detection records from :meth:`FaultSimulator.run_with_records`.
+
+    Attributes
+    ----------
+    n_frames:
+        Number of simulated frames.
+    po_first:
+        For each detected-at-PO fault index, the first frame with a
+        binary primary-output difference.
+    scan_diff:
+        ``scan_diff[frame]`` is the set of fault indices whose captured
+        flip-flop state differs from the fault-free state after that
+        frame (i.e. a scan-out at ``frame`` detects them).
+    """
+
+    n_frames: int
+    po_first: Dict[int, int]
+    scan_diff: List[Set[int]]
+
+    def detected_with_scanout_at(self, frame: int) -> Set[int]:
+        """Faults detected by the test truncated to ``frame`` + scan-out."""
+        detected = {f for f, first in self.po_first.items() if first <= frame}
+        detected |= self.scan_diff[frame]
+        return detected
+
+    def earliest_safe_scanout(self, required: Set[int]) -> Tuple[int, Set[int]]:
+        """Smallest frame ``i`` whose truncated test detects ``required``.
+
+        Mirrors the paper's Step 3: scan candidates ``i = 0, 1, ...`` and
+        keep the first one that loses no fault of ``required``; at least
+        ``n_frames - 1`` always qualifies when ``required`` equals the
+        full-sequence detection set.
+
+        Returns ``(i, detected_at_i)``.
+
+        Raises
+        ------
+        ValueError
+            If not even the full sequence detects ``required``.
+        """
+        pending = set(required)
+        po_by_frame: List[Set[int]] = [set() for _ in range(self.n_frames)]
+        for fid, first in self.po_first.items():
+            if fid in pending:
+                po_by_frame[first].add(fid)
+        po_so_far: Set[int] = set()
+        for i in range(self.n_frames):
+            po_so_far |= po_by_frame[i]
+            missing = pending - po_so_far - self.scan_diff[i]
+            if not missing:
+                return i, self.detected_with_scanout_at(i)
+        raise ValueError(
+            f"{len(missing)} required faults not detected by the full test")
+
+
+class FaultSimulator:
+    """Parallel-fault simulator bound to one circuit and one fault set.
+
+    ``scan_positions`` turns the simulator into a *partial-scan* model:
+    scan-in vectors cover (and scan-outs observe) only the flip-flops
+    at those positions; the rest power up unknown and are never
+    directly observed.  ``None`` means full scan.
+    """
+
+    def __init__(self, circuit: CompiledCircuit, faults: FaultSet,
+                 width: int = DEFAULT_WIDTH,
+                 scan_positions: Optional[Sequence[int]] = None) -> None:
+        if width < 2:
+            raise ValueError("width must allow at least one faulty machine")
+        self.circuit = circuit
+        self.faults = faults
+        self.width = width
+        if scan_positions is None:
+            self.scan_positions: Optional[List[int]] = None
+            self.n_state_vars = len(circuit.ff_ids)
+        else:
+            self.scan_positions = sorted(scan_positions)
+            if self.scan_positions and (
+                    self.scan_positions[0] < 0 or
+                    self.scan_positions[-1] >= len(circuit.ff_ids)):
+                raise ValueError("scan position out of range")
+            self.n_state_vars = len(self.scan_positions)
+        net = circuit.netlist
+        ids = net.net_ids
+        self._source_ids = set(circuit.pi_ids) | set(circuit.ff_ids)
+        self._ff_pos = {name: i for i, name in enumerate(net.flip_flops)}
+        # Precompute per-fault injection spec:
+        #   ("stem", net_id) | ("branch", out_net_id, pin) | ("ff", ff_pos)
+        self._spec: List[Tuple] = []
+        for fault in faults:
+            if fault.pin is None:
+                self._spec.append(("stem", ids[fault.net]))
+            else:
+                gate_name, pin = fault.pin
+                gate = net.gates[gate_name]
+                if gate.gtype == "DFF":
+                    self._spec.append(("ff", self._ff_pos[gate_name]))
+                else:
+                    self._spec.append(("branch", ids[gate_name], pin))
+
+    # ------------------------------------------------------------------
+    def _build_chunks(self, indices: Sequence[int]) -> List[_Chunk]:
+        chunks: List[_Chunk] = []
+        per = self.width - 1
+        ordered = sorted(indices)
+        for start in range(0, len(ordered), per):
+            group = ordered[start:start + per]
+            chunk = _Chunk(indices=group, mask=(1 << (len(group) + 1)) - 1)
+            for pos, fid in enumerate(group):
+                bit = chunk.bit_of(pos)
+                spec = self._spec[fid]
+                stuck = self.faults[fid].stuck
+                if spec[0] == "stem":
+                    target = chunk.stem1 if stuck else chunk.stem0
+                    target[spec[1]] = target.get(spec[1], 0) | bit
+                elif spec[0] == "branch":
+                    m0 = bit if stuck == 0 else 0
+                    m1 = bit if stuck == 1 else 0
+                    chunk.branch.setdefault(spec[1], []).append(
+                        (spec[2], m0, m1))
+                else:  # ff data-pin branch fault
+                    m0 = bit if stuck == 0 else 0
+                    m1 = bit if stuck == 1 else 0
+                    chunk.ff_branch.append((spec[1], m0, m1))
+            chunk.stems = {
+                nid: (chunk.stem0.get(nid, 0), chunk.stem1.get(nid, 0))
+                for nid in set(chunk.stem0) | set(chunk.stem1)}
+            chunk.src_stem_ids = [
+                nid for nid in chunk.stems if nid in self._source_ids]
+            chunks.append(chunk)
+        return chunks
+
+    @staticmethod
+    def _apply_stem(chunk: _Chunk, zero: List[int], one: List[int],
+                    nid: int) -> None:
+        m0 = chunk.stem0.get(nid, 0)
+        m1 = chunk.stem1.get(nid, 0)
+        keep = chunk.mask & ~(m0 | m1)
+        zero[nid] = (zero[nid] & keep) | m0
+        one[nid] = (one[nid] & keep) | m1
+
+    def _init_words(self, chunk: _Chunk, init_state: V.Vector
+                    ) -> Tuple[List[int], List[int]]:
+        n = self.circuit.n_nets
+        zero = [0] * n
+        one = [0] * n
+        for nid, val in zip(self.circuit.ff_ids, init_state):
+            zero[nid], one[nid] = V.pack_scalar(val, chunk.mask)
+        return zero, one
+
+    def _load_frame(self, chunk: _Chunk, zero: List[int], one: List[int],
+                    vector: V.Vector) -> None:
+        for nid, val in zip(self.circuit.pi_ids, vector):
+            zero[nid], one[nid] = V.pack_scalar(val, chunk.mask)
+        for nid in chunk.src_stem_ids:
+            self._apply_stem(chunk, zero, one, nid)
+
+    def _next_state_words(self, chunk: _Chunk, zero: List[int],
+                          one: List[int]) -> Tuple[List[int], List[int]]:
+        ns_zero = [zero[nid] for nid in self.circuit.ff_d_ids]
+        ns_one = [one[nid] for nid in self.circuit.ff_d_ids]
+        for pos, m0, m1 in chunk.ff_branch:
+            keep = chunk.mask & ~(m0 | m1)
+            ns_zero[pos] = (ns_zero[pos] & keep) | m0
+            ns_one[pos] = (ns_one[pos] & keep) | m1
+        return ns_zero, ns_one
+
+    @staticmethod
+    def _diff_word(zero: int, one: int) -> int:
+        """Machines whose binary value differs from the good (bit 0) value."""
+        if one & 1:
+            return zero
+        if zero & 1:
+            return one
+        return 0
+
+    # ------------------------------------------------------------------
+    def _check_vectors(self, vectors: Sequence[V.Vector]) -> None:
+        n_pi = len(self.circuit.pi_ids)
+        for i, vector in enumerate(vectors):
+            if len(vector) != n_pi:
+                raise ValueError(
+                    f"vector {i} has width {len(vector)}, expected "
+                    f"{n_pi} primary inputs")
+
+    def embed_state(self, state: Optional[V.Vector]) -> V.Vector:
+        """Expand a scan-width state vector to full flip-flop width.
+
+        Under full scan this is the identity (modulo the all-X default
+        for ``None``); under partial scan the scanned values land at
+        their positions and every other flip-flop is X.
+        """
+        n_ff = len(self.circuit.ff_ids)
+        if state is None:
+            return V.all_x(n_ff)
+        if self.scan_positions is None:
+            if len(state) != n_ff:
+                raise ValueError(
+                    f"state width {len(state)} != {n_ff} flip-flops")
+            return tuple(state)
+        if len(state) != len(self.scan_positions):
+            raise ValueError(
+                f"state width {len(state)} != "
+                f"{len(self.scan_positions)} scanned flip-flops")
+        full = [V.X] * n_ff
+        for pos, val in zip(self.scan_positions, state):
+            full[pos] = val
+        return tuple(full)
+
+    def detect(
+        self,
+        vectors: Sequence[V.Vector],
+        init_state: Optional[V.Vector] = None,
+        target: Optional[Sequence[int]] = None,
+        scan_out: bool = True,
+        observe_po: bool = True,
+        early_exit: bool = True,
+        scan_observe: Optional[Sequence[int]] = None,
+    ) -> Set[int]:
+        """Fault indices (within ``target``) detected by the test.
+
+        Parameters
+        ----------
+        vectors:
+            The primary-input sequence ``T`` (binary or 3-valued).
+        init_state:
+            The scan-in vector ``SI``; ``None`` simulates without scan
+            from the all-X state (Phase-1 Step 1).
+        target:
+            Fault indices to simulate; defaults to the whole fault set.
+        scan_out:
+            When true, the flip-flop state captured by the last frame is
+            observed (the trailing scan-out operation).
+        observe_po:
+            When false, primary outputs are ignored (useful in tests).
+        early_exit:
+            Stop as soon as every target fault is detected.
+        scan_observe:
+            Flip-flop positions readable by the scan-out; ``None``
+            means all (full scan).  A partial-scan chain observes only
+            its scanned flip-flops.
+        """
+        if target is None:
+            target = range(len(self.faults))
+        self._check_vectors(vectors)
+        init_state = self.embed_state(init_state)
+        if scan_observe is None:
+            scan_observe = self.scan_positions
+        chunks = self._build_chunks(target)
+        detected: Set[int] = set()
+        last = len(vectors) - 1
+        for chunk in chunks:
+            zero, one = self._init_words(chunk, init_state)
+            caught = 0  # machine bits already detected in this chunk
+            for frame, vector in enumerate(vectors):
+                self._load_frame(chunk, zero, one, vector)
+                self.circuit.eval_frame(zero, one, chunk.mask,
+                                        chunk.stems, chunk.branch)
+                ns_zero, ns_one = self._next_state_words(chunk, zero, one)
+                if observe_po:
+                    for nid in self.circuit.po_ids:
+                        caught |= self._diff_word(zero[nid], one[nid])
+                if scan_out and frame == last:
+                    if scan_observe is None:
+                        for z, o in zip(ns_zero, ns_one):
+                            caught |= self._diff_word(z, o)
+                    else:
+                        for pos in scan_observe:
+                            caught |= self._diff_word(ns_zero[pos],
+                                                      ns_one[pos])
+                caught &= ~1
+                if early_exit and caught == chunk.mask & ~1:
+                    break
+                for nid, z, o in zip(self.circuit.ff_ids, ns_zero, ns_one):
+                    zero[nid], one[nid] = z, o
+            for pos, fid in enumerate(chunk.indices):
+                if caught & chunk.bit_of(pos):
+                    detected.add(fid)
+        return detected
+
+    # ------------------------------------------------------------------
+    def run_with_records(
+        self,
+        vectors: Sequence[V.Vector],
+        init_state: Optional[V.Vector] = None,
+        target: Optional[Sequence[int]] = None,
+        scan_observe: Optional[Sequence[int]] = None,
+    ) -> SimRecords:
+        """Full-sequence pass recording PO-first-detect and scan-out diffs.
+
+        One simulation of ``(init_state, vectors)`` that yields enough
+        information to evaluate *every* truncated test
+        ``(init_state, vectors[:i+1])`` exactly (paper Phase-1 Step 3).
+        """
+        if target is None:
+            target = range(len(self.faults))
+        self._check_vectors(vectors)
+        init_state = self.embed_state(init_state)
+        if scan_observe is None:
+            scan_observe = self.scan_positions
+        chunks = self._build_chunks(target)
+        n_frames = len(vectors)
+        po_first: Dict[int, int] = {}
+        scan_diff: List[Set[int]] = [set() for _ in range(n_frames)]
+        for chunk in chunks:
+            zero, one = self._init_words(chunk, init_state)
+            po_seen = 0
+            for frame, vector in enumerate(vectors):
+                self._load_frame(chunk, zero, one, vector)
+                self.circuit.eval_frame(zero, one, chunk.mask,
+                                        chunk.stems, chunk.branch)
+                ns_zero, ns_one = self._next_state_words(chunk, zero, one)
+                po_now = 0
+                for nid in self.circuit.po_ids:
+                    po_now |= self._diff_word(zero[nid], one[nid])
+                po_new = po_now & ~po_seen & ~1
+                if po_new:
+                    for pos, fid in enumerate(chunk.indices):
+                        if po_new & chunk.bit_of(pos):
+                            po_first[fid] = frame
+                    po_seen |= po_new
+                sdiff = 0
+                if scan_observe is None:
+                    for z, o in zip(ns_zero, ns_one):
+                        sdiff |= self._diff_word(z, o)
+                else:
+                    for pos in scan_observe:
+                        sdiff |= self._diff_word(ns_zero[pos],
+                                                 ns_one[pos])
+                sdiff &= ~1
+                if sdiff:
+                    frame_set = scan_diff[frame]
+                    for pos, fid in enumerate(chunk.indices):
+                        if sdiff & chunk.bit_of(pos):
+                            frame_set.add(fid)
+                for nid, z, o in zip(self.circuit.ff_ids, ns_zero, ns_one):
+                    zero[nid], one[nid] = z, o
+        return SimRecords(n_frames, po_first, scan_diff)
+
+    # ------------------------------------------------------------------
+    def incremental(self, init_state: Optional[V.Vector] = None,
+                    target: Optional[Sequence[int]] = None
+                    ) -> "IncrementalFaultSim":
+        """An :class:`IncrementalFaultSim` positioned at frame 0."""
+        return IncrementalFaultSim(self, init_state, target)
+
+    # ------------------------------------------------------------------
+    def detect_faults(self, vectors, init_state=None,
+                      target_faults: Optional[Sequence[Fault]] = None,
+                      **kwargs) -> Set[Fault]:
+        """Like :meth:`detect` but takes and returns :class:`Fault` objects."""
+        target = (None if target_faults is None
+                  else self.faults.indices(target_faults))
+        detected = self.detect(vectors, init_state, target, **kwargs)
+        return {self.faults[i] for i in detected}
+
+
+@dataclass
+class StepPreview:
+    """What one candidate vector would achieve (no state change)."""
+
+    new_po_detections: int
+    scan_diff_faults: int
+
+
+class IncrementalFaultSim:
+    """Frame-at-a-time fault simulation with lookahead.
+
+    Used by the sequential sequence generator: carries the good and
+    faulty machine state words across frames so a candidate next vector
+    can be evaluated (:meth:`preview`) or committed (:meth:`apply`) in
+    one combinational evaluation per chunk.
+
+    Detection here is PO-only (the no-scan setting of the paper's
+    ``T0`` generation); :meth:`scan_diff_count` exposes how many
+    undetected faults a scan-out *would* catch right now.
+    """
+
+    def __init__(self, parent: FaultSimulator,
+                 init_state: Optional[V.Vector] = None,
+                 target: Optional[Sequence[int]] = None) -> None:
+        self.parent = parent
+        circuit = parent.circuit
+        init_state = parent.embed_state(init_state)
+        if target is None:
+            target = range(len(parent.faults))
+        self.chunks = parent._build_chunks(target)
+        self._words = [parent._init_words(c, init_state)
+                       for c in self.chunks]
+        self._caught = [0] * len(self.chunks)
+        self.detected: Set[int] = set()
+        self.n_frames = 0
+
+    # ------------------------------------------------------------------
+    def _eval_chunk(self, chunk: _Chunk, zero: List[int], one: List[int],
+                    vector: V.Vector) -> Tuple[int, int, List[int],
+                                               List[int]]:
+        """Evaluate one frame for one chunk; returns
+        ``(po_diff, scan_diff, ns_zero, ns_one)``."""
+        parent = self.parent
+        parent._load_frame(chunk, zero, one, vector)
+        parent.circuit.eval_frame(zero, one, chunk.mask, chunk.stems,
+                                  chunk.branch)
+        ns_zero, ns_one = parent._next_state_words(chunk, zero, one)
+        po_diff = 0
+        for nid in parent.circuit.po_ids:
+            po_diff |= parent._diff_word(zero[nid], one[nid])
+        scan_diff = 0
+        for z, o in zip(ns_zero, ns_one):
+            scan_diff |= parent._diff_word(z, o)
+        return po_diff & ~1, scan_diff & ~1, ns_zero, ns_one
+
+    def preview(self, vector: V.Vector) -> StepPreview:
+        """Evaluate a candidate next vector without committing it."""
+        new_po = 0
+        sdiff_total = 0
+        for ci, chunk in enumerate(self.chunks):
+            zero, one = self._words[ci]
+            zc, oc = list(zero), list(one)
+            po_diff, scan_diff, _, _ = self._eval_chunk(chunk, zc, oc,
+                                                        vector)
+            fresh = po_diff & ~self._caught[ci]
+            new_po += bin(fresh).count("1")
+            sdiff_total += bin(scan_diff & ~self._caught[ci]).count("1")
+        return StepPreview(new_po, sdiff_total)
+
+    def apply(self, vector: V.Vector) -> Set[int]:
+        """Commit a vector; returns the newly PO-detected fault indices."""
+        newly: Set[int] = set()
+        for ci, chunk in enumerate(self.chunks):
+            zero, one = self._words[ci]
+            po_diff, _, ns_zero, ns_one = self._eval_chunk(chunk, zero,
+                                                           one, vector)
+            fresh = po_diff & ~self._caught[ci]
+            if fresh:
+                for pos, fid in enumerate(chunk.indices):
+                    if fresh & chunk.bit_of(pos):
+                        newly.add(fid)
+                self._caught[ci] |= fresh
+            for nid, z, o in zip(self.parent.circuit.ff_ids, ns_zero,
+                                 ns_one):
+                zero[nid], one[nid] = z, o
+        self.detected |= newly
+        self.n_frames += 1
+        return newly
+
+    def good_state(self) -> V.Vector:
+        """The fault-free machine's current flip-flop state."""
+        circuit = self.parent.circuit
+        if not self.chunks:
+            return V.all_x(len(circuit.ff_ids))
+        zero, one = self._words[0]
+        return tuple(V.word_scalar(zero[nid], one[nid])
+                     for nid in circuit.ff_ids)
+
+    def scan_diff_count(self) -> int:
+        """Undetected faults a scan-out right now would catch."""
+        total = 0
+        for ci, chunk in enumerate(self.chunks):
+            zero, one = self._words[ci]
+            sdiff = 0
+            for nid in self.parent.circuit.ff_ids:
+                sdiff |= self.parent._diff_word(zero[nid], one[nid])
+            total += bin(sdiff & ~1 & ~self._caught[ci]).count("1")
+        return total

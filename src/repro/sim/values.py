@@ -1,0 +1,108 @@
+"""Three-valued (0 / 1 / X) logic values and their bit-parallel encoding.
+
+Scalar values
+-------------
+Scalars are plain ints: :data:`ZERO` (0), :data:`ONE` (1), :data:`X` (2).
+Vectors (input vectors, states, scan vectors) are tuples of scalars.
+
+Word encoding
+-------------
+The simulators are *bit parallel*: every net carries a pair of Python
+integers ``(zero, one)`` where bit ``w`` of ``zero`` is set iff machine
+``w`` sees logic 0 on that net, and bit ``w`` of ``one`` iff it sees
+logic 1.  Neither bit set means X.  Both bits set is invalid.  Machine 0
+is, by convention, the fault-free machine.
+
+This encoding makes 3-valued gate evaluation a handful of big-int
+bitwise operations, independent of how many machines are packed in a
+word.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+ZERO = 0
+ONE = 1
+X = 2
+
+_CHAR_TO_VALUE = {"0": ZERO, "1": ONE, "x": X, "X": X, "-": X}
+_VALUE_TO_CHAR = {ZERO: "0", ONE: "1", X: "x"}
+
+Vector = Tuple[int, ...]
+
+
+def lit(char: str) -> int:
+    """Parse a single character ('0', '1', 'x', 'X' or '-') to a scalar."""
+    try:
+        return _CHAR_TO_VALUE[char]
+    except KeyError:
+        raise ValueError(f"invalid logic literal {char!r}") from None
+
+
+def vec(text: str) -> Vector:
+    """Parse a string like ``"01xx1"`` into a value vector."""
+    return tuple(lit(c) for c in text)
+
+
+def vec_str(vector: Sequence[int]) -> str:
+    """Render a value vector as a compact string."""
+    return "".join(_VALUE_TO_CHAR[v] for v in vector)
+
+
+def is_binary(vector: Sequence[int]) -> bool:
+    """True when the vector contains no X."""
+    return all(v in (ZERO, ONE) for v in vector)
+
+
+def pack_scalar(value: int, mask: int) -> Tuple[int, int]:
+    """Broadcast a scalar to all machines selected by ``mask``.
+
+    Returns the ``(zero, one)`` word pair.
+    """
+    if value == ZERO:
+        return mask, 0
+    if value == ONE:
+        return 0, mask
+    if value == X:
+        return 0, 0
+    raise ValueError(f"invalid scalar value {value!r}")
+
+
+def word_scalar(zero: int, one: int, machine: int = 0) -> int:
+    """Extract machine ``machine``'s scalar value from a word pair."""
+    bit = 1 << machine
+    if zero & bit:
+        return ZERO
+    if one & bit:
+        return ONE
+    return X
+
+
+def diff_mask(zero: int, one: int, good_value: int) -> int:
+    """Machines whose *binary* value differs from the good value.
+
+    A machine with an X value never differs (pessimistic detection);
+    a good value of X never produces a difference.
+    """
+    if good_value == ONE:
+        return zero
+    if good_value == ZERO:
+        return one
+    return 0
+
+
+def random_binary_vector(width: int, rng) -> Vector:
+    """A uniformly random fully-specified vector of length ``width``."""
+    return tuple(rng.randint(0, 1) for _ in range(width))
+
+
+def all_x(width: int) -> Vector:
+    """The all-X vector of length ``width``."""
+    return (X,) * width
+
+
+def fill_x(vector: Iterable[int], rng) -> Vector:
+    """Replace every X in ``vector`` with a random binary value."""
+    return tuple(v if v in (ZERO, ONE) else rng.randint(0, 1)
+                 for v in vector)

@@ -1,0 +1,97 @@
+"""Behavioural tests for the accumulator datapath circuit."""
+
+import random
+
+import pytest
+
+from repro.circuits.library import accumulator
+from repro.sim import values as V
+from repro.sim.logicsim import CompiledCircuit, simulate_sequence
+
+HOLD, LOAD, ADD, AND = (0, 0), (0, 1), (1, 0), (1, 1)
+
+
+def step(net, cc, acc, op, data, n):
+    """One instruction; returns (new_acc, po_frame)."""
+    vector = tuple(op) + tuple(data)
+    state = tuple(acc)
+    res = simulate_sequence(cc, [vector], state)
+    return list(res.final_state[:n]), res.po_frames[0]
+
+
+@pytest.fixture(scope="module")
+def accu():
+    net = accumulator(4)
+    return net, CompiledCircuit(net)
+
+
+def bits(value, n=4):
+    return [(value >> i) & 1 for i in range(n)]
+
+
+def val(bit_list):
+    return sum(b << i for i, b in enumerate(bit_list))
+
+
+class TestInstructions:
+    def test_load(self, accu):
+        net, cc = accu
+        acc, _ = step(net, cc, bits(0), LOAD, bits(11), 4)
+        assert val(acc) == 11
+
+    def test_hold(self, accu):
+        net, cc = accu
+        acc, _ = step(net, cc, bits(9), HOLD, bits(6), 4)
+        assert val(acc) == 9
+
+    def test_add(self, accu):
+        net, cc = accu
+        acc, _ = step(net, cc, bits(5), ADD, bits(9), 4)
+        assert val(acc) == 14
+
+    def test_add_wraps_with_carry(self, accu):
+        net, cc = accu
+        acc, po = step(net, cc, bits(12), ADD, bits(7), 4)
+        assert val(acc) == (12 + 7) % 16
+        cout = net.outputs.index("cout")
+        assert po[cout] == V.ONE
+
+    def test_and(self, accu):
+        net, cc = accu
+        acc, _ = step(net, cc, bits(0b1100), AND, bits(0b1010), 4)
+        assert val(acc) == 0b1000
+
+    def test_zero_flag(self, accu):
+        net, cc = accu
+        _, po = step(net, cc, bits(0), HOLD, bits(3), 4)
+        zero = net.outputs.index("zero")
+        assert po[zero] == V.ONE
+
+    def test_exhaustive_add_against_python(self, accu):
+        net, cc = accu
+        rng = random.Random(0)
+        for _ in range(50):
+            a, d = rng.randrange(16), rng.randrange(16)
+            acc, po = step(net, cc, bits(a), ADD, bits(d), 4)
+            assert val(acc) == (a + d) % 16, (a, d)
+            cout = net.outputs.index("cout")
+            assert (po[cout] == V.ONE) == (a + d >= 16), (a, d)
+
+    def test_program(self, accu):
+        """LOAD 5; ADD 3; AND 0b1110 -> 8."""
+        net, cc = accu
+        acc = bits(0)
+        for op, data in [(LOAD, 5), (ADD, 3), (AND, 0b1110)]:
+            acc, _ = step(net, cc, acc, op, bits(data), 4)
+        assert val(acc) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accumulator(1)
+
+    def test_full_flow(self, accu):
+        """The accumulator survives the whole compaction pipeline."""
+        from repro import api
+        net, cc = accu
+        result = api.compact_tests(net, seed=1, t0_length=80)
+        assert len(result.final_detected) > 0.9 * 100  # most faults

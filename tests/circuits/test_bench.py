@@ -1,0 +1,90 @@
+"""Unit tests for the .bench reader/writer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import bench, synth
+from repro.circuits.bench import BenchFormatError
+from repro.circuits.library import S27_BENCH
+
+
+class TestParse:
+    def test_s27_parses(self):
+        net = bench.loads(S27_BENCH, name="s27")
+        assert net.num_inputs == 4
+        assert net.num_outputs == 1
+        assert net.num_ffs == 3
+        assert net.num_gates == 10
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = """
+        # a comment
+        INPUT(a)   # trailing comment
+        OUTPUT(n)
+
+        n = NOT(a)
+        """
+        net = bench.loads(text)
+        assert net.num_gates == 1
+
+    def test_case_insensitive_types(self):
+        net = bench.loads("INPUT(a)\nOUTPUT(n)\nn = nand(a, a)\n")
+        assert net.gates["n"].gtype == "NAND"
+
+    def test_aliases(self):
+        net = bench.loads("INPUT(a)\nOUTPUT(n)\nb = BUFF(a)\n"
+                          "n = INV(b)\n")
+        assert net.gates["b"].gtype == "BUF"
+        assert net.gates["n"].gtype == "NOT"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(BenchFormatError, match="unknown gate type"):
+            bench.loads("INPUT(a)\nOUTPUT(n)\nn = MAJ(a, a, a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchFormatError, match="cannot parse"):
+            bench.loads("INPUT(a)\nthis is not bench\n")
+
+    def test_dff_multiple_fanins_rejected(self):
+        with pytest.raises(BenchFormatError, match="one fanin"):
+            bench.loads("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n")
+
+    def test_line_number_in_error(self):
+        with pytest.raises(BenchFormatError, match="line 3"):
+            bench.loads("INPUT(a)\nOUTPUT(a)\n???\n")
+
+    def test_const_gates(self):
+        net = bench.loads("INPUT(a)\nOUTPUT(o)\nc = CONST1()\n"
+                          "o = AND(a, c)\n")
+        assert net.gates["c"].gtype == "CONST1"
+
+
+class TestRoundTrip:
+    def test_s27_roundtrip(self):
+        net = bench.loads(S27_BENCH, name="s27")
+        again = bench.loads(bench.dumps(net), name="s27")
+        assert again.gates.keys() == net.gates.keys()
+        for name, gate in net.gates.items():
+            assert again.gates[name].gtype == gate.gtype
+            assert again.gates[name].fanins == gate.fanins
+        assert again.outputs == net.outputs
+
+    def test_file_roundtrip(self, tmp_path):
+        net = bench.loads(S27_BENCH, name="s27")
+        path = tmp_path / "s27.bench"
+        bench.dump(net, path)
+        again = bench.load(path)
+        assert again.name == "s27"
+        assert again.num_gates == net.num_gates
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6))
+    def test_synth_roundtrip_property(self, seed):
+        """Any generated circuit survives a dump/load cycle intact."""
+        net = synth.generate("rt", 3, 2, 3, 20, seed=seed)
+        again = bench.loads(bench.dumps(net))
+        assert again.gates.keys() == net.gates.keys()
+        for name, gate in net.gates.items():
+            assert again.gates[name].gtype == gate.gtype
+            assert again.gates[name].fanins == gate.fanins
+        assert set(again.outputs) == set(net.outputs)

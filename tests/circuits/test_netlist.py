@@ -1,0 +1,167 @@
+"""Unit tests for the netlist data model."""
+
+import pytest
+
+from repro.circuits.netlist import Gate, Netlist, NetlistError
+
+
+def build_toy():
+    net = Netlist("toy")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_dff("q", "d")
+    net.add_gate("n1", "AND", ["a", "b"])
+    net.add_gate("d", "XOR", ["n1", "q"])
+    net.add_output("d")
+    return net
+
+
+class TestConstruction:
+    def test_counts(self):
+        net = build_toy().compile()
+        assert net.num_inputs == 2
+        assert net.num_outputs == 1
+        assert net.num_ffs == 1
+        assert net.num_gates == 2
+        assert net.num_nets == 5
+
+    def test_inputs_order_preserved(self):
+        net = build_toy().compile()
+        assert net.inputs == ["a", "b"]
+        assert net.flip_flops == ["q"]
+
+    def test_double_drive_rejected(self):
+        net = build_toy()
+        with pytest.raises(NetlistError, match="driven twice"):
+            net.add_gate("n1", "OR", ["a", "b"])
+
+    def test_unknown_gate_type_rejected(self):
+        with pytest.raises(NetlistError, match="unknown gate type"):
+            Gate("x", "MUX", ["a", "b"])
+
+    def test_dff_arity_enforced(self):
+        with pytest.raises(NetlistError, match="exactly one fanin"):
+            Gate("q", "DFF", ["a", "b"])
+
+    def test_unary_arity_enforced(self):
+        with pytest.raises(NetlistError, match="must have one fanin"):
+            Gate("n", "NOT", ["a", "b"])
+
+    def test_variadic_needs_fanin(self):
+        with pytest.raises(NetlistError, match="at least one fanin"):
+            Gate("n", "AND", [])
+
+    def test_input_has_no_fanins(self):
+        with pytest.raises(NetlistError, match="no fanins"):
+            Gate("a", "INPUT", ["b"])
+
+    def test_const_values(self):
+        net = Netlist()
+        net.add_const("zero", 0)
+        net.add_const("one", 1)
+        net.add_gate("o", "OR", ["zero", "one"])
+        net.add_output("o")
+        net.compile()
+        assert net.gates["zero"].gtype == "CONST0"
+        assert net.gates["one"].gtype == "CONST1"
+
+    def test_const_bad_value(self):
+        net = Netlist()
+        with pytest.raises(NetlistError, match="0 or 1"):
+            net.add_const("c", 2)
+
+    def test_duplicate_output_idempotent(self):
+        net = build_toy()
+        net.add_output("d")
+        assert net.outputs == ["d"]
+
+
+class TestCompile:
+    def test_undriven_net_rejected(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("n", "NOT", ["missing"])
+        net.add_output("n")
+        with pytest.raises(NetlistError, match="never driven"):
+            net.compile()
+
+    def test_undriven_output_rejected(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_output("ghost")
+        with pytest.raises(NetlistError, match="never driven"):
+            net.compile()
+
+    def test_combinational_cycle_rejected(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("x", "AND", ["a", "y"])
+        net.add_gate("y", "OR", ["x", "a"])
+        net.add_output("y")
+        with pytest.raises(NetlistError, match="cycle"):
+            net.compile()
+
+    def test_feedback_through_dff_is_legal(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_dff("q", "d")
+        net.add_gate("d", "XOR", ["a", "q"])
+        net.add_output("d")
+        net.compile()  # must not raise
+        assert net.is_compiled()
+
+    def test_topological_order_property(self):
+        net = build_toy().compile()
+        position = {n: i for i, n in enumerate(net.order)}
+        for gname in net.order:
+            for fin in net.gates[gname].fanins:
+                if net.gates[fin].gtype in ("INPUT", "DFF"):
+                    continue
+                assert position[fin] < position[gname]
+
+    def test_levels(self):
+        net = build_toy().compile()
+        assert net.levels["a"] == 0
+        assert net.levels["q"] == 0
+        assert net.levels["n1"] == 1
+        assert net.levels["d"] == 2
+
+    def test_net_ids_dense(self):
+        net = build_toy().compile()
+        assert sorted(net.net_ids.values()) == list(range(net.num_nets))
+
+    def test_mutation_invalidates_compile(self):
+        net = build_toy().compile()
+        net.add_input("c")
+        assert not net.is_compiled()
+
+
+class TestUtilities:
+    def test_copy_is_independent(self):
+        net = build_toy().compile()
+        dup = net.copy()
+        dup.add_input("c")
+        assert "c" not in net.gates
+        assert dup.outputs == net.outputs
+
+    def test_stats(self):
+        stats = build_toy().compile().stats()
+        assert stats == {"inputs": 2, "outputs": 1, "ffs": 1,
+                         "gates": 2, "nets": 5}
+
+    def test_transitive_fanin_stops_at_ffs(self):
+        net = build_toy().compile()
+        cone = net.transitive_fanin(["d"])
+        assert set(cone) == {"a", "b", "d", "n1", "q"}
+
+    def test_transitive_fanin_through_ffs(self):
+        net = build_toy().compile()
+        cone = net.transitive_fanin(["q"], stop_at_ffs=False)
+        # q's data is d, whose cone includes everything.
+        assert set(cone) == {"a", "b", "d", "n1", "q"}
+
+    def test_fanout_map(self):
+        net = build_toy().compile()
+        assert net.fanout["a"] == ["n1"]
+        assert set(net.fanout["n1"]) == {"d"}
+        assert net.fanout["d"] == ["q"]

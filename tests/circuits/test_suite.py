@@ -1,0 +1,43 @@
+"""Tests for the paper benchmark suite definitions."""
+
+import pytest
+
+from repro.circuits import suite
+
+
+class TestSuite:
+    def test_quick_subset_of_full(self):
+        full = {p.name for p in suite.paper_suite()}
+        quick = {p.name for p in suite.quick_suite()}
+        assert quick <= full
+        assert len(quick) >= 3
+
+    def test_profiles_build_and_match_ff_counts(self):
+        for profile in suite.quick_suite():
+            net = profile.build()
+            if "ff" in profile.paper:
+                assert net.num_ffs == profile.paper["ff"], profile.name
+
+    def test_profile_lookup(self):
+        assert suite.profile("s27").name == "s27"
+        with pytest.raises(KeyError, match="unknown suite circuit"):
+            suite.profile("nonexistent")
+
+    def test_suite_flag(self):
+        assert len(suite.suite(quick=True)) < len(suite.suite(quick=False))
+
+    def test_builds_are_fresh_instances(self):
+        profile = suite.profile("s27")
+        assert profile.build() is not profile.build()
+
+    def test_paper_metadata_present_for_paper_circuits(self):
+        for profile in suite.paper_suite():
+            if profile.name == "s27":
+                continue  # s27 is our own exact-circuit addition
+            assert "faults" in profile.paper, profile.name
+            assert "ff" in profile.paper, profile.name
+
+    def test_budgets_positive(self):
+        for profile in suite.paper_suite():
+            assert profile.t0_length > 0
+            assert profile.seq_budget > 0

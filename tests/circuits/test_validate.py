@@ -1,0 +1,89 @@
+"""Tests for netlist validation checks."""
+
+import pytest
+
+from repro.circuits import validate
+from repro.circuits.netlist import Netlist
+from repro.circuits.validate import ERROR, WARNING
+
+
+def codes(net):
+    return {i.code for i in validate.check(net)}
+
+
+class TestChecks:
+    def test_clean_circuit(self, s27):
+        assert validate.check(s27) == []
+
+    def test_dangling_net(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("used", "NOT", ["a"])
+        net.add_gate("dead", "NOT", ["a"])
+        net.add_output("used")
+        assert "dangling-net" in codes(net)
+
+    def test_unused_input(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_gate("n", "NOT", ["a"])
+        net.add_output("n")
+        assert "unused-input" in codes(net)
+
+    def test_no_outputs(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("n", "NOT", ["a"])
+        issues = validate.check(net)
+        assert any(i.code == "no-outputs" and i.severity == ERROR
+                   for i in issues)
+
+    def test_duplicate_fanin(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("n", "AND", ["a", "a"])
+        net.add_output("n")
+        assert "duplicate-fanin" in codes(net)
+
+    def test_ff_outside_po_cone(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_dff("q", "d")          # q feeds only its own D logic
+        net.add_gate("d", "XOR", ["a", "q"])
+        net.add_gate("o", "NOT", ["a"])
+        net.add_output("o")
+        assert "ff-outside-po-cone" in codes(net)
+
+
+class TestAssertClean:
+    def test_raises_on_error(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("n", "NOT", ["a"])
+        with pytest.raises(ValueError, match="no-outputs"):
+            validate.assert_clean(net)
+
+    def test_warnings_tolerated_by_default(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("n", "AND", ["a", "a"])
+        net.add_output("n")
+        validate.assert_clean(net)  # warning only: no raise
+
+    def test_warnings_rejected_when_strict(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("n", "AND", ["a", "a"])
+        net.add_output("n")
+        with pytest.raises(ValueError, match="duplicate-fanin"):
+            validate.assert_clean(net, allow_warnings=False)
+
+    def test_issue_str(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_gate("n", "AND", ["a", "a"])
+        net.add_output("n")
+        issue = validate.check(net)[0]
+        assert "duplicate-fanin" in str(issue)
+        assert issue.severity == WARNING

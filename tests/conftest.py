@@ -1,0 +1,56 @@
+"""Shared fixtures: small circuits and prebuilt simulators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.circuits import library, synth
+from repro.sim.faults import FaultSet
+from repro.sim.logicsim import CompiledCircuit
+
+
+@pytest.fixture(scope="session")
+def s27():
+    return library.s27()
+
+
+@pytest.fixture(scope="session")
+def s27_bench():
+    """Workbench (circuit + faults + sims) for s27."""
+    return api.Workbench.for_netlist(library.s27())
+
+
+@pytest.fixture(scope="session")
+def small_synth():
+    """A small synthetic circuit: 4 PI, 3 PO, 4 FF (brute-forceable)."""
+    return synth.generate("small", 4, 3, 4, 30, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_bench(small_synth):
+    return api.Workbench.for_netlist(small_synth)
+
+
+@pytest.fixture(scope="session")
+def mid_synth():
+    """A mid-size synthetic circuit for integration tests."""
+    return synth.generate("mid", 3, 5, 10, 80, seed=9)
+
+
+@pytest.fixture(scope="session")
+def mid_bench(mid_synth):
+    return api.Workbench.for_netlist(mid_synth)
+
+
+@pytest.fixture(scope="session")
+def mid_comb(mid_bench):
+    """Combinational test set for the mid circuit (computed once)."""
+    from repro.atpg import comb_set
+    return comb_set.generate(mid_bench.circuit, mid_bench.faults, seed=1)
+
+
+@pytest.fixture(scope="session")
+def s27_comb(s27_bench):
+    from repro.atpg import comb_set
+    return comb_set.generate(s27_bench.circuit, s27_bench.faults, seed=1)

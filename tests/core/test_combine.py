@@ -1,0 +1,96 @@
+"""Tests for Phase 4 / [4]: static compaction by combining tests."""
+
+import pytest
+
+from repro.core.combine import static_compact
+from repro.core.scan_test import ScanTestSet, single_vector_test
+
+
+def initial_set(wb, comb):
+    return ScanTestSet(
+        len(wb.circuit.ff_ids),
+        [single_vector_test(t.state, t.pi) for t in comb.tests])
+
+
+def union_coverage(wb, test_set):
+    covered = set()
+    for test in test_set:
+        covered |= wb.sim.detect(list(test.vectors), test.scan_in,
+                                 early_exit=False)
+    return covered
+
+
+class TestStaticCompact:
+    def test_coverage_never_drops(self, s27_bench, s27_comb):
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        before = union_coverage(wb, initial)
+        result = static_compact(wb.sim, initial)
+        after = union_coverage(wb, result.test_set)
+        assert before <= after
+        assert before <= result.detected
+
+    def test_cycles_never_increase(self, s27_bench, s27_comb):
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        result = static_compact(wb.sim, initial)
+        assert result.test_set.clock_cycles() <= initial.clock_cycles()
+        assert result.stats.initial_cycles == initial.clock_cycles()
+        assert result.stats.final_cycles == \
+            result.test_set.clock_cycles()
+
+    def test_total_vectors_preserved(self, s27_bench, s27_comb):
+        """Combining never adds or removes primary input vectors."""
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        result = static_compact(wb.sim, initial)
+        assert result.test_set.total_vectors() == \
+            initial.total_vectors()
+
+    def test_accepted_count_matches_test_reduction(self, s27_bench,
+                                                   s27_comb):
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        result = static_compact(wb.sim, initial)
+        assert result.stats.initial_tests - result.stats.final_tests == \
+            result.stats.combinations_accepted
+
+    def test_input_not_mutated(self, s27_bench, s27_comb):
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        n_before = len(initial)
+        static_compact(wb.sim, initial)
+        assert len(initial) == n_before
+
+    def test_max_sequence_length_respected(self, s27_bench, s27_comb):
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        result = static_compact(wb.sim, initial, max_sequence_length=2)
+        assert all(t.length <= 2 for t in result.test_set)
+
+    def test_idempotent_on_compacted(self, s27_bench, s27_comb):
+        """Compacting a compacted set achieves nothing further with
+        the same pair ordering."""
+        wb = s27_bench
+        first = static_compact(wb.sim, initial_set(wb, s27_comb))
+        second = static_compact(wb.sim, first.test_set)
+        assert len(second.test_set) == len(first.test_set)
+
+    def test_target_restriction(self, s27_bench, s27_comb):
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        target = set(range(0, len(wb.faults), 2))
+        result = static_compact(wb.sim, initial, target=target)
+        after = union_coverage(wb, result.test_set) & target
+        before = union_coverage(wb, initial) & target
+        assert before <= after
+
+    def test_synthetic_circuit(self, mid_bench, mid_comb):
+        wb = mid_bench
+        initial = ScanTestSet(
+            len(wb.circuit.ff_ids),
+            [single_vector_test(t.state, t.pi) for t in mid_comb.tests])
+        before = union_coverage(wb, initial)
+        result = static_compact(wb.sim, initial)
+        assert before <= union_coverage(wb, result.test_set)
+        assert result.test_set.clock_cycles() <= initial.clock_cycles()

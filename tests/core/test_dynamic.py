@@ -1,0 +1,57 @@
+"""Tests for the dynamic compaction baseline."""
+
+import pytest
+
+from repro.core.dynamic import dynamic_compact
+from repro.core.scan_test import ScanTestSet, single_vector_test
+
+
+class TestDynamic:
+    def test_complete_coverage_of_coverable(self, s27_bench, s27_comb):
+        wb = s27_bench
+        result = dynamic_compact(wb.sim, wb.comb_sim, s27_comb.tests)
+        covered = set()
+        for test in result.test_set:
+            covered |= wb.sim.detect(list(test.vectors), test.scan_in,
+                                     early_exit=False)
+        assert result.detected <= covered
+        assert result.detected | result.uncovered == \
+            set(range(len(wb.faults)))
+
+    def test_beats_naive_application(self, s27_bench, s27_comb):
+        """Dynamic compaction must never cost more than applying the
+        combinational set test by test."""
+        wb = s27_bench
+        naive = ScanTestSet(
+            len(wb.circuit.ff_ids),
+            [single_vector_test(t.state, t.pi) for t in s27_comb.tests])
+        result = dynamic_compact(wb.sim, wb.comb_sim, s27_comb.tests)
+        assert result.test_set.clock_cycles() <= naive.clock_cycles()
+
+    def test_extension_cap(self, s27_bench, s27_comb):
+        wb = s27_bench
+        result = dynamic_compact(wb.sim, wb.comb_sim, s27_comb.tests,
+                                 max_extension=2)
+        assert all(t.length <= 2 for t in result.test_set)
+
+    def test_default_cap_is_nsv(self, s27_bench, s27_comb):
+        wb = s27_bench
+        result = dynamic_compact(wb.sim, wb.comb_sim, s27_comb.tests)
+        n_sv = len(wb.circuit.ff_ids)
+        assert all(t.length <= max(n_sv, 2) for t in result.test_set)
+
+    def test_empty_test_set_rejected(self, s27_bench):
+        with pytest.raises(ValueError, match="empty"):
+            dynamic_compact(s27_bench.sim, s27_bench.comb_sim, [])
+
+    def test_deterministic(self, s27_bench, s27_comb):
+        wb = s27_bench
+        a = dynamic_compact(wb.sim, wb.comb_sim, s27_comb.tests)
+        b = dynamic_compact(wb.sim, wb.comb_sim, s27_comb.tests)
+        assert [t.vectors for t in a.test_set] == \
+            [t.vectors for t in b.test_set]
+
+    def test_mid_circuit(self, mid_bench, mid_comb):
+        wb = mid_bench
+        result = dynamic_compact(wb.sim, wb.comb_sim, mid_comb.tests)
+        assert result.detected >= mid_comb.detected - result.uncovered

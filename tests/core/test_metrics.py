@@ -1,0 +1,64 @@
+"""Tests for the metrics helpers (Tables 3/4 arithmetic)."""
+
+import pytest
+
+from repro.core.metrics import (AtSpeedStats, Coverage, at_speed_stats,
+                                clock_cycles, coverage)
+from repro.core.scan_test import ScanTest, ScanTestSet
+from repro.sim import values as V
+
+
+def ts(lengths, n_sv=5):
+    return ScanTestSet(n_sv, [
+        ScanTest((V.ZERO,) * n_sv, tuple((V.ONE,) for _ in range(n)))
+        for n in lengths])
+
+
+class TestAtSpeedStats:
+    def test_basic(self):
+        stats = at_speed_stats(ts([1, 3, 8]))
+        assert stats.average == 4.0
+        assert stats.minimum == 1
+        assert stats.maximum == 8
+        assert stats.range_str == "1-8"
+        assert stats.tests == 3
+        assert stats.pairs == 0 + 2 + 7
+
+    def test_rounding(self):
+        stats = at_speed_stats(ts([1, 2, 2]))
+        assert stats.average == pytest.approx(1.67, abs=0.01)
+
+    def test_single_long_test(self):
+        stats = at_speed_stats(ts([68]))
+        assert stats.range_str == "68-68"
+        assert stats.pairs == 67
+
+
+class TestClockCycles:
+    def test_matches_test_set_method(self):
+        set_ = ts([2, 5], n_sv=7)
+        assert clock_cycles(set_) == set_.clock_cycles() == \
+            3 * 7 + 7
+
+
+class TestCoverage:
+    def test_percentages(self):
+        cov = coverage({1, 2, 3}, total=10, detectable={1, 2, 3, 4})
+        assert cov.percent_total == 30.0
+        assert cov.percent_detectable == 75.0
+        assert not cov.complete()
+
+    def test_complete_against_detectable(self):
+        cov = coverage({1, 2}, total=10, detectable={1, 2})
+        assert cov.complete()
+        assert cov.percent_detectable == 100.0
+
+    def test_no_detectable_falls_back_to_total(self):
+        cov = coverage({1}, total=4)
+        assert cov.percent_detectable == 25.0
+        assert not cov.complete()
+
+    def test_empty_totals(self):
+        cov = Coverage(detected=0, total=0)
+        assert cov.percent_total == 0.0
+        assert cov.complete()

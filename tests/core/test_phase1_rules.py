@@ -1,0 +1,67 @@
+"""Tests for the Step-3 scan-out rule variants (paper Section 3.1)."""
+
+import pytest
+
+from repro.atpg import random_gen
+from repro.core import phase1
+from repro.sim import values as V
+
+
+def setup_case(wb, length, seed):
+    t0 = random_gen.random_sequence(wb.circuit, length, seed=seed)
+    scan_in = random_gen.random_state(wb.circuit, seed=seed + 1)
+    f_si = wb.sim.detect(t0, scan_in, early_exit=False)
+    return t0, tuple(scan_in), f_si
+
+
+class TestMaxCoverageRule:
+    def test_detects_at_least_earliest(self, s27_bench):
+        wb = s27_bench
+        t0, scan_in, f_si = setup_case(wb, 30, 21)
+        u0, det0 = phase1.select_scan_out(wb.sim, scan_in, t0, f_si,
+                                          rule="earliest")
+        u1, det1 = phase1.select_scan_out(wb.sim, scan_in, t0, f_si,
+                                          rule="max_coverage")
+        assert len(det1) >= len(det0)
+        assert f_si <= det0
+        assert f_si <= det1
+
+    def test_max_coverage_is_actually_maximal(self, s27_bench):
+        wb = s27_bench
+        t0, scan_in, f_si = setup_case(wb, 25, 22)
+        u1, det1 = phase1.select_scan_out(wb.sim, scan_in, t0, f_si,
+                                          rule="max_coverage")
+        # Check against every candidate by direct truncation sims.
+        best = 0
+        for i in range(len(t0)):
+            det = wb.sim.detect(t0[:i + 1], scan_in, early_exit=False)
+            if f_si <= det:
+                best = max(best, len(det))
+        assert len(det1) == best
+
+    def test_earliest_is_never_later(self, s27_bench):
+        wb = s27_bench
+        t0, scan_in, f_si = setup_case(wb, 25, 23)
+        u0, _ = phase1.select_scan_out(wb.sim, scan_in, t0, f_si,
+                                       rule="earliest")
+        u1, _ = phase1.select_scan_out(wb.sim, scan_in, t0, f_si,
+                                       rule="max_coverage")
+        assert u0 <= u1 or u0 == u1 or u0 < len(t0)
+
+    def test_unknown_rule_rejected(self, s27_bench):
+        wb = s27_bench
+        t0, scan_in, f_si = setup_case(wb, 10, 24)
+        with pytest.raises(ValueError, match="unknown scan-out rule"):
+            phase1.select_scan_out(wb.sim, scan_in, t0, f_si,
+                                   rule="latest")
+
+    def test_rule_threads_through_run_phase1(self, s27_bench, s27_comb):
+        wb = s27_bench
+        t0 = random_gen.random_sequence(wb.circuit, 20, seed=25)
+        flags = [False] * len(s27_comb.tests)
+        r0 = phase1.run_phase1(wb.sim, t0, s27_comb.tests, flags,
+                               scan_out_rule="earliest")
+        r1 = phase1.run_phase1(wb.sim, t0, s27_comb.tests, flags,
+                               scan_out_rule="max_coverage")
+        assert r0.chosen_index == r1.chosen_index  # Step 2 unchanged
+        assert len(r1.f_so) >= len(r0.f_so)

@@ -1,0 +1,106 @@
+"""End-to-end tests for the proposed four-phase procedure."""
+
+import pytest
+
+from repro.atpg import random_gen
+from repro.core.proposed import run as run_proposed
+
+
+@pytest.fixture(scope="module")
+def s27_result(s27_bench, s27_comb):
+    wb = s27_bench
+    t0 = random_gen.random_sequence(wb.circuit, 40, seed=2)
+    return run_proposed(wb.sim, wb.comb_sim, t0, s27_comb.tests)
+
+
+class TestInvariants:
+    def test_detection_chain(self, s27_result):
+        res = s27_result
+        assert res.seq_detected <= res.final_detected
+
+    def test_final_set_achieves_claimed_coverage(self, s27_bench,
+                                                 s27_result):
+        wb, res = s27_bench, s27_result
+        covered = set()
+        for test in res.test_set:
+            covered |= wb.sim.detect(list(test.vectors), test.scan_in,
+                                     early_exit=False)
+        assert res.final_detected <= covered
+
+    def test_complete_coverage_of_detectable(self, s27_bench, s27_comb,
+                                             s27_result):
+        res = s27_result
+        detectable = s27_comb.detectable
+        assert res.final_detected >= detectable - res.uncovered
+
+    def test_tau_seq_is_first_test(self, s27_result):
+        assert s27_result.test_set[0] == s27_result.tau_seq
+
+    def test_added_count(self, s27_result):
+        res = s27_result
+        assert len(res.test_set) == 1 + res.added_tests
+
+    def test_seq_no_longer_than_t0(self, s27_result):
+        assert s27_result.seq_length <= s27_result.t0_length
+
+    def test_phase4_never_worse(self, s27_bench, s27_result):
+        res = s27_result
+        assert res.compacted_cycles() <= res.initial_cycles()
+
+    def test_phase4_coverage_preserved(self, s27_bench, s27_result):
+        wb, res = s27_bench, s27_result
+        covered = set()
+        for test in res.compacted_set:
+            covered |= wb.sim.detect(list(test.vectors), test.scan_in,
+                                     early_exit=False)
+        assert res.final_detected <= covered
+
+    def test_iteration_log_present(self, s27_result):
+        assert len(s27_result.iterations) >= 1
+        log = s27_result.iterations[0]
+        assert log.length_after <= log.length_before
+
+
+class TestKnobs:
+    def test_phase4_optional(self, s27_bench, s27_comb):
+        wb = s27_bench
+        t0 = random_gen.random_sequence(wb.circuit, 20, seed=3)
+        res = run_proposed(wb.sim, wb.comb_sim, t0, s27_comb.tests,
+                           run_phase4=False)
+        assert res.compacted_set is None
+        assert res.compacted_cycles() == res.initial_cycles()
+
+    def test_max_iterations_cap(self, s27_bench, s27_comb):
+        wb = s27_bench
+        t0 = random_gen.random_sequence(wb.circuit, 20, seed=4)
+        res = run_proposed(wb.sim, wb.comb_sim, t0, s27_comb.tests,
+                           max_iterations=1)
+        assert len(res.iterations) == 1
+
+    def test_empty_inputs_rejected(self, s27_bench, s27_comb):
+        wb = s27_bench
+        with pytest.raises(ValueError, match="T0 is empty"):
+            run_proposed(wb.sim, wb.comb_sim, [], s27_comb.tests)
+        with pytest.raises(ValueError, match="test set is empty"):
+            run_proposed(wb.sim, wb.comb_sim,
+                         random_gen.random_sequence(wb.circuit, 5), [])
+
+    def test_deterministic(self, s27_bench, s27_comb):
+        wb = s27_bench
+        t0 = random_gen.random_sequence(wb.circuit, 25, seed=5)
+        a = run_proposed(wb.sim, wb.comb_sim, t0, s27_comb.tests)
+        b = run_proposed(wb.sim, wb.comb_sim, t0, s27_comb.tests)
+        assert a.initial_cycles() == b.initial_cycles()
+        assert a.tau_seq == b.tau_seq
+
+
+class TestMidCircuit:
+    def test_full_pipeline(self, mid_bench, mid_comb):
+        wb = mid_bench
+        t0 = random_gen.random_sequence(wb.circuit, 80, seed=6)
+        res = run_proposed(wb.sim, wb.comb_sim, t0, mid_comb.tests)
+        detectable = mid_comb.detectable
+        assert res.final_detected >= detectable - res.uncovered
+        assert res.compacted_cycles() <= res.initial_cycles()
+        # The whole point: tau_seq carries a long at-speed sequence.
+        assert res.tau_seq.length > 1

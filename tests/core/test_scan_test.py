@@ -1,0 +1,108 @@
+"""Tests for scan test datatypes and the cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scan_test import ScanTest, ScanTestSet, single_vector_test
+from repro.sim import values as V
+
+
+def make_test(n_ff, lengths_pi, length):
+    return ScanTest((V.ZERO,) * n_ff,
+                    tuple((V.ONE,) * lengths_pi for _ in range(length)))
+
+
+class TestScanTest:
+    def test_needs_vectors(self):
+        with pytest.raises(ValueError, match="at least one vector"):
+            ScanTest((V.ZERO,), ())
+
+    def test_length(self):
+        assert make_test(3, 4, 5).length == 5
+
+    def test_combined_with(self):
+        a = make_test(3, 4, 2)
+        b = ScanTest((V.ONE,) * 3, ((V.ZERO,) * 4,))
+        c = a.combined_with(b)
+        assert c.scan_in == a.scan_in       # SI_j dropped
+        assert c.length == 3                # sequences concatenated
+        assert c.vectors[:2] == a.vectors
+
+    def test_expected_scan_out(self, s27_bench):
+        test = ScanTest(V.vec("000"), (V.vec("0000"), V.vec("1111")))
+        so = test.expected_scan_out(s27_bench.circuit)
+        assert len(so) == 3
+
+    def test_hashable(self):
+        assert make_test(2, 2, 1) == make_test(2, 2, 1)
+        assert hash(make_test(2, 2, 1)) == hash(make_test(2, 2, 1))
+
+
+class TestCostModel:
+    def test_paper_formula(self):
+        """N_cyc = (k+1) N_SV + sum L(T_j) -- paper Section 2."""
+        ts = ScanTestSet(10, [make_test(10, 2, 3), make_test(10, 2, 7)])
+        assert ts.clock_cycles() == (2 + 1) * 10 + (3 + 7)
+
+    def test_empty_set_costs_nothing(self):
+        assert ScanTestSet(10).clock_cycles() == 0
+
+    def test_single_test(self):
+        ts = ScanTestSet(4, [make_test(4, 1, 6)])
+        assert ts.clock_cycles() == 2 * 4 + 6
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=10),
+           st.integers(1, 100))
+    def test_combining_always_saves_nsv(self, lengths, n_sv):
+        """Combining two tests removes exactly one scan operation."""
+        tests = [make_test(n_sv, 1, length) for length in lengths]
+        ts = ScanTestSet(n_sv, tests)
+        if len(tests) >= 2:
+            combined = tests[0].combined_with(tests[1])
+            ts2 = ScanTestSet(n_sv, [combined] + tests[2:])
+            assert ts.clock_cycles() - ts2.clock_cycles() == n_sv
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="scan-in width"):
+            ScanTestSet(3, [make_test(2, 1, 1)])
+
+    def test_add_checks_width(self):
+        ts = ScanTestSet(3)
+        with pytest.raises(ValueError):
+            ts.add(make_test(2, 1, 1))
+
+
+class TestStats:
+    def test_average_and_range(self):
+        ts = ScanTestSet(4, [make_test(4, 1, 1), make_test(4, 1, 9)])
+        assert ts.average_length() == 5.0
+        assert ts.length_range() == (1, 9)
+
+    def test_empty_stats(self):
+        ts = ScanTestSet(4)
+        assert ts.average_length() == 0.0
+        assert ts.length_range() == (0, 0)
+
+    def test_at_speed_pairs(self):
+        """sum(L-1): length-1 tests contribute no at-speed pairs."""
+        ts = ScanTestSet(4, [make_test(4, 1, 1), make_test(4, 1, 9)])
+        assert ts.at_speed_pairs() == 0 + 8
+
+    def test_replaced(self):
+        tests = [make_test(4, 1, i + 1) for i in range(3)]
+        ts = ScanTestSet(4, tests)
+        combined = tests[0].combined_with(tests[2])
+        ts2 = ts.replaced(0, 2, combined)
+        assert len(ts2) == 2
+        assert ts2[0] == combined
+
+    def test_copy_independent(self):
+        ts = ScanTestSet(4, [make_test(4, 1, 1)])
+        dup = ts.copy()
+        dup.add(make_test(4, 1, 2))
+        assert len(ts) == 1
+
+    def test_single_vector_test(self):
+        t = single_vector_test((V.ZERO, V.ONE), (V.ONE,))
+        assert t.length == 1
+        assert t.scan_in == (V.ZERO, V.ONE)

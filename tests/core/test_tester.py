@@ -1,0 +1,96 @@
+"""Tests for cycle-accurate tester program generation and execution."""
+
+import pytest
+
+from repro import api
+from repro.core import tester
+from repro.core.scan_test import ScanTest, ScanTestSet
+from repro.sim import values as V
+
+
+def small_set(wb, seed=3):
+    from repro.atpg import random_gen
+    tests = []
+    for i in range(3):
+        si = random_gen.random_state(wb.circuit, seed=seed + i)
+        vectors = tuple(random_gen.random_sequence(
+            wb.circuit, 2 + i, seed=seed + 10 + i))
+        tests.append(ScanTest(tuple(si), vectors))
+    return ScanTestSet(len(wb.circuit.ff_ids), tests)
+
+
+class TestSchedule:
+    def test_length_equals_cost_model(self, s27_bench):
+        """The program length IS the paper's N_cyc, by construction."""
+        wb = s27_bench
+        ts = small_set(wb)
+        program = tester.schedule(ts, wb.circuit)
+        assert len(program) == ts.clock_cycles()
+
+    def test_cycle_breakdown(self, s27_bench):
+        wb = s27_bench
+        ts = small_set(wb)
+        program = tester.schedule(ts, wb.circuit)
+        assert program.n_shift_cycles == (len(ts) + 1) * 3
+        assert program.n_functional_cycles == ts.total_vectors()
+
+    def test_empty_set_rejected(self, s27_bench):
+        with pytest.raises(ValueError, match="empty"):
+            tester.schedule(ScanTestSet(3), s27_bench.circuit)
+
+    def test_width_mismatch_rejected(self, s27_bench, mid_bench):
+        ts = small_set(s27_bench)
+        with pytest.raises(ValueError, match="width"):
+            tester.schedule(ts, mid_bench.circuit)
+
+    def test_first_scanin_has_masked_output(self, s27_bench):
+        wb = s27_bench
+        program = tester.schedule(small_set(wb), wb.circuit)
+        for cycle in program.cycles[:3]:
+            assert cycle.kind == tester.SHIFT
+            assert cycle.expected_scan_out_bit == V.X
+
+
+class TestExecute:
+    def test_fault_free_program_passes(self, s27_bench):
+        """Closing the loop: the program's expected responses must be
+        exactly what the circuit produces."""
+        wb = s27_bench
+        ts = small_set(wb)
+        program = tester.schedule(ts, wb.circuit)
+        result = tester.execute(program, wb.circuit)
+        assert result.passed, (result.scan_mismatches,
+                               result.po_mismatches)
+        assert result.cycles_run == len(program)
+
+    def test_compacted_set_passes_end_to_end(self, s27_bench, s27_comb):
+        """The full pipeline output survives cycle-accurate replay."""
+        wb = s27_bench
+        res = api.compact_tests(wb.netlist, seed=1, t0_length=30,
+                                comb_tests=s27_comb.tests, workbench=wb)
+        final = res.compacted_set or res.test_set
+        program = tester.schedule(final, wb.circuit)
+        assert len(program) == final.clock_cycles()
+        assert tester.execute(program, wb.circuit).passed
+
+    def test_corrupted_expectation_caught(self, s27_bench):
+        wb = s27_bench
+        ts = small_set(wb)
+        program = tester.schedule(ts, wb.circuit)
+        # Flip one expected scan-out bit (the final scan-out is fully
+        # specified).
+        idx = len(program.cycles) - 1
+        old = program.cycles[idx]
+        flipped = 1 - old.expected_scan_out_bit \
+            if old.expected_scan_out_bit in (0, 1) else 1
+        program.cycles[idx] = tester.TesterCycle(
+            tester.SHIFT, scan_in_bit=old.scan_in_bit,
+            expected_scan_out_bit=flipped)
+        result = tester.execute(program, wb.circuit)
+        assert not result.passed
+
+    def test_mid_circuit_roundtrip(self, mid_bench):
+        wb = mid_bench
+        ts = small_set(wb, seed=9)
+        program = tester.schedule(ts, wb.circuit)
+        assert tester.execute(program, wb.circuit).passed

@@ -1,0 +1,73 @@
+"""Tests for tester-program serialization."""
+
+import pytest
+
+from repro.core import tester, testio
+from repro.core.scan_test import ScanTest, ScanTestSet
+from repro.sim import values as V
+
+
+@pytest.fixture()
+def program(s27_bench):
+    wb = s27_bench
+    ts = ScanTestSet(3, [
+        ScanTest(V.vec("010"), (V.vec("1100"), V.vec("0011"))),
+        ScanTest(V.vec("111"), (V.vec("1010"),)),
+    ])
+    return tester.schedule(ts, wb.circuit)
+
+
+class TestRoundTrip:
+    def test_dumps_loads_identity(self, program):
+        again = testio.loads(testio.dumps(program))
+        assert again.n_state_vars == program.n_state_vars
+        assert len(again) == len(program)
+        for a, b in zip(again.cycles, program.cycles):
+            assert a == b
+
+    def test_file_roundtrip(self, program, tmp_path):
+        path = tmp_path / "prog.rtp"
+        testio.dump(program, path)
+        again = testio.load(path)
+        assert again.cycles == program.cycles
+
+    def test_roundtripped_program_still_executes(self, program,
+                                                 s27_bench):
+        again = testio.loads(testio.dumps(program))
+        assert tester.execute(again, s27_bench.circuit).passed
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(testio.TestProgramFormatError, match="empty"):
+            testio.loads("# only a comment\n")
+
+    def test_missing_header(self):
+        with pytest.raises(testio.TestProgramFormatError,
+                           match="PROGRAM header"):
+            testio.loads("SHIFT in=1 out=x\n")
+
+    def test_bad_cycle_kind(self, program):
+        text = testio.dumps(program).replace("SHIFT", "SPIN", 1)
+        with pytest.raises(testio.TestProgramFormatError,
+                           match="unknown cycle kind"):
+            testio.loads(text)
+
+    def test_cycle_count_mismatch(self, program):
+        text = testio.dumps(program)
+        # Drop the last cycle line.
+        text = "\n".join(text.splitlines()[:-1]) + "\n"
+        with pytest.raises(testio.TestProgramFormatError,
+                           match="cycles"):
+            testio.loads(text)
+
+    def test_bad_logic_char(self, program):
+        text = testio.dumps(program).replace("in=1", "in=7", 1)
+        with pytest.raises(testio.TestProgramFormatError,
+                           match="malformed"):
+            testio.loads(text)
+
+    def test_line_numbers_in_errors(self, program):
+        text = testio.dumps(program).replace("SHIFT", "SPIN", 1)
+        with pytest.raises(testio.TestProgramFormatError, match="line 3"):
+            testio.loads(text)

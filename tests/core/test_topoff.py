@@ -1,0 +1,68 @@
+"""Tests for Phase 3: top-off test selection."""
+
+import pytest
+
+from repro.core.topoff import top_off
+from repro.sim.comb_sim import CombPatternSim
+
+
+class TestTopOff:
+    def test_covers_everything_coverable(self, s27_bench, s27_comb):
+        wb, C = s27_bench, s27_comb
+        undetected = set(range(len(wb.faults)))
+        result = top_off(wb.comb_sim, C.tests, undetected)
+        assert result.covered | result.uncovered == undetected
+        assert not result.uncovered  # s27: C is complete
+
+    def test_selected_tests_actually_cover(self, s27_bench, s27_comb):
+        wb, C = s27_bench, s27_comb
+        undetected = set(range(len(wb.faults)))
+        result = top_off(wb.comb_sim, C.tests, undetected)
+        covered = set()
+        for test in result.tests:
+            covered |= wb.sim.detect(list(test.vectors), test.scan_in,
+                                     target=sorted(undetected),
+                                     early_exit=False)
+        assert covered >= result.covered
+
+    def test_empty_undetected(self, s27_bench, s27_comb):
+        result = top_off(s27_bench.comb_sim, s27_comb.tests, set())
+        assert result.tests == []
+        assert result.covered == set()
+
+    def test_unique_detector_is_selected(self, s27_bench, s27_comb):
+        """A fault with n(f) = 1 forces its only detecting test in."""
+        wb, C = s27_bench, s27_comb
+        undetected = set(range(len(wb.faults)))
+        detects = [wb.comb_sim.detect_single(t.as_pattern(),
+                                             sorted(undetected))
+                   for t in C.tests]
+        count = {}
+        for det in detects:
+            for fid in det:
+                count[fid] = count.get(fid, 0) + 1
+        forced = {j for j, det in enumerate(detects)
+                  if any(count[f] == 1 for f in det)}
+        result = top_off(wb.comb_sim, C.tests, undetected)
+        assert forced <= set(result.chosen_indices)
+
+    def test_uncoverable_faults_reported(self, s27_bench, s27_comb):
+        wb, C = s27_bench, s27_comb
+        # Restrict C to its first test only: most faults uncoverable.
+        first = C.tests[:1]
+        undetected = set(range(len(wb.faults)))
+        result = top_off(wb.comb_sim, first, undetected)
+        only = wb.comb_sim.detect_single(first[0].as_pattern(),
+                                         sorted(undetected))
+        assert result.covered == only
+        assert result.uncovered == undetected - only
+
+    def test_selection_greedy_order(self, s27_bench, s27_comb):
+        """Tests are chosen hardest-fault-first (min n(f))."""
+        wb, C = s27_bench, s27_comb
+        undetected = set(range(len(wb.faults)))
+        result = top_off(wb.comb_sim, C.tests, undetected)
+        # All chosen tests are distinct.
+        assert len(result.chosen_indices) == len(set(result.chosen_indices))
+        # Each chosen test contributed new coverage when picked.
+        assert len(result.tests) <= len(C.tests)

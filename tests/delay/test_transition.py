@@ -1,0 +1,152 @@
+"""Tests for transition-fault simulation."""
+
+import random
+
+import pytest
+
+from repro.circuits import library
+from repro.core.scan_test import ScanTest, ScanTestSet
+from repro.delay.transition import (TransitionFault, TransitionSim,
+                                    all_transition_faults)
+from repro.sim import values as V
+from repro.sim.logicsim import CompiledCircuit, simulate_sequence
+
+
+def oracle_detects(netlist, fault, test):
+    """Reference: for each launch frame, freeze the net at its old
+    value for that frame only, then run the error forward through the
+    fault-free circuit and compare against the good run."""
+    cc = CompiledCircuit(netlist)
+    # Good-machine net values per frame.
+    zero = [0] * cc.n_nets
+    one = [0] * cc.n_nets
+    for nid_, val in zip(cc.ff_ids, test.scan_in):
+        zero[nid_], one[nid_] = V.pack_scalar(val, 1)
+    values = []
+    for vec in test.vectors:
+        for nid_, val in zip(cc.pi_ids, vec):
+            zero[nid_], one[nid_] = V.pack_scalar(val, 1)
+        cc.eval_frame(zero, one, 1)
+        values.append((list(zero), list(one)))
+        cap = tuple(V.word_scalar(zero[nid_], one[nid_])
+                    for nid_ in cc.ff_d_ids)
+        for nid_, val in zip(cc.ff_ids, cap):
+            zero[nid_], one[nid_] = V.pack_scalar(val, 1)
+    nid = netlist.net_ids[fault.net]
+    last = test.length - 1
+    for t in range(1, test.length):
+        pz, po_ = values[t - 1]
+        czv, cov = values[t]
+        if fault.rising:
+            launched = bool(pz[nid] & 1) and bool(cov[nid] & 1)
+            stuck = 0
+        else:
+            launched = bool(po_[nid] & 1) and bool(czv[nid] & 1)
+            stuck = 1
+        if not launched:
+            continue
+        # Faulty machine: stuck-at-old at frame t, fault-free after.
+        fz = [0] * cc.n_nets
+        fo = [0] * cc.n_nets
+        state = tuple(
+            V.word_scalar(values[t - 1][0][d], values[t - 1][1][d])
+            for d in cc.ff_d_ids)
+        for fid_, val in zip(cc.ff_ids, state):
+            fz[fid_], fo[fid_] = V.pack_scalar(val, 1)
+        for u in range(t, test.length):
+            for pid, val in zip(cc.pi_ids, test.vectors[u]):
+                fz[pid], fo[pid] = V.pack_scalar(val, 1)
+            if u == t:
+                stems = {nid: (1, 0) if stuck == 0 else (0, 1)}
+                if nid in cc.pi_ids or nid in cc.ff_ids:
+                    fz[nid], fo[nid] = (1, 0) if stuck == 0 else (0, 1)
+                cc.eval_frame(fz, fo, 1, stems)
+            else:
+                cc.eval_frame(fz, fo, 1)
+            gz, go = values[u]
+            observe = list(cc.po_ids) + (list(cc.ff_d_ids)
+                                         if u == last else [])
+            for oid in observe:
+                g = V.word_scalar(gz[oid], go[oid])
+                f = V.word_scalar(fz[oid], fo[oid])
+                if g != f and g != V.X and f != V.X:
+                    return True
+            cap = [(fz[d], fo[d]) for d in cc.ff_d_ids]
+            for fid_, (z, o) in zip(cc.ff_ids, cap):
+                fz[fid_], fo[fid_] = z, o
+    return False
+
+
+class TestModel:
+    def test_fault_enumeration(self, s27):
+        faults = all_transition_faults(s27)
+        assert len(faults) == 2 * s27.num_nets
+        assert str(TransitionFault("a", True)) == "a/STR"
+        assert str(TransitionFault("a", False)) == "a/STF"
+
+    def test_length_one_test_detects_nothing(self, s27):
+        """No at-speed vector pair => no transition coverage (the crux
+        of the paper's at-speed argument)."""
+        sim = TransitionSim(CompiledCircuit(s27))
+        test = ScanTest(V.vec("000"), (V.vec("1111"),))
+        assert sim.detect_test(test) == set()
+
+    def test_counter_lsb_transitions(self):
+        """In a free-running counter, q0 toggles every cycle: both
+        transition faults on its data net are launched and captured."""
+        net = library.counter(3)
+        cc = CompiledCircuit(net)
+        sim = TransitionSim(cc)
+        test = ScanTest((V.ZERO,) * 3, ((V.ONE,),) * 6)
+        detected = {str(sim.faults[i]) for i in sim.detect_test(test)}
+        assert "d0/STR" in detected or "q0/STR" in detected
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_s27_matches_reference(self, s27, seed):
+        rng = random.Random(seed)
+        vectors = tuple(V.random_binary_vector(4, rng)
+                        for _ in range(10))
+        test = ScanTest(V.random_binary_vector(3, rng), vectors)
+        sim = TransitionSim(CompiledCircuit(s27))
+        got = sim.detect_test(test)
+        for i, fault in enumerate(sim.faults):
+            expected = oracle_detects(s27, fault, test)
+            assert (i in got) == expected, str(fault)
+
+
+class TestTestSets:
+    def test_coverage_monotone_in_tests(self, s27):
+        rng = random.Random(3)
+        cc = CompiledCircuit(s27)
+        sim = TransitionSim(cc)
+        tests = []
+        for _ in range(3):
+            vectors = tuple(V.random_binary_vector(4, rng)
+                            for _ in range(8))
+            tests.append(ScanTest(V.random_binary_vector(3, rng),
+                                  vectors))
+        small = ScanTestSet(3, tests[:1])
+        large = ScanTestSet(3, tests)
+        assert sim.detect_test_set(small) <= sim.detect_test_set(large)
+
+    def test_coverage_percent_bounds(self, s27):
+        rng = random.Random(4)
+        cc = CompiledCircuit(s27)
+        sim = TransitionSim(cc)
+        vectors = tuple(V.random_binary_vector(4, rng)
+                        for _ in range(12))
+        ts = ScanTestSet(3, [ScanTest(V.vec("000"), vectors)])
+        pct = sim.coverage_percent(ts)
+        assert 0.0 <= pct <= 100.0
+
+    def test_target_restriction(self, s27):
+        rng = random.Random(5)
+        sim = TransitionSim(CompiledCircuit(s27))
+        vectors = tuple(V.random_binary_vector(4, rng) for _ in range(8))
+        test = ScanTest(V.vec("010"), vectors)
+        full = sim.detect_test(test)
+        if full:
+            some = set(sorted(full)[:3])
+            assert sim.detect_test(test, some) == some

@@ -1,0 +1,38 @@
+"""Tests for the paper-vs-measured comparison reporting (on b02,
+which carries the full paper metadata and runs in seconds)."""
+
+import pytest
+
+from repro.circuits import suite
+from repro.experiments import paper_comparison, runner
+
+
+@pytest.fixture(scope="module")
+def b02_run():
+    return runner.run_circuit(suite.profile("b02"), seed=1)
+
+
+class TestPaperComparison:
+    def test_rows_for_known_metrics(self, b02_run):
+        table = paper_comparison([b02_run])
+        metrics = {row[1] for row in table.rows}
+        assert "faults" in metrics
+        assert "T0 detected" in metrics
+        assert "prop init cycles" in metrics
+        assert "[4] comp cycles" in metrics
+
+    def test_paper_values_come_from_profile(self, b02_run):
+        table = paper_comparison([b02_run])
+        by_metric = {row[1]: row for row in table.rows}
+        assert by_metric["faults"][2] == \
+            b02_run.profile.paper["faults"]
+        assert by_metric["faults"][3] == b02_run.n_faults
+
+    def test_measured_orderings_match_paper(self, b02_run):
+        """The orderings the reproduction promises: compaction helps,
+        final covers more than tau_seq."""
+        res = b02_run.arms["seqgen"].result
+        b4 = b02_run.baseline4
+        assert res.compacted_cycles() <= res.initial_cycles()
+        assert b4.stats.final_cycles <= b4.stats.initial_cycles
+        assert len(res.seq_detected) <= len(res.final_detected)

@@ -1,0 +1,57 @@
+"""Tests for table rendering and JSON export."""
+
+import json
+
+import pytest
+
+from repro.experiments.reporting import Table, dump_json, render_all
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("Demo", ["circuit", "value"])
+        t.add_row("s27", 15)
+        t.add_row("longer-name", 9)
+        lines = t.render().splitlines()
+        assert lines[0] == "Demo"
+        assert "circuit" in lines[1]
+        # All data lines equal width per column (left justified).
+        assert lines[3].startswith("s27")
+        assert lines[4].startswith("longer-name")
+
+    def test_row_width_checked(self):
+        t = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError, match="expected"):
+            t.add_row(1)
+
+    def test_float_formatting(self):
+        t = Table("Demo", ["x"])
+        t.add_row(1.23456)
+        assert "1.23" in t.render()
+
+    def test_none_renders_dash(self):
+        t = Table("Demo", ["x"])
+        t.add_row(None)
+        assert "-" in t.render().splitlines()[-1]
+
+    def test_to_dict(self):
+        t = Table("Demo", ["x"])
+        t.add_row(5)
+        assert t.to_dict() == {"title": "Demo", "headers": ["x"],
+                               "rows": [[5]]}
+
+
+class TestExport:
+    def test_dump_json(self, tmp_path):
+        t = Table("Demo", ["x"])
+        t.add_row(5)
+        path = tmp_path / "out.json"
+        dump_json([t], path)
+        data = json.loads(path.read_text())
+        assert data[0]["title"] == "Demo"
+
+    def test_render_all(self):
+        a = Table("A", ["x"])
+        b = Table("B", ["y"])
+        text = render_all([a, b])
+        assert "A" in text and "B" in text

@@ -1,0 +1,126 @@
+"""Equivalence tests: code-generated engine vs the generic interpreter.
+
+The two engines must produce bit-identical results for every
+evaluation mode the simulators use -- plain good-machine runs, stem
+injection, branch injection, multi-machine words.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import library, synth
+from repro.sim import values as V
+from repro.sim.codegen import generate_source
+from repro.sim.fault_sim import FaultSimulator
+from repro.sim.faults import FaultSet
+from repro.sim.logicsim import CompiledCircuit, simulate_sequence
+
+
+def random_injections(circuit, rng, mask):
+    """Random stems/branch dicts shaped like real fault chunks."""
+    stems = {}
+    branch = {}
+    for _ in range(rng.randint(0, 4)):
+        nid = rng.randrange(circuit.n_nets)
+        m0 = rng.getrandbits(8) & mask
+        m1 = rng.getrandbits(8) & mask & ~m0
+        stems[nid] = (m0, m1)
+    gate_outs = [out for _, out, fins in circuit.ops if fins]
+    for _ in range(rng.randint(0, 3)):
+        out = rng.choice(gate_outs)
+        op, _, fins = next(o for o in circuit.ops if o[1] == out)
+        pin = rng.randrange(len(fins))
+        m0 = rng.getrandbits(8) & mask
+        m1 = rng.getrandbits(8) & mask & ~m0
+        branch.setdefault(out, []).append((pin, m0, m1))
+    return stems, branch
+
+
+def load_words(circuit, rng, mask):
+    zero = [0] * circuit.n_nets
+    one = [0] * circuit.n_nets
+    for nid in list(circuit.pi_ids) + list(circuit.ff_ids):
+        z = rng.getrandbits(9) & mask
+        o = rng.getrandbits(9) & mask & ~z
+        zero[nid], one[nid] = z, o
+    return zero, one
+
+
+class TestEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6))
+    def test_random_frames_identical(self, seed):
+        rng = random.Random(seed)
+        net = synth.generate("cg", 4, 3, 4, 30, seed=seed % 40)
+        generic = CompiledCircuit(net, engine="generic")
+        fast = CompiledCircuit(net.copy(), engine="codegen")
+        mask = (1 << rng.randint(1, 9)) - 1
+        stems, branch = random_injections(generic, rng, mask)
+        z1, o1 = load_words(generic, rng, mask)
+        z2, o2 = list(z1), list(o1)
+        generic.eval_frame(z1, o1, mask, stems, branch)
+        fast.eval_frame(z2, o2, mask, stems, branch)
+        assert z1 == z2
+        assert o1 == o2
+
+    def test_fault_sim_results_identical(self, s27):
+        rng = random.Random(7)
+        vectors = [V.random_binary_vector(4, rng) for _ in range(25)]
+        init = V.vec("010")
+        results = []
+        for engine in ("generic", "codegen"):
+            cc = CompiledCircuit(s27.copy(), engine=engine)
+            fs = FaultSet.collapsed(cc.netlist)
+            sim = FaultSimulator(cc, fs)
+            results.append(sim.detect(vectors, init, early_exit=False))
+        assert results[0] == results[1]
+
+    def test_good_machine_identical(self):
+        net = library.counter(4)
+        rng = random.Random(1)
+        vectors = [(rng.randint(0, 1),) for _ in range(20)]
+        a = simulate_sequence(CompiledCircuit(net, engine="generic"),
+                              vectors, (V.ZERO,) * 4)
+        b = simulate_sequence(CompiledCircuit(net.copy(),
+                                              engine="codegen"),
+                              vectors, (V.ZERO,) * 4)
+        assert a.po_frames == b.po_frames
+        assert a.state_frames == b.state_frames
+
+
+class TestMechanics:
+    def test_source_is_valid_python(self, s27):
+        cc = CompiledCircuit(s27, engine="generic")
+        source = generate_source(cc)
+        compile(source, "<test>", "exec")
+        assert "def eval_frame" in source
+
+    def test_unknown_engine_rejected(self, s27):
+        with pytest.raises(ValueError, match="unknown engine"):
+            CompiledCircuit(s27, engine="turbo")
+
+    def test_default_is_codegen(self, s27):
+        cc = CompiledCircuit(s27)
+        assert cc.engine == "codegen"
+        # Instance attribute shadows the class method.
+        assert "eval_frame" in cc.__dict__
+
+    def test_speedup_exists(self):
+        """The whole point: the fast engine should not be slower."""
+        import time
+        net = synth.generate("perf", 5, 5, 10, 120, seed=9)
+        rng = random.Random(2)
+        vectors = [V.random_binary_vector(5, rng) for _ in range(120)]
+        timings = {}
+        for engine in ("generic", "codegen"):
+            cc = CompiledCircuit(net.copy(), engine=engine)
+            fs = FaultSet.collapsed(cc.netlist)
+            sim = FaultSimulator(cc, fs)
+            start = time.perf_counter()
+            sim.detect(vectors, V.random_binary_vector(10, rng),
+                       early_exit=False)
+            timings[engine] = time.perf_counter() - start
+        # Allow noise, but codegen must not be significantly slower.
+        assert timings["codegen"] <= timings["generic"] * 1.15

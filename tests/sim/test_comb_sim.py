@@ -1,0 +1,82 @@
+"""Tests for the pattern-parallel combinational fault simulator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import values as V
+from repro.sim.comb_sim import CombPatternSim
+from repro.sim.fault_sim import FaultSimulator
+
+
+def random_patterns(n_ff, n_pi, count, seed):
+    rng = random.Random(seed)
+    return [(V.random_binary_vector(n_ff, rng),
+             V.random_binary_vector(n_pi, rng)) for _ in range(count)]
+
+
+class TestAgainstSequentialSim:
+    """A length-1 scan test and a combinational pattern are the same
+    thing; both simulators must agree fault for fault."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_single_pattern_equivalence(self, s27_bench, seed):
+        wb = s27_bench
+        csim = CombPatternSim(wb.circuit, wb.faults)
+        (state, pi), = random_patterns(3, 4, 1, seed)
+        comb = csim.detect_single((state, pi))
+        seq = wb.sim.detect([pi], state, early_exit=False)
+        assert comb == seq
+
+    def test_block_equals_singles(self, s27_bench):
+        wb = s27_bench
+        csim = CombPatternSim(wb.circuit, wb.faults)
+        patterns = random_patterns(3, 4, 10, seed=7)
+        block = csim.detect_block(patterns)
+        for p, pattern in enumerate(patterns):
+            singles = csim.detect_single(pattern)
+            from_block = {fid for fid, mask in block.items()
+                          if mask & (1 << p)}
+            assert from_block == singles
+
+    def test_synthetic_circuit(self, small_bench):
+        wb = small_bench
+        csim = CombPatternSim(wb.circuit, wb.faults)
+        n_ff = len(wb.circuit.ff_ids)
+        n_pi = len(wb.circuit.pi_ids)
+        for state, pi in random_patterns(n_ff, n_pi, 5, seed=3):
+            assert csim.detect_single((state, pi)) == \
+                wb.sim.detect([pi], state, early_exit=False)
+
+
+class TestInterface:
+    def test_block_too_large_rejected(self, s27_bench):
+        wb = s27_bench
+        csim = CombPatternSim(wb.circuit, wb.faults, block=4)
+        with pytest.raises(ValueError, match="exceeds width"):
+            csim.detect_block(random_patterns(3, 4, 5, 0))
+
+    def test_target_restriction(self, s27_bench):
+        wb = s27_bench
+        csim = CombPatternSim(wb.circuit, wb.faults)
+        pattern = random_patterns(3, 4, 1, 5)[0]
+        full = csim.detect_single(pattern)
+        if full:
+            some = sorted(full)[:2]
+            assert csim.detect_single(pattern, some) == set(some)
+
+    def test_good_block_reusable(self, s27_bench):
+        wb = s27_bench
+        csim = CombPatternSim(wb.circuit, wb.faults)
+        patterns = random_patterns(3, 4, 6, 9)
+        good = csim.good_block(patterns)
+        a = csim.detect_block(patterns, good=good)
+        b = csim.detect_block(patterns)
+        assert a == b
+
+    def test_x_values_in_pattern_are_pessimistic(self, s27_bench):
+        wb = s27_bench
+        csim = CombPatternSim(wb.circuit, wb.faults)
+        all_x = ((V.X,) * 3, (V.X,) * 4)
+        assert csim.detect_single(all_x) == set()

@@ -1,0 +1,107 @@
+"""Tests for the fault model and equivalence collapsing."""
+
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.sim.faults import (Fault, FaultSet, all_faults, collapse,
+                              fault_classes)
+
+
+def and_chain():
+    """a,b -> n1=AND -> n2=NOT -> PO, plus a DFF for sequentiality."""
+    net = Netlist("chain")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_dff("q", "n2")
+    net.add_gate("n1", "AND", ["a", "b"])
+    net.add_gate("n2", "NOT", ["n1"])
+    net.add_output("n2")
+    return net.compile()
+
+
+class TestEnumeration:
+    def test_fanout_free_lines_have_no_branch_faults(self):
+        net = and_chain()
+        faults = all_faults(net)
+        assert all(f.pin is None for f in faults)
+        # 5 nets x 2 faults
+        assert len(faults) == 10
+
+    def test_branch_faults_on_fanout_stems(self, s27):
+        faults = all_faults(s27)
+        branch = [f for f in faults if f.pin is not None]
+        assert branch  # s27 has fanout stems (e.g. G8, G11, G12, G14)
+        nets_with_branches = {f.net for f in branch}
+        for net_name in nets_with_branches:
+            assert len(s27.fanout[net_name]) > 1
+
+    def test_str_forms(self):
+        assert str(Fault("n1", None, 0)) == "n1/0"
+        assert str(Fault("n1", ("g2", 1), 1)) == "n1->g2.1/1"
+
+    def test_ordering_total(self, s27):
+        faults = all_faults(s27)
+        ordered = sorted(faults)
+        assert len(ordered) == len(faults)
+        assert ordered[0].sort_key() <= ordered[1].sort_key()
+
+
+class TestCollapse:
+    def test_s27_collapsed_count(self, s27):
+        # 32 is the standard collapsed fault count for s27.
+        assert len(collapse(s27)) == 32
+
+    def test_chain_collapse(self):
+        """AND: out/0 == a/0 == b/0; NOT: out faults fold into input."""
+        net = and_chain()
+        collapsed = collapse(net)
+        # Classes: {a/0,b/0,n1/0,n2/1}, {n1/1,n2/0,(q gets its own via
+        # DFF boundary)}, a/1, b/1, q/0, q/1 -> count them:
+        assert len(collapsed) < len(all_faults(net))
+        classes = fault_classes(net)
+        merged = [c for c in classes.values() if len(c) > 1]
+        assert any(Fault("a", None, 0) in c and Fault("b", None, 0) in c
+                   for c in merged)
+
+    def test_classes_partition_universe(self, s27):
+        classes = fault_classes(s27)
+        members = [f for cls in classes.values() for f in cls]
+        assert sorted(members) == sorted(all_faults(s27))
+        assert set(classes) == set(collapse(s27))
+
+    def test_xor_does_not_collapse(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_dff("q", "x")
+        net.add_gate("x", "XOR", ["a", "b"])
+        net.add_output("x")
+        net.compile()
+        # No equivalences: every line keeps both faults.
+        assert len(collapse(net)) == len(all_faults(net))
+
+    def test_deterministic(self, s27):
+        assert collapse(s27) == collapse(s27)
+
+
+class TestFaultSet:
+    def test_indexing(self, s27):
+        fs = FaultSet.collapsed(s27)
+        for i, fault in enumerate(fs):
+            assert fs.index[fault] == i
+            assert fs[i] == fault
+
+    def test_indices_and_subset(self, s27):
+        fs = FaultSet.collapsed(s27)
+        some = [fs[3], fs[5], fs[1]]
+        idx = fs.indices(some)
+        assert idx == [3, 5, 1]
+        assert fs.subset({5, 1, 3}) == [fs[1], fs[3], fs[5]]
+
+    def test_duplicates_rejected(self, s27):
+        fs = FaultSet.collapsed(s27)
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultSet([fs[0], fs[0]])
+
+    def test_uncollapsed_larger(self, s27):
+        assert len(FaultSet.uncollapsed(s27)) > len(FaultSet.collapsed(s27))

@@ -1,0 +1,87 @@
+"""Tests for three-valued scalars and word packing."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import values as V
+
+
+class TestLiterals:
+    @pytest.mark.parametrize("char,expected", [
+        ("0", V.ZERO), ("1", V.ONE), ("x", V.X), ("X", V.X), ("-", V.X)])
+    def test_lit(self, char, expected):
+        assert V.lit(char) == expected
+
+    def test_bad_literal(self):
+        with pytest.raises(ValueError, match="invalid logic literal"):
+            V.lit("2")
+
+    def test_vec_roundtrip(self):
+        assert V.vec_str(V.vec("01x")) == "01x"
+
+    def test_is_binary(self):
+        assert V.is_binary(V.vec("0101"))
+        assert not V.is_binary(V.vec("01x1"))
+
+
+class TestPacking:
+    def test_pack_scalar_zero(self):
+        assert V.pack_scalar(V.ZERO, 0b111) == (0b111, 0)
+
+    def test_pack_scalar_one(self):
+        assert V.pack_scalar(V.ONE, 0b101) == (0, 0b101)
+
+    def test_pack_scalar_x(self):
+        assert V.pack_scalar(V.X, 0b11) == (0, 0)
+
+    def test_pack_bad_scalar(self):
+        with pytest.raises(ValueError):
+            V.pack_scalar(7, 1)
+
+    @given(st.sampled_from([V.ZERO, V.ONE, V.X]),
+           st.integers(0, 20))
+    def test_pack_unpack_roundtrip(self, value, machine):
+        mask = (1 << 21) - 1
+        zero, one = V.pack_scalar(value, mask)
+        assert V.word_scalar(zero, one, machine) == value
+
+    def test_word_scalar_default_machine(self):
+        assert V.word_scalar(1, 0) == V.ZERO
+        assert V.word_scalar(0, 1) == V.ONE
+        assert V.word_scalar(0, 0) == V.X
+
+
+class TestDiffMask:
+    def test_good_one_sees_zeros(self):
+        assert V.diff_mask(0b0110, 0b1001, V.ONE) == 0b0110
+
+    def test_good_zero_sees_ones(self):
+        assert V.diff_mask(0b0110, 0b1001, V.ZERO) == 0b1001
+
+    def test_good_x_sees_nothing(self):
+        assert V.diff_mask(0b1111, 0b0000, V.X) == 0
+
+
+class TestVectors:
+    def test_random_binary_vector(self):
+        rng = random.Random(0)
+        vec = V.random_binary_vector(50, rng)
+        assert len(vec) == 50
+        assert V.is_binary(vec)
+
+    def test_all_x(self):
+        assert V.all_x(3) == (V.X, V.X, V.X)
+
+    def test_fill_x_preserves_binary(self):
+        rng = random.Random(1)
+        filled = V.fill_x((V.ONE, V.X, V.ZERO, V.X), rng)
+        assert filled[0] == V.ONE
+        assert filled[2] == V.ZERO
+        assert V.is_binary(filled)
+
+    @given(st.lists(st.sampled_from([V.ZERO, V.ONE, V.X]), max_size=30))
+    def test_fill_x_always_binary(self, vec):
+        rng = random.Random(2)
+        assert V.is_binary(V.fill_x(tuple(vec), rng))

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out
+        assert "s298" in out
+
+    def test_circuit_s27(self, capsys):
+        assert main(["circuit", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 5" in out
+
+    def test_circuit_unknown(self):
+        with pytest.raises(KeyError):
+            main(["circuit", "sXXX"])
+
+    def test_tables_single_circuit_json(self, capsys, tmp_path):
+        out_json = tmp_path / "tables.json"
+        assert main(["tables", "--circuits", "s27",
+                     "--json", str(out_json)]) == 0
+        data = json.loads(out_json.read_text())
+        titles = [t["title"] for t in data]
+        assert any("Table 3" in t for t in titles)
+
+    def test_bench_info(self, capsys):
+        assert main(["bench-info"]) == 0
+        assert "pytest" in capsys.readouterr().out
+
+    def test_partial_command(self, capsys):
+        assert main(["partial", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "full" in out and "cut" in out
+
+    def test_export_roundtrip(self, capsys, tmp_path):
+        from repro.core import testio
+        out_file = tmp_path / "s27.rtp"
+        assert main(["export", "s27", "-o", str(out_file)]) == 0
+        program = testio.load(out_file)
+        assert program.n_state_vars == 3
+        assert "replay OK" in capsys.readouterr().out

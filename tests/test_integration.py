@@ -1,0 +1,118 @@
+"""Cross-module integration tests: the whole paper pipeline at once.
+
+These exercise realistic end-to-end flows on a mid-size circuit and
+check the global invariants that tie the subsystems together --
+detection bookkeeping, the cost model, the tester replay, and the
+at-speed story.
+"""
+
+import pytest
+
+from repro import api
+from repro.core import tester
+from repro.core.metrics import at_speed_stats
+from repro.core.scan_test import ScanTestSet, single_vector_test
+from repro.delay.transition import TransitionSim
+
+
+@pytest.fixture(scope="module")
+def flow(mid_bench, mid_comb):
+    """Everything computed once for the mid circuit."""
+    wb = mid_bench
+    proposed = api.compact_tests(wb.netlist, seed=1, t0_length=120,
+                                 comb_tests=mid_comb.tests,
+                                 workbench=wb)
+    baseline = api.baseline_static(wb.netlist, seed=1,
+                                   comb_tests=mid_comb.tests,
+                                   workbench=wb)
+    dyn = api.baseline_dynamic(wb.netlist, seed=1,
+                               comb_tests=mid_comb.tests, workbench=wb)
+    return wb, mid_comb, proposed, baseline, dyn
+
+
+class TestCoverageInvariants:
+    def test_every_method_covers_detectable(self, flow):
+        """All three methods must reach full detectable coverage."""
+        wb, comb, proposed, baseline, dyn = flow
+        detectable = comb.detectable
+
+        def union(test_set):
+            covered = set()
+            for t in test_set:
+                covered |= wb.sim.detect(list(t.vectors), t.scan_in,
+                                         early_exit=False)
+            return covered
+
+        prop_cover = union(proposed.compacted_set or proposed.test_set)
+        base_cover = union(baseline.test_set)
+        dyn_cover = union(dyn.test_set)
+        assert detectable - proposed.uncovered <= prop_cover
+        assert comb.detected <= base_cover
+        assert comb.detected - dyn.uncovered <= dyn_cover
+
+    def test_methods_agree_on_detectability(self, flow):
+        wb, comb, proposed, baseline, dyn = flow
+        # Whatever the proposed flow could not cover must be outside
+        # C's detected set too (both bottom out at the same C).
+        assert proposed.uncovered <= \
+            set(range(len(wb.faults))) - comb.detected
+
+
+class TestCostInvariants:
+    def test_cost_ordering(self, flow):
+        """The paper's headline ordering on this circuit."""
+        wb, comb, proposed, baseline, dyn = flow
+        assert proposed.compacted_cycles() <= proposed.initial_cycles()
+        assert baseline.stats.final_cycles <= \
+            baseline.stats.initial_cycles
+        # The proposed compacted set beats the [4] compacted set here.
+        assert proposed.compacted_cycles() <= baseline.stats.final_cycles
+
+    def test_cost_model_vs_tester_program(self, flow):
+        """N_cyc formula == flattened tester schedule length, for
+        every produced test set."""
+        wb, comb, proposed, baseline, dyn = flow
+        for test_set in (proposed.test_set,
+                         proposed.compacted_set,
+                         baseline.test_set,
+                         dyn.test_set):
+            program = tester.schedule(test_set, wb.circuit)
+            assert len(program) == test_set.clock_cycles()
+            assert tester.execute(program, wb.circuit).passed
+
+
+class TestAtSpeedStory:
+    def test_longer_sequences_and_more_transition_coverage(self, flow):
+        wb, comb, proposed, baseline, dyn = flow
+        prop_stats = at_speed_stats(proposed.compacted_set or
+                                    proposed.test_set)
+        base_stats = at_speed_stats(baseline.test_set)
+        assert prop_stats.average >= base_stats.average
+        assert prop_stats.pairs >= base_stats.pairs
+        tsim = TransitionSim(wb.circuit)
+        prop_tc = tsim.coverage_percent(proposed.compacted_set or
+                                        proposed.test_set)
+        base_tc = tsim.coverage_percent(baseline.test_set)
+        assert prop_tc >= base_tc
+
+    def test_naive_set_has_zero_pairs(self, flow):
+        wb, comb, proposed, baseline, dyn = flow
+        naive = ScanTestSet(
+            wb.sim.n_state_vars,
+            [single_vector_test(t.state, t.pi) for t in comb.tests])
+        assert naive.at_speed_pairs() == 0
+        tsim = TransitionSim(wb.circuit)
+        assert tsim.coverage_percent(naive) == 0.0
+
+
+class TestDeterminism:
+    def test_full_flow_reproducible(self, mid_bench, mid_comb):
+        wb = mid_bench
+        a = api.compact_tests(wb.netlist, seed=7, t0_length=60,
+                              comb_tests=mid_comb.tests, workbench=wb)
+        b = api.compact_tests(wb.netlist, seed=7, t0_length=60,
+                              comb_tests=mid_comb.tests, workbench=wb)
+        assert a.tau_seq == b.tau_seq
+        assert a.compacted_cycles() == b.compacted_cycles()
+        assert [t.vectors for t in a.compacted_set] == \
+            [t.vectors for t in b.compacted_set]

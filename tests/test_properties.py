@@ -1,0 +1,159 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants.
+
+Each property runs over freshly generated random circuits and inputs,
+attacking the assumptions the compaction procedures rely on.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg import random_gen
+from repro.atpg.tfx import unroll
+from repro.circuits import synth
+from repro.core import tester
+from repro.core.omission import omit_vectors
+from repro.core.scan_test import ScanTest, ScanTestSet
+from repro.sim import values as V
+from repro.sim.fault_sim import FaultSimulator
+from repro.sim.faults import FaultSet, all_faults, fault_classes
+from repro.sim.logicsim import CompiledCircuit, simulate_sequence
+
+_CIRCUIT_CACHE = {}
+
+
+def circuit_for(seed):
+    """Small random circuit (cached: hypothesis re-visits seeds)."""
+    if seed not in _CIRCUIT_CACHE:
+        net = synth.generate("prop", 3, 2, 4, 26, seed=seed)
+        cc = CompiledCircuit(net)
+        fs = FaultSet.collapsed(net)
+        _CIRCUIT_CACHE[seed] = (net, cc, fs, FaultSimulator(cc, fs))
+    return _CIRCUIT_CACHE[seed]
+
+
+circuit_seeds = st.integers(0, 19)
+
+
+class TestDetectionMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=circuit_seeds, data=st.data())
+    def test_po_detection_grows_with_sequence(self, seed, data):
+        """Without scan-out, extending a sequence never loses a
+        detection -- the property Phase 1's Step 1 relies on."""
+        net, cc, fs, sim = circuit_for(seed)
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        n = data.draw(st.integers(2, 12))
+        seq = [V.random_binary_vector(3, rng) for _ in range(n)]
+        cut = data.draw(st.integers(1, n - 1))
+        short = sim.detect(seq[:cut], None, scan_out=False,
+                           early_exit=False)
+        full = sim.detect(seq, None, scan_out=False, early_exit=False)
+        assert short <= full
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=circuit_seeds, data=st.data())
+    def test_scan_in_refinement_keeps_detections(self, seed, data):
+        """Detections from the all-X state survive any binary scan-in
+        (the paper's 'F0 need not be simulated' claim)."""
+        net, cc, fs, sim = circuit_for(seed)
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        seq = [V.random_binary_vector(3, rng) for _ in range(8)]
+        f0 = sim.detect(seq, None, scan_out=False, early_exit=False)
+        state = V.random_binary_vector(4, rng)
+        with_state = sim.detect(seq, state, scan_out=False,
+                                early_exit=False)
+        assert f0 <= with_state
+
+
+class TestStructuralProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=circuit_seeds)
+    def test_fault_classes_partition(self, seed):
+        net, cc, fs, sim = circuit_for(seed)
+        classes = fault_classes(net)
+        members = sorted(f for cls in classes.values() for f in cls)
+        assert members == sorted(all_faults(net))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=circuit_seeds, depth=st.integers(1, 4), data=st.data())
+    def test_unroll_equals_sequential_simulation(self, seed, depth,
+                                                 data):
+        net, cc, fs, sim = circuit_for(seed)
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        u = unroll(net, depth)
+        ucc = CompiledCircuit(u)
+        state = V.random_binary_vector(4, rng)
+        vectors = [V.random_binary_vector(3, rng) for _ in range(depth)]
+        ref = simulate_sequence(cc, vectors, state)
+        values = {}
+        for t, vec in enumerate(vectors):
+            for pi, val in zip(net.inputs, vec):
+                values[f"{pi}@{t}"] = val
+        for ff, val in zip(net.flip_flops, state):
+            values[f"{ff}@0"] = val
+        flat = tuple(values[name] for name in u.inputs)
+        from repro.sim.logicsim import simulate_comb
+        po, _ = simulate_comb(ucc, flat, ())
+        for t in range(depth):
+            for p, po_name in enumerate(net.outputs):
+                assert po[u.outputs.index(f"{po_name}@{t}")] == \
+                    ref.po_frames[t][p]
+
+
+class TestOmissionContract:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=circuit_seeds, data=st.data())
+    def test_subsequence_and_preservation(self, seed, data):
+        net, cc, fs, sim = circuit_for(seed)
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        n = data.draw(st.integers(3, 20))
+        vectors = tuple(V.random_binary_vector(3, rng)
+                        for _ in range(n))
+        scan_in = V.random_binary_vector(4, rng)
+        test = ScanTest(scan_in, vectors)
+        required = sim.detect(list(vectors), scan_in, early_exit=False)
+        result = omit_vectors(sim, test, required)
+        # Subsequence:
+        it = iter(vectors)
+        assert all(any(v == w for w in it)
+                   for v in result.test.vectors)
+        # Preservation, via independent re-simulation:
+        check = sim.detect(list(result.test.vectors), scan_in,
+                           early_exit=False)
+        assert required <= check
+
+
+class TestTesterContract:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=circuit_seeds, data=st.data())
+    def test_schedule_length_and_replay(self, seed, data):
+        net, cc, fs, sim = circuit_for(seed)
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        k = data.draw(st.integers(1, 4))
+        tests = []
+        for _ in range(k):
+            length = data.draw(st.integers(1, 6))
+            tests.append(ScanTest(
+                V.random_binary_vector(4, rng),
+                tuple(V.random_binary_vector(3, rng)
+                      for _ in range(length))))
+        ts = ScanTestSet(4, tests)
+        program = tester.schedule(ts, cc)
+        assert len(program) == ts.clock_cycles()
+        assert tester.execute(program, cc).passed
+
+
+class TestCostModel:
+    @given(st.integers(1, 64),
+           st.lists(st.integers(1, 30), min_size=2, max_size=8))
+    def test_combining_saves_exactly_one_scan(self, n_sv, lengths):
+        tests = [ScanTest((V.ZERO,) * n_sv,
+                          tuple((V.ONE,) for _ in range(length)))
+                 for length in lengths]
+        ts = ScanTestSet(n_sv, tests)
+        combined = tests[0].combined_with(tests[1])
+        ts2 = ScanTestSet(n_sv, [combined] + tests[2:])
+        assert ts.clock_cycles() - ts2.clock_cycles() == n_sv
+        assert ts.total_vectors() == ts2.total_vectors()
