@@ -68,10 +68,10 @@ class _ConeBuilder:
         """Build a tree of roughly ``budget`` gates; returns the root."""
         return self._node(max(1, budget))
 
-    def _node(self, budget: int) -> str:
+    def _node(self, budget: int, already: Optional[List[str]] = None) -> str:
         rng = self.rng
         if budget <= 0:
-            return self._leaf([])
+            return self._leaf(already or [])
         gtype = _pick_type(rng)
         if gtype in ("NOT", "BUF"):
             arity = 1
@@ -83,7 +83,7 @@ class _ConeBuilder:
             if share <= 0 and rng.random() < 0.8:
                 fanins.append(self._leaf(fanins))
             else:
-                fanins.append(self._node(share))
+                fanins.append(self._node(share, fanins))
         # A unary gate over a leaf it already... (not possible: one pin).
         name = f"g{self.gate_id}"
         self.gate_id += 1
@@ -123,6 +123,13 @@ class _ConeBuilder:
                 continue
             if candidate not in self.used_leaves or attempt >= 8:
                 break
+        if candidate in already:
+            # The random retries ran out; fall back to any free source
+            # so a gate never ends up with a repeated fanin.
+            pool = [s for s in self.sources + self.taps
+                    if s not in already]
+            if pool:
+                candidate = pool[rng.randrange(len(pool))]
         self.used_leaves.add(candidate)
         return candidate
 
@@ -260,18 +267,35 @@ def _distinct_outputs(net: Netlist, rng: random.Random,
 
 def _wire_unused_sources(net: Netlist, rng: random.Random,
                          sources: List[str]) -> None:
-    """Rewire random gate pins so every PI and FF output is used."""
-    used = set()
+    """Rewire random gate pins so every PI and FF output is used.
+
+    A pin is rewired only when its current driver keeps at least one
+    other reader (or is a primary output), so the rewiring never leaves
+    a dangling internal net behind.
+    """
+    uses: Dict[str, int] = {}
     for gate in net.gates.values():
-        used.update(gate.fanins)
-    unused = [s for s in sources if s not in used]
+        for fanin in gate.fanins:
+            uses[fanin] = uses.get(fanin, 0) + 1
+    outputs = set(net.outputs)
+    unused = [s for s in sources if s not in uses]
     comb = [g for g in net.gates.values()
             if g.gtype not in ("INPUT", "DFF") and len(g.fanins) >= 2]
     rng.shuffle(comb)
-    for src, gate in zip(unused, comb):
-        pin = rng.randrange(len(gate.fanins))
-        if src not in gate.fanins:
+    for src in unused:
+        for gate in comb:
+            if src in gate.fanins:
+                continue
+            safe = [i for i, old in enumerate(gate.fanins)
+                    if uses.get(old, 0) > 1 or old in outputs]
+            if not safe:
+                continue
+            pin = safe[rng.randrange(len(safe))]
+            old = gate.fanins[pin]
+            uses[old] -= 1
+            uses[src] = uses.get(src, 0) + 1
             gate.fanins[pin] = src
+            break
 
 
 def paper_like(

@@ -10,6 +10,16 @@ Subcommands::
 ``tables`` regenerates the paper's Tables 1-5 (quick suite by default;
 ``--full`` runs every reproduced circuit and takes correspondingly
 longer).
+
+``circuit`` and ``tables`` run through the resilient harness
+(:mod:`repro.experiments.harness`): each circuit job runs in an
+isolated worker subprocess, ``--timeout`` bounds a job's wall clock,
+``--retries`` re-runs failures with backoff, ``--jobs`` runs workers in
+parallel, and ``--run-dir``/``--resume`` checkpoint completed circuits
+so an interrupted campaign picks up where it left off.  When jobs
+ultimately fail, the tables still render for the surviving circuits
+(failed rows are annotated), a job-summary table is printed, and the
+exit code is 1.
 """
 
 from __future__ import annotations
@@ -19,8 +29,41 @@ import sys
 from typing import List, Optional
 
 from .circuits import suite as suite_mod
-from .experiments import (all_tables, dump_json, paper_comparison,
-                          render_all, run_circuit, run_suite)
+from .experiments import (HarnessConfig, all_tables, dump_json,
+                          paper_comparison, render_all,
+                          run_suite_resilient)
+
+
+def _resolve_profiles(names: List[str]):
+    """Suite profiles for ``names``, or None (after a message) when a
+    name is unknown -- callers turn that into exit code 2."""
+    profiles = []
+    for name in names:
+        try:
+            profiles.append(suite_mod.profile(name))
+        except KeyError:
+            valid = ", ".join(p.name for p in suite_mod.paper_suite())
+            print(f"error: unknown circuit {name!r}\n"
+                  f"valid circuits: {valid}", file=sys.stderr)
+            return None
+    return profiles
+
+
+def _harness_config(args: argparse.Namespace) -> HarnessConfig:
+    return HarnessConfig(timeout=args.timeout, retries=args.retries,
+                         jobs=args.jobs, run_dir=args.run_dir,
+                         resume=args.resume)
+
+
+def _finish_outcome(outcome) -> int:
+    """Print the job summary when something failed; pick the exit code."""
+    if outcome.ok:
+        return 0
+    print()
+    print(outcome.failure_summary().render())
+    n = len(outcome.failed_records)
+    print(f"\n{n} job(s) ultimately failed", file=sys.stderr)
+    return 1
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -36,34 +79,49 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_circuit(args: argparse.Namespace) -> int:
-    profile = suite_mod.profile(args.name)
-    run = run_circuit(profile, seed=args.seed,
-                      with_transition=args.transition)
-    print(render_all(all_tables([run],
-                                with_transition=args.transition)))
+    profiles = _resolve_profiles([args.name])
+    if profiles is None:
+        return 2
+    outcome = run_suite_resilient(profiles, seed=args.seed,
+                                  with_transition=args.transition,
+                                  config=_harness_config(args))
+    print(render_all(all_tables(outcome.runs,
+                                with_transition=args.transition,
+                                failures=outcome.failures)))
     print()
-    print(paper_comparison([run]).render())
-    return 0
+    print(paper_comparison(outcome.runs,
+                           failures=outcome.failures).render())
+    return _finish_outcome(outcome)
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
     profiles = None
     if args.circuits:
-        profiles = [suite_mod.profile(n) for n in args.circuits]
-    runs = run_suite(profiles, quick=not args.full, seed=args.seed,
-                     with_transition=args.transition, verbose=True)
-    tables = all_tables(runs, with_transition=args.transition)
-    tables.append(paper_comparison(runs))
+        profiles = _resolve_profiles(args.circuits)
+        if profiles is None:
+            return 2
+    outcome = run_suite_resilient(profiles, quick=not args.full,
+                                  seed=args.seed,
+                                  with_transition=args.transition,
+                                  config=_harness_config(args),
+                                  verbose=True)
+    tables = all_tables(outcome.runs, with_transition=args.transition,
+                        failures=outcome.failures)
+    tables.append(paper_comparison(outcome.runs,
+                                   failures=outcome.failures))
     print(render_all(tables))
     if args.json:
         dump_json(tables, args.json)
         print(f"\n(wrote {args.json})")
-    return 0
+    return _finish_outcome(outcome)
 
 
 def _cmd_partial(args: argparse.Namespace) -> int:
     from .core.partial import PartialScanPlan, compact_partial
-    profile = suite_mod.profile(args.name)
+    profiles = _resolve_profiles([args.name])
+    if profiles is None:
+        return 2
+    profile = profiles[0]
     netlist = profile.build()
     plans = [("full", PartialScanPlan.full(netlist)),
              ("cut", PartialScanPlan.by_cycle_cutting(netlist))]
@@ -85,7 +143,10 @@ def _cmd_partial(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from . import api
     from .core import tester, testio
-    profile = suite_mod.profile(args.name)
+    profiles = _resolve_profiles([args.name])
+    if profiles is None:
+        return 2
+    profile = profiles[0]
     netlist = profile.build()
     wb = api.Workbench.for_netlist(netlist)
     result = api.compact_tests(
@@ -120,17 +181,32 @@ def build_parser() -> argparse.ArgumentParser:
                     "testing (DAC 2001 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    resilience = argparse.ArgumentParser(add_help=False)
+    group = resilience.add_argument_group("resilience")
+    group.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock limit (default: none)")
+    group.add_argument("--retries", type=int, default=0,
+                       help="extra attempts per failed job (default: 0)")
+    group.add_argument("--jobs", type=int, default=1,
+                       help="worker subprocesses in parallel (default: 1)")
+    group.add_argument("--run-dir", metavar="DIR",
+                       help="checkpoint completed circuits to DIR")
+    group.add_argument("--resume", action="store_true",
+                       help="reuse completed runs found in --run-dir")
+
     p_list = sub.add_parser("list", help="list suite circuits")
     p_list.set_defaults(func=_cmd_list)
 
-    p_circuit = sub.add_parser("circuit", help="run one suite circuit")
+    p_circuit = sub.add_parser("circuit", parents=[resilience],
+                               help="run one suite circuit")
     p_circuit.add_argument("name")
     p_circuit.add_argument("--seed", type=int, default=1)
     p_circuit.add_argument("--transition", action="store_true",
                            help="also compute transition-fault coverage")
     p_circuit.set_defaults(func=_cmd_circuit)
 
-    p_tables = sub.add_parser("tables",
+    p_tables = sub.add_parser("tables", parents=[resilience],
                               help="regenerate the paper's tables")
     p_tables.add_argument("--full", action="store_true",
                           help="run the full suite (slow)")
@@ -166,7 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not getattr(args, "run_dir",
+                                                      None):
+        parser.error("--resume requires --run-dir")
     return args.func(args)
 
 

@@ -1,13 +1,28 @@
-"""Experiment harness: suite runner and paper-table regeneration."""
+"""Experiment harness: suite runners and paper-table regeneration.
 
-from .reporting import Table, dump_json, render_all
-from .runner import ArmResult, CircuitRun, run_circuit, run_suite
+Two execution layers:
+
+* :mod:`~repro.experiments.runner` -- simple serial in-process runs;
+* :mod:`~repro.experiments.harness` -- resilient campaigns with worker
+  isolation, per-job timeouts, retries and checkpoint-resume.
+"""
+
+from .harness import (HarnessConfig, JobRecord, JobSpec, RunStore,
+                      SuiteOutcome, run_jobs, run_suite_resilient)
+from .reporting import (Table, atomic_write_text, dump_json, render_all,
+                        run_from_dict, run_to_dict)
+from .runner import (ArmResult, CircuitRun, resolve_profiles, run_circuit,
+                     run_circuit_by_name, run_suite)
 from .tables import (all_tables, paper_comparison, table1, table2, table3,
                      table4, table5, table_atspeed_coverage)
 
 __all__ = [
-    "Table", "dump_json", "render_all",
-    "ArmResult", "CircuitRun", "run_circuit", "run_suite",
+    "Table", "atomic_write_text", "dump_json", "render_all",
+    "run_to_dict", "run_from_dict",
+    "ArmResult", "CircuitRun", "resolve_profiles", "run_circuit",
+    "run_circuit_by_name", "run_suite",
+    "HarnessConfig", "JobRecord", "JobSpec", "RunStore", "SuiteOutcome",
+    "run_jobs", "run_suite_resilient",
     "all_tables", "paper_comparison", "table1", "table2", "table3",
     "table4", "table5", "table_atspeed_coverage",
 ]

@@ -1,0 +1,601 @@
+"""Resilient suite execution: isolation, timeouts, retries, resume.
+
+:func:`repro.experiments.runner.run_suite` is a bare serial loop -- one
+hung ATPG call or one crash on a single circuit discards every
+completed :class:`CircuitRun` and produces no tables at all.  This
+module gives long experiment campaigns the resilience a multi-circuit
+fault-simulation sweep needs:
+
+* every ``(circuit, seed)`` job runs in an isolated worker subprocess
+  (``multiprocessing`` with the ``spawn`` start method), so a crash or
+  an out-of-control computation cannot take the campaign down;
+* a per-job wall-clock **timeout** kills hung workers;
+* failed and timed-out jobs are **retried** with exponential backoff,
+  optionally perturbing the seed on the final attempt (a different
+  random ``T0`` often steers around a pathological case);
+* every outcome is recorded as a structured :class:`JobRecord`
+  (``ok`` / ``failed`` / ``timeout`` / ``skipped-resume``, attempt
+  count, seconds, traceback);
+* completed runs are **checkpointed** incrementally to a JSONL run
+  store, so an interrupted or partially failed campaign resumes from
+  the checkpoint instead of recomputing.
+
+Run-store layout (``run_dir``)::
+
+    runs.jsonl      one completed CircuitRun per line (checkpoint)
+    journal.jsonl   one JobRecord per finished job, every invocation
+
+Both files are append-only; a truncated trailing line (killed mid
+write) is tolerated on load and simply recomputed.
+
+Chaos hook
+----------
+``HarnessConfig.chaos`` is a callable invoked once per attempt with
+``(spec, attempt)``; it may return a directive that forces a failure
+mode deterministically -- the fault-injection surface the tests use:
+
+``"crash"``
+    the worker raises (clean traceback comes back),
+``"exit"``
+    the worker dies via ``os._exit`` (no traceback, like a segfault),
+``"hang"``
+    the worker sleeps until the timeout kills it,
+``"corrupt-checkpoint"``
+    a garbage line is appended to ``runs.jsonl`` before the attempt
+    (the attempt itself then runs normally).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
+
+from ..circuits.suite import CircuitProfile
+from . import reporting
+from .reporting import Table
+from .runner import CircuitRun, resolve_profiles, run_circuit_by_name
+
+#: Added to the base seed when the final retry perturbs it.
+SEED_PERTURBATION = 7919
+
+_HANG_SECONDS = 3600.0
+_POLL_INTERVAL = 0.02
+
+#: Directives a chaos callable may return.
+CHAOS_DIRECTIVES = ("crash", "exit", "hang", "corrupt-checkpoint")
+
+ChaosFn = Callable[["JobSpec", int], Optional[str]]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work: a circuit run under one seed / arm config."""
+
+    circuit: str
+    seed: int = 1
+    arms: Tuple[str, ...] = ("seqgen", "random")
+    with_baselines: bool = True
+    with_transition: bool = False
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """Checkpoint identity (circuit, base seed)."""
+        return (self.circuit, self.seed)
+
+
+@dataclass
+class JobRecord:
+    """Structured outcome of one job across all its attempts."""
+
+    circuit: str
+    seed: int
+    status: str               # ok | failed | timeout | skipped-resume
+    attempts: int
+    seconds: float
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("failed", "timeout")
+
+    @property
+    def reason(self) -> str:
+        """Short annotation for degraded table rows."""
+        if self.status == "timeout":
+            return "timeout"
+        if self.error:
+            last = self.error.strip().splitlines()[-1]
+            return last[:60]
+        return self.status
+
+
+@dataclass
+class HarnessConfig:
+    """Resilience knobs for :func:`run_suite_resilient`.
+
+    Attributes
+    ----------
+    timeout:
+        Per-attempt wall-clock limit in seconds (None: unlimited).
+        Enforced only in isolated mode -- in-process workers cannot be
+        interrupted safely.
+    retries:
+        Extra attempts after the first failure (total = retries + 1).
+    jobs:
+        Worker subprocesses running concurrently.
+    run_dir:
+        Checkpoint directory; None disables checkpointing.
+    resume:
+        Reuse completed runs found in ``run_dir`` instead of
+        recomputing them (recorded as ``skipped-resume``).
+    backoff_base:
+        First retry waits ``backoff_base`` seconds, the next one twice
+        that, and so on.
+    perturb_final_seed:
+        On the last attempt, offset the seed by ``SEED_PERTURBATION``.
+    isolate:
+        Run jobs in subprocesses (default).  ``False`` keeps the old
+        in-process behavior with retry/backoff/checkpoint support but
+        no timeouts and no crash isolation beyond ``except``.
+    chaos:
+        Fault-injection callable ``(spec, attempt) -> directive`` --
+        see the module docstring.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 0
+    jobs: int = 1
+    run_dir: Optional[Union[str, Path]] = None
+    resume: bool = False
+    backoff_base: float = 0.5
+    perturb_final_seed: bool = True
+    isolate: bool = True
+    chaos: Optional[ChaosFn] = None
+
+
+@dataclass
+class SuiteOutcome:
+    """Everything a resilient campaign produced."""
+
+    runs: List[CircuitRun]
+    records: List[JobRecord] = field(default_factory=list)
+
+    @property
+    def failed_records(self) -> List[JobRecord]:
+        return [r for r in self.records if r.failed]
+
+    @property
+    def ok(self) -> bool:
+        """True iff no job ultimately failed."""
+        return not self.failed_records
+
+    @property
+    def failures(self) -> Dict[str, str]:
+        """``{circuit: reason}`` for the table renderers."""
+        return {r.circuit: r.reason for r in self.failed_records}
+
+    def failure_summary(self) -> Table:
+        """One row per job, for the end-of-campaign report."""
+        table = Table("Job summary",
+                      ["circuit", "seed", "status", "attempts", "seconds"])
+        for record in self.records:
+            table.add_row(record.circuit, record.seed, record.status,
+                          record.attempts, record.seconds)
+        return table
+
+
+# ----------------------------------------------------------------------
+# Run store (checkpoint)
+# ----------------------------------------------------------------------
+
+class RunStore:
+    """Append-only JSONL checkpoint of completed runs + job journal."""
+
+    RUNS_NAME = "runs.jsonl"
+    JOURNAL_NAME = "journal.jsonl"
+
+    def __init__(self, run_dir: Union[str, Path]) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.runs_path = self.run_dir / self.RUNS_NAME
+        self.journal_path = self.run_dir / self.JOURNAL_NAME
+
+    def append_run(self, spec: JobSpec, run: CircuitRun) -> None:
+        line = json.dumps({"circuit": spec.circuit, "seed": spec.seed,
+                           "run": reporting.run_to_dict(run)})
+        self._append(self.runs_path, line)
+
+    def append_record(self, record: JobRecord) -> None:
+        self._append(self.journal_path, json.dumps(asdict(record)))
+
+    @staticmethod
+    def _append(path: Path, line: str) -> None:
+        with open(path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load_runs(self) -> Tuple[Dict[Tuple[str, int], CircuitRun], int]:
+        """Checkpointed runs keyed by (circuit, seed).
+
+        Corrupt or truncated lines are skipped (and counted), never
+        fatal: the affected job is simply recomputed.
+        """
+        runs: Dict[Tuple[str, int], CircuitRun] = {}
+        corrupt = 0
+        if not self.runs_path.exists():
+            return runs, corrupt
+        with open(self.runs_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = (entry["circuit"], entry["seed"])
+                    runs[key] = reporting.run_from_dict(entry["run"])
+                except Exception:
+                    corrupt += 1
+        return runs, corrupt
+
+    def load_records(self) -> List[JobRecord]:
+        """Every JobRecord ever journalled (corrupt lines skipped)."""
+        records: List[JobRecord] = []
+        if not self.journal_path.exists():
+            return records
+        with open(self.journal_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(JobRecord(**json.loads(line)))
+                except Exception:
+                    continue
+        return records
+
+    def corrupt_checkpoint(self) -> None:
+        """Chaos helper: append a garbage line to the run store."""
+        with open(self.runs_path, "a") as handle:
+            handle.write('{"circuit": "zzz", "broken\n')
+
+
+# ----------------------------------------------------------------------
+# Worker (runs in the spawned subprocess)
+# ----------------------------------------------------------------------
+
+def _worker_main(conn, spec_dict: Dict[str, Any], seed: int,
+                 directive: Optional[str]) -> None:
+    """Subprocess body: run one circuit job, send the result back.
+
+    Must stay importable at module top level for ``spawn``.
+    """
+    try:
+        if directive == "hang":
+            time.sleep(_HANG_SECONDS)
+        elif directive == "crash":
+            raise RuntimeError("chaos: injected worker crash")
+        elif directive == "exit":
+            os._exit(13)
+        run = run_circuit_by_name(
+            spec_dict["circuit"], seed=seed,
+            arms=tuple(spec_dict["arms"]),
+            with_baselines=spec_dict["with_baselines"],
+            with_transition=spec_dict["with_transition"])
+        conn.send(("ok", reporting.run_to_dict(run)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent went away
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+def _run_attempt_inline(spec: JobSpec, seed: int,
+                        directive: Optional[str]) -> Tuple[str, Any]:
+    """One attempt without process isolation (``isolate=False``)."""
+    try:
+        if directive in ("crash", "exit", "hang"):
+            raise RuntimeError(f"chaos: injected {directive} (in-process)")
+        run = run_circuit_by_name(
+            spec.circuit, seed=seed, arms=spec.arms,
+            with_baselines=spec.with_baselines,
+            with_transition=spec.with_transition)
+        return "ok", run
+    except Exception:
+        return "error", traceback.format_exc()
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+
+@dataclass
+class _JobState:
+    spec: JobSpec
+    attempts: int = 0
+    not_before: float = 0.0
+    seconds: float = 0.0
+    last_error: Optional[str] = None
+    last_status: str = "failed"
+
+
+class _ActiveWorker:
+    __slots__ = ("state", "proc", "conn", "started", "deadline")
+
+    def __init__(self, state, proc, conn, started, deadline) -> None:
+        self.state = state
+        self.proc = proc
+        self.conn = conn
+        self.started = started
+        self.deadline = deadline
+
+
+def _attempt_seed(spec: JobSpec, attempt: int,
+                  config: HarnessConfig) -> int:
+    total = config.retries + 1
+    if (config.perturb_final_seed and total > 1 and attempt == total):
+        return spec.seed + SEED_PERTURBATION
+    return spec.seed
+
+
+def _chaos_directive(config: HarnessConfig, store: Optional[RunStore],
+                     spec: JobSpec, attempt: int) -> Optional[str]:
+    if config.chaos is None:
+        return None
+    directive = config.chaos(spec, attempt)
+    if directive is None:
+        return None
+    if directive not in CHAOS_DIRECTIVES:
+        raise ValueError(f"unknown chaos directive {directive!r}")
+    if directive == "corrupt-checkpoint":
+        if store is not None:
+            store.corrupt_checkpoint()
+        return None
+    return directive
+
+
+def run_jobs(specs: Sequence[JobSpec],
+             config: Optional[HarnessConfig] = None,
+             verbose: bool = False) -> SuiteOutcome:
+    """Execute ``specs`` resiliently; the core of the harness.
+
+    Jobs run in up to ``config.jobs`` worker subprocesses; each attempt
+    gets ``config.timeout`` seconds; failures retry with exponential
+    backoff.  With ``config.run_dir`` set, completed runs checkpoint
+    incrementally, and ``config.resume`` skips jobs the checkpoint
+    already holds.  Runs come back in ``specs`` order (failed jobs are
+    simply absent); consult :attr:`SuiteOutcome.records` for the
+    per-job story.
+    """
+    config = config or HarnessConfig()
+    store = RunStore(config.run_dir) if config.run_dir else None
+
+    results: Dict[Tuple[str, int], CircuitRun] = {}
+    records: List[JobRecord] = []
+    pending: List[_JobState] = []
+
+    checkpoint: Dict[Tuple[str, int], CircuitRun] = {}
+    if store is not None and config.resume:
+        checkpoint, corrupt = store.load_runs()
+        if corrupt and verbose:  # pragma: no cover - cosmetic
+            print(f"  (checkpoint: skipped {corrupt} corrupt line(s))")
+
+    for spec in specs:
+        cached = checkpoint.get(spec.key)
+        if cached is not None and _checkpoint_usable(cached, spec):
+            results[spec.key] = cached
+            record = JobRecord(spec.circuit, spec.seed, "skipped-resume",
+                               attempts=0, seconds=0.0)
+            records.append(record)
+            if store is not None:
+                store.append_record(record)
+            if verbose:
+                print(f"  {spec.circuit}: resumed from checkpoint")
+            continue
+        pending.append(_JobState(spec))
+
+    if config.isolate:
+        _run_isolated(pending, config, store, results, records, verbose)
+    else:
+        _run_inline(pending, config, store, results, records, verbose)
+
+    runs = [results[s.key] for s in specs if s.key in results]
+    return SuiteOutcome(runs=runs, records=records)
+
+
+def _checkpoint_usable(run: CircuitRun, spec: JobSpec) -> bool:
+    """A cached run satisfies the request (arms/baselines/transition)."""
+    if not all(a in run.arms for a in spec.arms):
+        return False
+    if spec.with_baselines and run.baseline4 is None:
+        return False
+    if spec.with_transition and not run.transition:
+        return False
+    return True
+
+
+def _finish(state: _JobState, status: str, payload: Any,
+            config: HarnessConfig, store: Optional[RunStore],
+            results: Dict[Tuple[str, int], CircuitRun],
+            records: List[JobRecord], pending: List[_JobState],
+            verbose: bool) -> None:
+    """Record one finished attempt; reschedule or finalize the job."""
+    spec = state.spec
+    if status == "ok":
+        run = payload if isinstance(payload, CircuitRun) \
+            else reporting.run_from_dict(payload)
+        results[spec.key] = run
+        record = JobRecord(spec.circuit, spec.seed, "ok",
+                           attempts=state.attempts,
+                           seconds=round(state.seconds, 3))
+        records.append(record)
+        if store is not None:
+            store.append_run(spec, run)
+            store.append_record(record)
+        if verbose:
+            print(f"  {spec.circuit}: ok in {state.seconds:.1f}s "
+                  f"(attempt {state.attempts})")
+        return
+
+    state.last_status = status
+    state.last_error = payload
+    if state.attempts <= config.retries:
+        delay = config.backoff_base * (2 ** (state.attempts - 1))
+        state.not_before = time.monotonic() + delay
+        pending.append(state)
+        if verbose:
+            print(f"  {spec.circuit}: {status} (attempt "
+                  f"{state.attempts}), retrying in {delay:.1f}s")
+        return
+
+    record = JobRecord(spec.circuit, spec.seed, status,
+                       attempts=state.attempts,
+                       seconds=round(state.seconds, 3),
+                       error=payload)
+    records.append(record)
+    if store is not None:
+        store.append_record(record)
+    if verbose:
+        print(f"  {spec.circuit}: {status} after "
+              f"{state.attempts} attempt(s)")
+
+
+def _run_inline(pending: List[_JobState], config: HarnessConfig,
+                store: Optional[RunStore],
+                results: Dict[Tuple[str, int], CircuitRun],
+                records: List[JobRecord], verbose: bool) -> None:
+    """Serial in-process execution (no isolation, no timeouts)."""
+    while pending:
+        state = pending.pop(0)
+        wait = state.not_before - time.monotonic()
+        if wait > 0:
+            time.sleep(wait)
+        state.attempts += 1
+        directive = _chaos_directive(config, store, state.spec,
+                                     state.attempts)
+        started = time.monotonic()
+        status, payload = _run_attempt_inline(
+            state.spec, _attempt_seed(state.spec, state.attempts, config),
+            directive)
+        state.seconds += time.monotonic() - started
+        _finish(state, "ok" if status == "ok" else "failed", payload,
+                config, store, results, records, pending, verbose)
+
+
+def _run_isolated(pending: List[_JobState], config: HarnessConfig,
+                  store: Optional[RunStore],
+                  results: Dict[Tuple[str, int], CircuitRun],
+                  records: List[JobRecord], verbose: bool) -> None:
+    """Subprocess execution with timeouts and bounded parallelism."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("spawn")
+    max_workers = max(1, config.jobs)
+    active: List[_ActiveWorker] = []
+
+    def launch(state: _JobState) -> None:
+        state.attempts += 1
+        directive = _chaos_directive(config, store, state.spec,
+                                     state.attempts)
+        seed = _attempt_seed(state.spec, state.attempts, config)
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, asdict(state.spec), seed, directive),
+            daemon=True)
+        proc.start()
+        child_conn.close()
+        now = time.monotonic()
+        deadline = now + config.timeout if config.timeout else None
+        active.append(_ActiveWorker(state, proc, parent_conn, now,
+                                    deadline))
+
+    def settle(worker: _ActiveWorker, status: str, payload: Any) -> None:
+        active.remove(worker)
+        worker.conn.close()
+        worker.state.seconds += time.monotonic() - worker.started
+        _finish(worker.state, status, payload, config, store, results,
+                records, pending, verbose)
+
+    try:
+        while pending or active:
+            now = time.monotonic()
+            ready = [s for s in pending if s.not_before <= now]
+            while ready and len(active) < max_workers:
+                state = ready.pop(0)
+                pending.remove(state)
+                launch(state)
+
+            if not active:
+                # Everything left is backing off; sleep to the nearest.
+                wake = min(s.not_before for s in pending)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+
+            time.sleep(_POLL_INTERVAL)
+            now = time.monotonic()
+            for worker in list(active):
+                if worker.conn.poll():
+                    try:
+                        kind, payload = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # Hard death (os._exit, segfault): the pipe hits
+                        # EOF without a message.
+                        worker.proc.join(timeout=5)
+                        kind, payload = ("error",
+                                         f"worker died without a result "
+                                         f"(exit code "
+                                         f"{worker.proc.exitcode})")
+                    worker.proc.join(timeout=5)
+                    settle(worker,
+                           "ok" if kind == "ok" else "failed", payload)
+                elif worker.deadline is not None and now >= worker.deadline:
+                    worker.proc.kill()
+                    worker.proc.join(timeout=5)
+                    settle(worker, "timeout",
+                           f"killed after exceeding the "
+                           f"{config.timeout}s per-job timeout")
+                elif not worker.proc.is_alive():
+                    worker.proc.join()
+                    settle(worker, "failed",
+                           f"worker died without a result "
+                           f"(exit code {worker.proc.exitcode})")
+    finally:
+        for worker in active:  # pragma: no cover - only on hard errors
+            worker.proc.kill()
+            worker.proc.join(timeout=5)
+
+
+def run_suite_resilient(
+    profiles: Optional[Sequence[CircuitProfile]] = None,
+    quick: bool = True,
+    seed: int = 1,
+    arms: Sequence[str] = ("seqgen", "random"),
+    with_baselines: bool = True,
+    with_transition: bool = False,
+    config: Optional[HarnessConfig] = None,
+    verbose: bool = False,
+) -> SuiteOutcome:
+    """Resilient drop-in for :func:`repro.experiments.runner.run_suite`.
+
+    Same experiment knobs; adds the :class:`HarnessConfig` resilience
+    layer and returns a :class:`SuiteOutcome` instead of a bare list.
+    Suite profiles are dispatched to workers *by name*, so explicit
+    ``profiles`` must come from the suite registry.
+    """
+    specs = [JobSpec(circuit=p.name, seed=seed, arms=tuple(arms),
+                     with_baselines=with_baselines,
+                     with_transition=with_transition)
+             for p in resolve_profiles(profiles, quick=quick)]
+    return run_jobs(specs, config=config, verbose=verbose)

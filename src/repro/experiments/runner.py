@@ -134,6 +134,40 @@ def run_circuit(
     )
 
 
+def run_circuit_by_name(
+    name: str,
+    seed: int = 1,
+    arms: Sequence[str] = ("seqgen", "random"),
+    with_baselines: bool = True,
+    with_transition: bool = False,
+) -> CircuitRun:
+    """:func:`run_circuit` on a suite circuit looked up by name.
+
+    This is the entry point the resilient harness's worker subprocess
+    uses: a name travels across the ``spawn`` boundary where a profile
+    (whose builder is a closure) cannot.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a suite circuit.
+    """
+    from ..circuits.suite import profile as lookup
+    return run_circuit(lookup(name), seed=seed, arms=arms,
+                       with_baselines=with_baselines,
+                       with_transition=with_transition)
+
+
+def resolve_profiles(
+    profiles: Optional[Sequence[CircuitProfile]] = None,
+    quick: bool = True,
+) -> List[CircuitProfile]:
+    """The explicit profile list, or the quick/full suite default."""
+    if profiles is None:
+        return suite(quick=quick)
+    return list(profiles)
+
+
 def run_suite(
     profiles: Optional[Sequence[CircuitProfile]] = None,
     quick: bool = True,
@@ -143,9 +177,16 @@ def run_suite(
     with_transition: bool = False,
     verbose: bool = False,
 ) -> List[CircuitRun]:
-    """Run the whole suite; see :func:`run_circuit` for the knobs."""
-    if profiles is None:
-        profiles = suite(quick=quick)
+    """Run the whole suite serially, in process.
+
+    This is the simple path: one crash or hang voids the whole run.
+    Long campaigns should prefer
+    :func:`repro.experiments.harness.run_suite_resilient`, which adds
+    worker isolation, timeouts, retries and checkpoint-resume.
+
+    See :func:`run_circuit` for the knobs.
+    """
+    profiles = resolve_profiles(profiles, quick=quick)
     runs = []
     for profile in profiles:
         run = run_circuit(profile, seed=seed, arms=arms,

@@ -9,11 +9,14 @@ through :func:`paper_comparison` for EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.metrics import at_speed_stats
 from .reporting import Table
 from .runner import CircuitRun
+
+#: ``{circuit: reason}`` -- circuits whose job ultimately failed.
+Failures = Optional[Mapping[str, str]]
 
 
 def _arm(run: CircuitRun, source: str):
@@ -21,7 +24,21 @@ def _arm(run: CircuitRun, source: str):
     return arm.result if arm else None
 
 
-def table1(runs: Sequence[CircuitRun], source: str = "seqgen") -> Table:
+def _add_failure_rows(table: Table, failures: Failures) -> None:
+    """Annotate circuits that produced no run instead of dropping them.
+
+    A failed job still gets a row: its name, ``FAILED(reason)`` in the
+    first data column, and dashes for the rest -- so a partially
+    degraded campaign renders every requested circuit.
+    """
+    for name in sorted(failures or {}):
+        cells: List[Optional[str]] = [name, f"FAILED({failures[name]})"]
+        cells.extend([None] * (len(table.headers) - 2))
+        table.add_row(*cells)
+
+
+def table1(runs: Sequence[CircuitRun], source: str = "seqgen",
+           failures: Failures = None) -> Table:
     """Table 1: faults detected by T0, by tau_seq, and by the final set."""
     table = Table(f"Table 1: Detected faults (T0 source: {source})",
                   ["circuit", "ff", "comb tsts", "flts",
@@ -39,10 +56,12 @@ def table1(runs: Sequence[CircuitRun], source: str = "seqgen") -> Table:
             len(res.seq_detected),
             len(res.final_detected),
         )
+    _add_failure_rows(table, failures)
     return table
 
 
-def table2(runs: Sequence[CircuitRun], source: str = "seqgen") -> Table:
+def table2(runs: Sequence[CircuitRun], source: str = "seqgen",
+           failures: Failures = None) -> Table:
     """Table 2: sequence lengths and Phase-3 additions."""
     table = Table(f"Table 2: Test lengths (T0 source: {source})",
                   ["circuit", "T0 len", "scan len", "added c.tst"])
@@ -52,10 +71,12 @@ def table2(runs: Sequence[CircuitRun], source: str = "seqgen") -> Table:
             continue
         table.add_row(run.name, res.t0_length, res.seq_length,
                       res.added_tests)
+    _add_failure_rows(table, failures)
     return table
 
 
-def table3(runs: Sequence[CircuitRun]) -> Table:
+def table3(runs: Sequence[CircuitRun],
+           failures: Failures = None) -> Table:
     """Table 3: clock cycles for every method.
 
     Columns mirror the paper: the [2,3] dynamic baseline, the [4]
@@ -89,12 +110,14 @@ def table3(runs: Sequence[CircuitRun]) -> Table:
             if cell is not None:
                 totals[i] += cell
                 have[i] = True
+    _add_failure_rows(table, failures)
     table.add_row("total",
                   *[totals[i] if have[i] else None for i in range(7)])
     return table
 
 
-def table4(runs: Sequence[CircuitRun]) -> Table:
+def table4(runs: Sequence[CircuitRun],
+           failures: Failures = None) -> Table:
     """Table 4: at-speed primary-input sequence lengths (ave / range)."""
     table = Table(
         "Table 4: At-speed test lengths",
@@ -116,10 +139,12 @@ def table4(runs: Sequence[CircuitRun]) -> Table:
                 stats = at_speed_stats(final)
                 cells.extend([stats.average, stats.range_str])
         table.add_row(run.name, *cells)
+    _add_failure_rows(table, failures)
     return table
 
 
-def table5(runs: Sequence[CircuitRun]) -> Table:
+def table5(runs: Sequence[CircuitRun],
+           failures: Failures = None) -> Table:
     """Table 5: the random-T0 arm in detail."""
     table = Table(
         "Table 5: Results for random sequences",
@@ -138,10 +163,12 @@ def table5(runs: Sequence[CircuitRun]) -> Table:
             res.seq_length,
             res.added_tests,
         )
+    _add_failure_rows(table, failures)
     return table
 
 
-def table_atspeed_coverage(runs: Sequence[CircuitRun]) -> Table:
+def table_atspeed_coverage(runs: Sequence[CircuitRun],
+                           failures: Failures = None) -> Table:
     """Extension E6: transition-fault coverage of the final test sets.
 
     Quantifies the paper's at-speed claim: the long-sequence test sets
@@ -157,20 +184,30 @@ def table_atspeed_coverage(runs: Sequence[CircuitRun]) -> Table:
             run.transition.get("seqgen"),
             run.transition.get("random"),
         )
+    _add_failure_rows(table, failures)
     return table
 
 
 def all_tables(runs: Sequence[CircuitRun],
-               with_transition: bool = False) -> List[Table]:
-    """Every paper table (plus the extension when data is present)."""
-    tables = [table1(runs), table2(runs), table3(runs), table4(runs),
-              table5(runs)]
+               with_transition: bool = False,
+               failures: Failures = None) -> List[Table]:
+    """Every paper table (plus the extension when data is present).
+
+    ``failures`` annotates circuits whose job produced no run; the
+    tables render with the surviving subset either way.
+    """
+    tables = [table1(runs, failures=failures),
+              table2(runs, failures=failures),
+              table3(runs, failures=failures),
+              table4(runs, failures=failures),
+              table5(runs, failures=failures)]
     if with_transition or any(run.transition for run in runs):
-        tables.append(table_atspeed_coverage(runs))
+        tables.append(table_atspeed_coverage(runs, failures=failures))
     return tables
 
 
-def paper_comparison(runs: Sequence[CircuitRun]) -> Table:
+def paper_comparison(runs: Sequence[CircuitRun],
+                     failures: Failures = None) -> Table:
     """Paper-published vs measured key figures, where known.
 
     Used to fill EXPERIMENTS.md; absolute values are expected to
@@ -213,4 +250,5 @@ def paper_comparison(runs: Sequence[CircuitRun]) -> Table:
                              b4.stats.final_cycles))
         for metric, expected, measured in rows:
             table.add_row(run.name, metric, expected, measured)
+    _add_failure_rows(table, failures)
     return table

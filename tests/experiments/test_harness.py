@@ -1,0 +1,275 @@
+"""Chaos-injection tests for the resilient experiment harness.
+
+Every failure mode the harness defends against is forced
+deterministically through ``HarnessConfig.chaos``: worker crashes,
+hard exits, hangs (killed by the timeout), and corrupt checkpoint
+lines on resume.  Subprocess cases use the cheap s27/b02 jobs with a
+single arm to keep the suite fast.
+"""
+
+import json
+
+import pytest
+
+from repro.circuits import suite
+from repro.experiments import harness, reporting, runner, tables
+from repro.experiments.harness import (HarnessConfig, JobRecord, JobSpec,
+                                       RunStore, run_jobs,
+                                       run_suite_resilient)
+
+
+def _spec(circuit="s27", **kw):
+    kw.setdefault("arms", ("random",))
+    kw.setdefault("with_baselines", False)
+    return JobSpec(circuit, seed=1, **kw)
+
+
+def _cfg(**kw):
+    kw.setdefault("backoff_base", 0.01)
+    return HarnessConfig(**kw)
+
+
+@pytest.fixture(scope="module")
+def s27_full_run():
+    return runner.run_circuit(suite.profile("s27"), seed=1,
+                              with_transition=True)
+
+
+class TestSerialization:
+    def test_roundtrip_through_json(self, s27_full_run):
+        blob = json.dumps(reporting.run_to_dict(s27_full_run))
+        back = reporting.run_from_dict(json.loads(blob))
+        assert back.name == "s27"
+        assert back.n_faults == s27_full_run.n_faults
+        assert back.transition == s27_full_run.transition
+        for source in ("seqgen", "random"):
+            orig = s27_full_run.arms[source].result
+            rest = back.arms[source].result
+            assert rest.final_detected == orig.final_detected
+            assert rest.initial_cycles() == orig.initial_cycles()
+            assert rest.compacted_cycles() == orig.compacted_cycles()
+        assert back.baseline4.stats == s27_full_run.baseline4.stats
+        assert back.dynamic.detected == s27_full_run.dynamic.detected
+
+    def test_roundtrip_preserves_tables(self, s27_full_run):
+        back = reporting.run_from_dict(
+            reporting.run_to_dict(s27_full_run))
+        for build in (tables.table1, tables.table3, tables.table4):
+            assert build([back]).rows == build([s27_full_run]).rows
+
+    def test_unknown_circuit_gets_stub_profile(self, s27_full_run):
+        data = reporting.run_to_dict(s27_full_run)
+        data["circuit"] = "never-heard-of-it"
+        back = reporting.run_from_dict(data)
+        assert back.name == "never-heard-of-it"
+        with pytest.raises(RuntimeError, match="checkpoint"):
+            back.profile.build()
+        # Table renderers only need the name.
+        assert tables.table3([back]).rows
+
+
+class TestRunStore:
+    def test_corrupt_lines_skipped(self, tmp_path, s27_full_run):
+        store = RunStore(tmp_path)
+        store.corrupt_checkpoint()
+        store.append_run(_spec(), s27_full_run)
+        (tmp_path / "runs.jsonl").open("a").write('{"truncat')
+        runs, corrupt = store.load_runs()
+        assert corrupt == 2
+        assert ("s27", 1) in runs
+
+    def test_journal_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append_record(JobRecord("s27", 1, "failed", 3, 1.5,
+                                      error="boom"))
+        records = store.load_records()
+        assert records[0].status == "failed"
+        assert records[0].attempts == 3
+
+    def test_missing_store_is_empty(self, tmp_path):
+        store = RunStore(tmp_path / "fresh")
+        assert store.load_runs() == ({}, 0)
+        assert store.load_records() == []
+
+
+class TestInlineMode:
+    """isolate=False: retry/backoff/checkpoint logic without spawns."""
+
+    def test_crash_then_retry_succeeds(self, tmp_path):
+        crashes = []
+
+        def chaos(spec, attempt):
+            if attempt == 1:
+                crashes.append(spec.circuit)
+                return "crash"
+            return None
+
+        out = run_jobs([_spec()], _cfg(retries=1, isolate=False,
+                                       run_dir=tmp_path, chaos=chaos))
+        assert out.ok
+        assert crashes == ["s27"]
+        assert [(r.status, r.attempts) for r in out.records] == [("ok", 2)]
+
+    def test_crash_exhausts_retries(self):
+        out = run_jobs([_spec()],
+                       _cfg(isolate=False, chaos=lambda s, a: "crash"))
+        assert not out.ok
+        record = out.records[0]
+        assert record.status == "failed"
+        assert record.attempts == 1
+        assert "injected" in record.error
+        assert out.runs == []
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ValueError, match="chaos directive"):
+            run_jobs([_spec()],
+                     _cfg(isolate=False, chaos=lambda s, a: "meteor"))
+
+    def test_final_attempt_perturbs_seed(self):
+        spec = _spec()
+        config = _cfg(retries=2)
+        assert harness._attempt_seed(spec, 1, config) == spec.seed
+        assert harness._attempt_seed(spec, 2, config) == spec.seed
+        assert harness._attempt_seed(spec, 3, config) == \
+            spec.seed + harness.SEED_PERTURBATION
+        config.perturb_final_seed = False
+        assert harness._attempt_seed(spec, 3, config) == spec.seed
+
+
+class TestIsolatedChaos:
+    def test_worker_crash_then_retry(self, tmp_path):
+        out = run_jobs(
+            [_spec()],
+            _cfg(retries=1, run_dir=tmp_path,
+                 chaos=lambda s, a: "crash" if a == 1 else None))
+        assert out.ok
+        assert out.records[0].attempts == 2
+        # The checkpoint holds the completed run.
+        runs, _ = RunStore(tmp_path).load_runs()
+        assert ("s27", 1) in runs
+
+    def test_worker_hard_exit(self):
+        out = run_jobs([_spec()], _cfg(chaos=lambda s, a: "exit"))
+        assert not out.ok
+        record = out.records[0]
+        assert record.status == "failed"
+        assert "exit code" in record.error
+
+    def test_worker_hang_times_out(self):
+        out = run_jobs([_spec()],
+                       _cfg(timeout=2.0, chaos=lambda s, a: "hang"))
+        record = out.records[0]
+        assert record.status == "timeout"
+        assert record.failed
+        assert out.failures == {"s27": "timeout"}
+
+    def test_parallel_jobs_all_complete(self):
+        specs = [_spec("s27"), _spec("b02")]
+        out = run_jobs(specs, _cfg(jobs=2))
+        assert out.ok
+        assert [r.name for r in out.runs] == ["s27", "b02"]
+
+
+class TestResume:
+    def test_failed_job_recomputed_survivor_skipped(self, tmp_path):
+        specs = [_spec("s27"), _spec("b02")]
+
+        def chaos(spec, attempt):
+            return "crash" if spec.circuit == "s27" else None
+
+        first = run_jobs(specs, _cfg(run_dir=tmp_path, chaos=chaos))
+        assert not first.ok
+        assert [r.name for r in first.runs] == ["b02"]
+
+        # Re-invocation with resume: only the failed job reruns.
+        second = run_jobs(specs, _cfg(run_dir=tmp_path, resume=True))
+        assert second.ok
+        assert [r.name for r in second.runs] == ["s27", "b02"]
+        by_circuit = {r.circuit: r for r in second.records}
+        assert by_circuit["b02"].status == "skipped-resume"
+        assert by_circuit["b02"].attempts == 0
+        assert by_circuit["s27"].status == "ok"
+        assert by_circuit["s27"].attempts == 1
+        # The journal keeps the whole campaign's attempt history.
+        journal = RunStore(tmp_path).load_records()
+        assert [(r.circuit, r.status) for r in journal] == [
+            ("s27", "failed"), ("b02", "ok"),
+            ("b02", "skipped-resume"), ("s27", "ok")]
+
+    def test_corrupt_checkpoint_line_recomputed(self, tmp_path):
+        run_jobs([_spec()], _cfg(run_dir=tmp_path, isolate=False))
+        # A crash mid-append leaves a truncated line; resume must
+        # recompute that job rather than die.
+        runs_file = tmp_path / "runs.jsonl"
+        runs_file.write_text(runs_file.read_text()[:40])
+        out = run_jobs([_spec()],
+                       _cfg(run_dir=tmp_path, resume=True,
+                            isolate=False))
+        assert out.ok
+        assert out.records[0].status == "ok"  # not skipped-resume
+
+    def test_chaos_corrupts_checkpoint(self, tmp_path):
+        out = run_jobs(
+            [_spec()],
+            _cfg(run_dir=tmp_path, isolate=False,
+                 chaos=lambda s, a: "corrupt-checkpoint"))
+        assert out.ok  # the attempt itself runs normally
+        runs, corrupt = RunStore(tmp_path).load_runs()
+        assert corrupt == 1
+        assert ("s27", 1) in runs
+
+    def test_resume_rejects_insufficient_checkpoint(self, tmp_path):
+        run_jobs([_spec()], _cfg(run_dir=tmp_path, isolate=False))
+        richer = JobSpec("s27", seed=1, arms=("seqgen", "random"),
+                         with_baselines=True)
+        out = run_jobs([richer], _cfg(run_dir=tmp_path, resume=True,
+                                      isolate=False))
+        # The cached run lacks baselines + the seqgen arm: recompute.
+        assert out.records[0].status == "ok"
+        assert out.runs[0].baseline4 is not None
+
+
+class TestDegradedTables:
+    def test_tables_render_with_failures(self, s27_full_run):
+        failures = {"s298": "timeout"}
+        for table in tables.all_tables([s27_full_run],
+                                       failures=failures):
+            text = table.render()
+            assert "FAILED(timeout)" in text
+            assert "s298" in text
+
+    def test_table3_failure_row_before_total(self, s27_full_run):
+        t = tables.table3([s27_full_run], failures={"s298": "crash"})
+        assert t.rows[-1][0] == "total"
+        assert t.rows[-2][:2] == ["s298", "FAILED(crash)"]
+
+    def test_empty_runs_render(self):
+        failures = {"s27": "timeout", "b02": "crash"}
+        for table in tables.all_tables([], with_transition=True,
+                                       failures=failures):
+            assert "FAILED" in table.render()
+        comparison = tables.paper_comparison([], failures=failures)
+        assert "FAILED(timeout)" in comparison.render()
+
+    def test_empty_runs_no_failures(self):
+        for table in tables.all_tables([]):
+            assert table.render()
+
+
+class TestSuiteEntry:
+    def test_run_suite_resilient_matches_run_suite(self):
+        profile = suite.profile("s27")
+        outcome = run_suite_resilient(
+            [profile], arms=("random",), with_baselines=False,
+            config=_cfg(isolate=False))
+        plain = runner.run_suite([profile], arms=("random",),
+                                 with_baselines=False)
+        assert outcome.ok
+        assert tables.table5(outcome.runs).rows == \
+            tables.table5(plain).rows
+
+    def test_failure_summary_table(self):
+        out = run_jobs([_spec()],
+                       _cfg(isolate=False, chaos=lambda s, a: "crash"))
+        text = out.failure_summary().render()
+        assert "s27" in text and "failed" in text

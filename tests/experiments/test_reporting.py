@@ -50,6 +50,23 @@ class TestExport:
         data = json.loads(path.read_text())
         assert data[0]["title"] == "Demo"
 
+    def test_dump_json_creates_parents(self, tmp_path):
+        t = Table("Demo", ["x"])
+        t.add_row(5)
+        path = tmp_path / "deep" / "nested" / "out.json"
+        dump_json([t], path)
+        assert json.loads(path.read_text())[0]["title"] == "Demo"
+
+    def test_dump_json_atomic_no_temp_left(self, tmp_path):
+        t = Table("Demo", ["x"])
+        t.add_row(5)
+        path = tmp_path / "out.json"
+        path.write_text("old content")
+        dump_json([t], path)
+        # Replaced in one step: valid JSON, no temp file left behind.
+        assert json.loads(path.read_text())[0]["title"] == "Demo"
+        assert list(tmp_path.iterdir()) == [path]
+
     def test_render_all(self):
         a = Table("A", ["x"])
         b = Table("B", ["y"])

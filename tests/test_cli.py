@@ -24,9 +24,20 @@ class TestParser:
         assert "Table 1" in out
         assert "Table 5" in out
 
-    def test_circuit_unknown(self):
-        with pytest.raises(KeyError):
-            main(["circuit", "sXXX"])
+    def test_circuit_unknown(self, capsys):
+        assert main(["circuit", "sXXX"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown circuit" in err
+        assert "s298" in err  # the valid names are listed
+
+    def test_tables_unknown_circuit(self, capsys):
+        assert main(["tables", "--circuits", "s27", "sXXX"]) == 2
+        assert "unknown circuit" in capsys.readouterr().err
+
+    def test_resume_requires_run_dir(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["tables", "--resume"])
+        assert exc.value.code == 2
 
     def test_tables_single_circuit_json(self, capsys, tmp_path):
         out_json = tmp_path / "tables.json"
@@ -35,6 +46,39 @@ class TestParser:
         data = json.loads(out_json.read_text())
         titles = [t["title"] for t in data]
         assert any("Table 3" in t for t in titles)
+
+    def test_tables_run_dir_then_resume(self, capsys, tmp_path):
+        run_dir = tmp_path / "campaign"
+        assert main(["tables", "--circuits", "s27",
+                     "--run-dir", str(run_dir)]) == 0
+        assert (run_dir / "runs.jsonl").exists()
+        capsys.readouterr()
+        assert main(["tables", "--circuits", "s27",
+                     "--run-dir", str(run_dir), "--resume"]) == 0
+        assert "resumed from checkpoint" in capsys.readouterr().out
+        journal = (run_dir / "journal.jsonl").read_text().splitlines()
+        statuses = [json.loads(line)["status"] for line in journal]
+        assert statuses == ["ok", "skipped-resume"]
+
+    def test_failed_job_exits_nonzero(self, capsys, monkeypatch):
+        from repro.experiments import harness
+
+        def chaos(spec, attempt):
+            return "crash"
+
+        original = harness.HarnessConfig
+
+        def patched(*args, **kwargs):
+            config = original(*args, **kwargs)
+            config.chaos = chaos
+            config.isolate = False
+            return config
+
+        monkeypatch.setattr("repro.cli.HarnessConfig", patched)
+        assert main(["circuit", "s27"]) == 1
+        captured = capsys.readouterr()
+        assert "Job summary" in captured.out
+        assert "ultimately failed" in captured.err
 
     def test_bench_info(self, capsys):
         assert main(["bench-info"]) == 0

@@ -95,6 +95,37 @@ class TestCorruptedInputs:
         assert result.final_detected  # phase 3 carried the coverage
 
 
+class TestHarnessDegradation:
+    """The experiment layer must survive failing circuit jobs: keep the
+    survivors, annotate the casualties, never raise."""
+
+    def test_campaign_survives_one_crashing_job(self, tmp_path):
+        from repro.experiments import all_tables
+        from repro.experiments.harness import (HarnessConfig, JobSpec,
+                                               run_jobs)
+
+        def chaos(spec, attempt):
+            return "crash" if spec.circuit == "b02" else None
+
+        specs = [JobSpec("s27", with_baselines=False),
+                 JobSpec("b02", with_baselines=False)]
+        outcome = run_jobs(specs, HarnessConfig(isolate=False,
+                                                run_dir=tmp_path,
+                                                chaos=chaos))
+        assert not outcome.ok
+        assert [r.name for r in outcome.runs] == ["s27"]
+        rendered = [t.render()
+                    for t in all_tables(outcome.runs,
+                                        failures=outcome.failures)]
+        assert all("s27" in text for text in rendered)
+        assert all("FAILED(" in text for text in rendered)
+
+    def test_run_circuit_by_name_unknown(self):
+        from repro.experiments import run_circuit_by_name
+        with pytest.raises(KeyError, match="unknown suite circuit"):
+            run_circuit_by_name("sXXX")
+
+
 class TestApiGuards:
     def test_unknown_source(self, s27):
         with pytest.raises(ValueError):
