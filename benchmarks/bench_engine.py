@@ -4,9 +4,15 @@ These track the throughput of the substrate the tables are built on
 (useful when optimizing the inner loops):
 
 * one bit-parallel fault-simulation pass over a sequence;
+* the same pass fused (all faults in one wide word) vs chunked
+  (128 machines per word) -- the packing-policy ablation;
 * one PPSFP block over 64 combinational patterns;
 * one PODEM run per fault, averaged;
 * one full Phase-2 vector-omission run.
+
+``benchmarks/emit_bench.py`` packages the fused-vs-chunked comparison
+(over a full ``run_proposed`` pass) into ``BENCH_engine.json`` for the
+CI perf gate; the micro-benchmarks here are for interactive tuning.
 """
 
 import random
@@ -32,6 +38,30 @@ def test_fault_sim_sequence_pass(benchmark, wb):
     vectors = random_gen.random_sequence(wb.circuit, 100, seed=1)
     init = random_gen.random_state(wb.circuit, seed=2)
     detected = benchmark(wb.sim.detect, vectors, init,
+                         early_exit=False)
+    assert detected
+
+
+def test_fault_sim_fused_word(benchmark, wb):
+    """All faults packed into one fused word (width="auto")."""
+    from repro.sim.fault_sim import FaultSimulator
+
+    fused_sim = FaultSimulator(wb.circuit, wb.faults, width="auto")
+    vectors = random_gen.random_sequence(wb.circuit, 100, seed=1)
+    init = random_gen.random_state(wb.circuit, seed=2)
+    detected = benchmark(fused_sim.detect, vectors, init,
+                         early_exit=False)
+    assert detected
+
+
+def test_fault_sim_chunked_word(benchmark, wb):
+    """The pre-fusion policy: 128 machines per word, many chunks."""
+    from repro.sim.fault_sim import FaultSimulator
+
+    chunked_sim = FaultSimulator(wb.circuit, wb.faults, width=128)
+    vectors = random_gen.random_sequence(wb.circuit, 100, seed=1)
+    init = random_gen.random_state(wb.circuit, seed=2)
+    detected = benchmark(chunked_sim.detect, vectors, init,
                          early_exit=False)
     assert detected
 

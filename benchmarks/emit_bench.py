@@ -1,0 +1,186 @@
+"""Emit ``BENCH_engine.json``: fused + dropping vs the chunked engine.
+
+Runs the paper's full proposed procedure (:func:`repro.core.proposed.
+run`) twice on one synthesized circuit:
+
+* **before** -- the pre-fusion engine configuration: 128 machines per
+  word (many chunks per pass) and a *disabled* scoreboard, so no
+  cross-phase fault dropping;
+* **after** -- the wide-word configuration: ``width="auto"`` (every
+  target fused into one word) with cross-phase dropping on.
+
+Both arms must produce byte-identical results (detection sets, test
+sets, cycle counts) -- the script asserts it and records the check in
+the JSON.  The emitted file carries circuit stats, per-arm wall clock
+and engine counters, the speedup ratio, and the ``width="auto"``
+probe's verdict (:func:`repro.sim.fault_sim.benchmark_packing`).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py            # full (~3 min)
+    PYTHONPATH=src python benchmarks/emit_bench.py --quick    # CI-sized
+    PYTHONPATH=src python benchmarks/emit_bench.py --quick --gate 1.5
+
+``--gate RATIO`` turns the script into a perf gate: exit code 1 when
+the fused arm is slower than ``RATIO`` times the chunked arm (the CI
+perf-smoke job runs ``--quick --gate 1.5``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.atpg import comb_set as comb_set_mod
+from repro.atpg import random_gen
+from repro.circuits import synth
+from repro.core.proposed import run as run_proposed
+from repro.experiments.reporting import atomic_write_text
+from repro.sim.comb_sim import CombPatternSim
+from repro.sim.counters import SimCounters
+from repro.sim.fault_sim import (DEFAULT_WIDTH, FaultSimulator,
+                                 benchmark_packing)
+from repro.sim.faults import FaultSet
+from repro.sim.logicsim import CompiledCircuit
+from repro.sim.scoreboard import FaultScoreboard
+
+#: The full-size benchmark circuit: >= 1000 collapsed faults.
+FULL_PROFILE = dict(name="bench1k", n_pi=12, n_po=10, n_ff=28,
+                    n_gates=330, seed=7, t0_length=100)
+#: CI-sized circuit: the same pipeline in a few seconds.
+QUICK_PROFILE = dict(name="benchq", n_pi=8, n_po=6, n_ff=12,
+                     n_gates=90, seed=7, t0_length=40)
+
+
+def _run_arm(netlist, comb_tests, t0, width, dropping: bool
+             ) -> Dict[str, Any]:
+    """One full proposed-procedure pass under a packing/drop policy."""
+    circuit = CompiledCircuit(netlist, engine="codegen")
+    faults = FaultSet.collapsed(netlist)
+    counters = SimCounters()
+    sim = FaultSimulator(circuit, faults, width=width, counters=counters)
+    comb_sim = CombPatternSim(circuit, faults)
+    scoreboard = FaultScoreboard(len(faults), counters=counters,
+                                 enabled=dropping)
+    started = time.perf_counter()
+    result = run_proposed(sim, comb_sim, t0, comb_tests,
+                          scoreboard=scoreboard)
+    seconds = time.perf_counter() - started
+    final = result.compacted_set or result.test_set
+    return {
+        "width": width,
+        "dropping": dropping,
+        "seconds": round(seconds, 3),
+        "counters": counters.as_dict(),
+        "result": {
+            "seq_detected": len(result.seq_detected),
+            "final_detected": len(result.final_detected),
+            "tests": len(final),
+            "cycles": final.clock_cycles(),
+            "tau_seq_length": result.tau_seq.length,
+        },
+        "_sets": (result.seq_detected, result.final_detected,
+                  tuple(final.tests)),
+    }
+
+
+def build_payload(quick: bool, seed: int = 1) -> Dict[str, Any]:
+    profile = QUICK_PROFILE if quick else FULL_PROFILE
+    netlist = synth.generate(profile["name"], profile["n_pi"],
+                             profile["n_po"], profile["n_ff"],
+                             profile["n_gates"], seed=profile["seed"])
+    circuit = CompiledCircuit(netlist)
+    faults = FaultSet.collapsed(netlist)
+    comb = comb_set_mod.generate(circuit, faults, seed=seed)
+    t0 = random_gen.random_sequence(circuit, profile["t0_length"],
+                                    seed=seed)
+
+    print(f"circuit {profile['name']}: {netlist.num_gates} gates, "
+          f"{netlist.num_ffs} FFs, {len(faults)} collapsed faults, "
+          f"{len(comb.tests)} comb tests, |T0|={len(t0)}")
+
+    print("before: chunked width=128, no dropping ...", flush=True)
+    before = _run_arm(netlist, comb.tests, t0, DEFAULT_WIDTH,
+                      dropping=False)
+    print(f"  {before['seconds']}s")
+    print('after: width="auto" fused, cross-phase dropping ...',
+          flush=True)
+    after = _run_arm(netlist, comb.tests, t0, "auto", dropping=True)
+    print(f"  {after['seconds']}s")
+
+    identical = before.pop("_sets") == after.pop("_sets")
+    if not identical:
+        print("ERROR: the two arms disagree on results", file=sys.stderr)
+
+    winner, fused_s, chunked_s = benchmark_packing(circuit, faults,
+                                                   seed=seed)
+    speedup = before["seconds"] / max(after["seconds"], 1e-9)
+    return {
+        "bench": "engine: fused wide-word + fault dropping vs chunked",
+        "circuit": {
+            "name": profile["name"],
+            "pi": netlist.num_inputs,
+            "po": netlist.num_outputs,
+            "ff": netlist.num_ffs,
+            "gates": netlist.num_gates,
+            "faults": len(faults),
+            "comb_tests": len(comb.tests),
+            "t0_length": len(t0),
+        },
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "before": before,
+        "after": after,
+        "speedup": round(speedup, 2),
+        "identical_results": identical,
+        "packing_probe": {
+            "winner": winner,
+            "fused_s": round(fused_s, 4),
+            "chunked_s": round(chunked_s, 4),
+        },
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized circuit instead of the full one")
+    parser.add_argument("--gate", type=float, metavar="RATIO",
+                        help="fail (exit 1) when fused wall clock "
+                             "exceeds RATIO x chunked")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("-o", "--out", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    payload = build_payload(quick=args.quick, seed=args.seed)
+    atomic_write_text(args.out, json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}: speedup x{payload['speedup']} "
+          f"(identical results: {payload['identical_results']})")
+
+    if not payload["identical_results"]:
+        return 1
+    if args.gate is not None:
+        ratio = payload["after"]["seconds"] / \
+            max(payload["before"]["seconds"], 1e-9)
+        if ratio > args.gate:
+            print(f"PERF GATE FAILED: fused/chunked = {ratio:.2f} "
+                  f"> {args.gate}", file=sys.stderr)
+            return 1
+        print(f"perf gate ok: fused/chunked = {ratio:.2f} "
+              f"<= {args.gate}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@ in one call.  Power users compose the pieces from :mod:`repro.core`,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from .atpg import comb_set as comb_set_mod
 from .atpg import random_gen, seqgen
@@ -22,7 +22,8 @@ from .core.proposed import ProposedResult, run as run_proposed
 from .core.scan_test import ScanTestSet, single_vector_test
 from .sim import values as V
 from .sim.comb_sim import CombPatternSim
-from .sim.fault_sim import FaultSimulator
+from .sim.counters import SimCounters
+from .sim.fault_sim import FaultSimulator, WidthPolicy
 from .sim.faults import FaultSet
 from .sim.logicsim import CompiledCircuit
 
@@ -37,15 +38,40 @@ class Workbench:
     sim: FaultSimulator
     comb_sim: CombPatternSim
 
+    @property
+    def counters(self) -> SimCounters:
+        """The sequential simulator's instrumentation counters."""
+        return self.sim.counters
+
     @classmethod
-    def for_netlist(cls, netlist: Netlist) -> "Workbench":
-        circuit = CompiledCircuit(netlist)
+    def for_netlist(cls, netlist: Netlist, engine: str = "codegen",
+                    width: WidthPolicy = "auto") -> "Workbench":
+        """Build the standard toolchain for one circuit.
+
+        Parameters
+        ----------
+        netlist:
+            The circuit.
+        engine:
+            Evaluation backend: ``"codegen"`` (compiled per-circuit
+            source, the default) or ``"interp"``/``"generic"`` (the
+            table-driven interpreter; ``"interp"`` is the CLI spelling
+            of ``"generic"``).
+        width:
+            Fault-packing policy for the sequential simulator:
+            ``"auto"`` (fuse every target into one wide word, chunk
+            only past the fused cap) or an explicit machines-per-word
+            integer.  See :class:`repro.sim.fault_sim.FaultSimulator`.
+        """
+        if engine == "interp":
+            engine = "generic"
+        circuit = CompiledCircuit(netlist, engine=engine)
         faults = FaultSet.collapsed(netlist)
         return cls(
             netlist=netlist,
             circuit=circuit,
             faults=faults,
-            sim=FaultSimulator(circuit, faults),
+            sim=FaultSimulator(circuit, faults, width=width),
             comb_sim=CombPatternSim(circuit, faults),
         )
 

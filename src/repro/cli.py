@@ -30,8 +30,8 @@ from typing import List, Optional
 
 from .circuits import suite as suite_mod
 from .experiments import (HarnessConfig, all_tables, dump_json,
-                          paper_comparison, render_all,
-                          run_suite_resilient)
+                          engine_counters_table, paper_comparison,
+                          render_all, run_suite_resilient)
 
 
 def _resolve_profiles(names: List[str]):
@@ -47,6 +47,21 @@ def _resolve_profiles(names: List[str]):
                   f"valid circuits: {valid}", file=sys.stderr)
             return None
     return profiles
+
+
+def _parse_width(text: str):
+    """``--width`` value: "auto" or an integer word width >= 2."""
+    if text == "auto":
+        return "auto"
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"width must be 'auto' or an integer, got {text!r}")
+    if value < 2:
+        raise argparse.ArgumentTypeError(
+            "width must be >= 2 (one good machine + one faulty)")
+    return value
 
 
 def _harness_config(args: argparse.Namespace) -> HarnessConfig:
@@ -84,6 +99,7 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
         return 2
     outcome = run_suite_resilient(profiles, seed=args.seed,
                                   with_transition=args.transition,
+                                  engine=args.engine, width=args.width,
                                   config=_harness_config(args))
     print(render_all(all_tables(outcome.runs,
                                 with_transition=args.transition,
@@ -91,6 +107,8 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
     print()
     print(paper_comparison(outcome.runs,
                            failures=outcome.failures).render())
+    print()
+    print(engine_counters_table(outcome.runs).render())
     return _finish_outcome(outcome)
 
 
@@ -103,12 +121,14 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     outcome = run_suite_resilient(profiles, quick=not args.full,
                                   seed=args.seed,
                                   with_transition=args.transition,
+                                  engine=args.engine, width=args.width,
                                   config=_harness_config(args),
                                   verbose=True)
     tables = all_tables(outcome.runs, with_transition=args.transition,
                         failures=outcome.failures)
     tables.append(paper_comparison(outcome.runs,
                                    failures=outcome.failures))
+    tables.append(engine_counters_table(outcome.runs))
     print(render_all(tables))
     if args.json:
         dump_json(tables, args.json)
@@ -181,6 +201,19 @@ def build_parser() -> argparse.ArgumentParser:
                     "testing (DAC 2001 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    engine_opts = argparse.ArgumentParser(add_help=False)
+    egroup = engine_opts.add_argument_group("simulation engine")
+    egroup.add_argument("--engine", choices=("interp", "codegen"),
+                        default="codegen",
+                        help="evaluation backend: generated per-circuit "
+                             "code (codegen, default) or the table-"
+                             "driven interpreter (interp)")
+    egroup.add_argument("--width", type=_parse_width, default="auto",
+                        metavar="{N,auto}",
+                        help="fault machines per simulation word: an "
+                             "integer chunk width, or 'auto' (default) "
+                             "to fuse all targets into one wide word")
+
     resilience = argparse.ArgumentParser(add_help=False)
     group = resilience.add_argument_group("resilience")
     group.add_argument("--timeout", type=float, default=None,
@@ -198,7 +231,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list suite circuits")
     p_list.set_defaults(func=_cmd_list)
 
-    p_circuit = sub.add_parser("circuit", parents=[resilience],
+    p_circuit = sub.add_parser("circuit", parents=[resilience,
+                                                   engine_opts],
                                help="run one suite circuit")
     p_circuit.add_argument("name")
     p_circuit.add_argument("--seed", type=int, default=1)
@@ -206,7 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also compute transition-fault coverage")
     p_circuit.set_defaults(func=_cmd_circuit)
 
-    p_tables = sub.add_parser("tables", parents=[resilience],
+    p_tables = sub.add_parser("tables", parents=[resilience, engine_opts],
                               help="regenerate the paper's tables")
     p_tables.add_argument("--full", action="store_true",
                           help="run the full suite (slow)")

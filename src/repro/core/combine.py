@@ -18,6 +18,17 @@ acceptance the combined test is re-simulated over the whole target set
 (coverage can also *grow*: the second sequence now runs from the state
 the first one left behind).
 
+Detection sets are cached per :class:`ScanTest` (tests are frozen and
+hash by value) for the lifetime of one :func:`static_compact` call:
+across rounds only a newly combined test is ever simulated from
+scratch; every surviving test's set is reused.  Callers that already
+know a test's detection set -- Phase 4 knows ``tau_seq``'s from the
+Phase 1+2 pipeline -- seed the cache through ``known_detections`` and
+skip even the initial simulation of those tests.  Essential-fault
+bookkeeping needs exact per-test detection sets over the *full*
+target, so no fault dropping is possible here beyond the cache; a
+``retire_to`` scoreboard only receives the final coverage.
+
 This module serves double duty as the paper's Phase 4 and as the [4]
 baseline (applied to a single-vector-per-test initial set built from a
 combinational test set).
@@ -70,9 +81,28 @@ class CombineResult:
 
 
 def _detections(sim: FaultSimulator, tests: Sequence[ScanTest],
-                target: Sequence[int]) -> List[Set[int]]:
-    return [sim.detect(list(t.vectors), t.scan_in, target=target,
-                       early_exit=False) for t in tests]
+                target: Sequence[int],
+                cache: Optional[Dict[ScanTest, Set[int]]] = None
+                ) -> List[Set[int]]:
+    """Per-test detection sets over ``target``, via ``cache`` when warm.
+
+    Cached sets may cover a superset of ``target`` (e.g. seeded from a
+    phase that simulated the whole fault list); they are intersected
+    down.  Fresh simulations are stored back, so across
+    :func:`static_compact` rounds only changed tests are re-simulated.
+    """
+    if cache is None:
+        cache = {}
+    target_set = set(target)
+    out: List[Set[int]] = []
+    for t in tests:
+        det = cache.get(t)
+        if det is None:
+            det = sim.detect(list(t.vectors), t.scan_in, target=target,
+                             early_exit=False)
+            cache[t] = det
+        out.append(det & target_set)
+    return out
 
 
 def _detection_counts(detects: List[Set[int]]) -> Dict[int, int]:
@@ -112,6 +142,8 @@ def static_compact(
     transfer_pool: Optional[Sequence[V.Vector]] = None,
     transfer_attempts: int = 4,
     seed: int = 0,
+    known_detections: Optional[Dict[ScanTest, Set[int]]] = None,
+    retire_to=None,
 ) -> CombineResult:
     """Compact ``test_set`` by combining test pairs ([4]).
 
@@ -142,6 +174,13 @@ def static_compact(
         Candidate transfer sequences tried per length.
     seed:
         RNG seed for transfer candidates (deterministic).
+    known_detections:
+        Detection sets the caller already holds, per test, each over
+        at least the target faults; seeds the per-test cache so those
+        tests are never simulated from scratch.
+    retire_to:
+        Optional :class:`~repro.sim.scoreboard.FaultScoreboard`; the
+        compacted set's coverage is retired into it.
     """
     if target is None:
         target = set(range(len(sim.faults)))
@@ -149,7 +188,8 @@ def static_compact(
     tests: List[ScanTest] = list(test_set.tests)
     stats = CombineStats(initial_tests=len(tests),
                          initial_cycles=test_set.clock_cycles())
-    detects = _detections(sim, tests, order)
+    cache: Dict[ScanTest, Set[int]] = dict(known_detections or {})
+    detects = _detections(sim, tests, order, cache)
     coverage = set().union(*detects) if detects else set()
     failed: Set[Tuple[ScanTest, ScanTest]] = set()
     max_transfer = min(max_transfer, max(0, sim.n_state_vars - 1))
@@ -177,6 +217,7 @@ def static_compact(
                 combined = first.combined_with(second)
                 must = _pair_essentials(count, detects[i], detects[j])
                 stats.combinations_tried += 1
+                sim.counters.combine_trials += 1
                 det_must = sim.detect(list(combined.vectors),
                                       combined.scan_in,
                                       target=sorted(must),
@@ -198,9 +239,15 @@ def static_compact(
                             stats.transfers_used += 1
                             stats.transfer_vectors_added += len(transfer)
                 if must <= det_must:
-                    det_full = sim.detect(list(combined.vectors),
-                                          combined.scan_in, target=order,
-                                          early_exit=False)
+                    det_full = cache.get(combined)
+                    if det_full is None:
+                        det_full = sim.detect(list(combined.vectors),
+                                              combined.scan_in,
+                                              target=order,
+                                              early_exit=False)
+                        cache[combined] = det_full
+                    else:
+                        det_full = det_full & target
                     hi, lo = max(i, j), min(i, j)
                     for idx in (hi, lo):
                         tests.pop(idx)
@@ -224,6 +271,8 @@ def static_compact(
     final = ScanTestSet(test_set.n_state_vars, tests)
     stats.final_tests = len(tests)
     stats.final_cycles = final.clock_cycles()
+    if retire_to is not None:
+        retire_to.retire(coverage)
     return CombineResult(final, coverage, stats)
 
 
@@ -259,6 +308,7 @@ def _find_transfer_sequence(
                 else:
                     transfer.append(V.random_binary_vector(n_pi, rng))
             trial = first.vectors + tuple(transfer) + second.vectors
+            sim.counters.combine_trials += 1
             detected = sim.detect(list(trial), first.scan_in,
                                   target=sorted(must), early_exit=True)
             if must <= detected:

@@ -14,9 +14,17 @@ if the shortened test still detects all required faults.
 
 Removing vectors at position ``p`` leaves frames ``0..p-1`` untouched,
 so the sweep keeps per-frame checkpoints (flip-flop state words and
-cumulative PO-detection masks per fault chunk) and re-simulates only
+cumulative PO-detection masks per fault word) and re-simulates only
 the suffix of each tentative test -- an order-of-magnitude saving over
 re-simulating from frame 0 for long sequences.
+
+Word packing follows the simulator's policy: under ``width="auto"``
+the whole required set rides in one fused word, so each tentative
+omission costs a single suffix pass instead of one per 128-bit chunk.
+Every tentative omission bumps
+:attr:`~repro.sim.counters.SimCounters.omission_trials` and the
+suffix passes are accounted as words/frames on the simulator's
+counters.
 """
 
 from __future__ import annotations
@@ -99,10 +107,13 @@ class _CheckpointedRun:
         trail: List[Tuple] = []
         scan_diff = 0
         last = len(vectors) - 1
+        full = chunk.mask & ~1
+        frames_run = 0
         for frame, vector in enumerate(vectors):
             sim._load_frame(chunk, zero, one, vector)
             circuit.eval_frame(zero, one, chunk.mask, chunk.stems,
                                chunk.branch)
+            frames_run += 1
             ns_zero, ns_one = sim._next_state_words(chunk, zero, one)
             for nid in circuit.po_ids:
                 caught |= sim._diff_word(zero[nid], one[nid])
@@ -114,8 +125,16 @@ class _CheckpointedRun:
                 scan_diff &= ~1
             if record:
                 trail.append((list(ns_zero), list(ns_one), caught))
+            elif caught == full:
+                # Every machine is already PO-caught: the verdict of
+                # this tentative omission cannot change, so the rest
+                # of the suffix (and its scan-out) need not run.
+                break
             for nid, z, o in zip(circuit.ff_ids, ns_zero, ns_one):
                 zero[nid], one[nid] = z, o
+        sim.counters.note_words(frames_run, len(chunk.indices))
+        if chunk_index == 0:
+            sim.counters.frames += frames_run
         return caught, scan_diff, trail
 
     def detected_by(self, start_frame: int,
@@ -167,6 +186,7 @@ def omit_vectors(
     required: Set[int],
     initial_block: int = 16,
     passes: int = 2,
+    retire_to=None,
 ) -> OmissionResult:
     """Shorten ``test`` while preserving detection of ``required``.
 
@@ -183,6 +203,10 @@ def omit_vectors(
     passes:
         Number of full sweeps; a second sweep often finds vectors that
         became redundant after earlier removals.
+    retire_to:
+        Optional :class:`~repro.sim.scoreboard.FaultScoreboard`; the
+        shortened test's detections are retired into it (the caller
+        asserts the result is committed to the final test set).
 
     Raises
     ------
@@ -212,6 +236,7 @@ def omit_vectors(
                 start = position - block + 1
                 suffix = vectors[position + 1:]
                 trials += 1
+                sim.counters.omission_trials += 1
                 detected = run.detected_by(start, suffix)
                 if required <= detected:
                     vectors = vectors[:start] + suffix
@@ -228,6 +253,8 @@ def omit_vectors(
             break
 
     final_detected = run.detected_by(len(vectors), [])
+    if retire_to is not None:
+        retire_to.retire(final_detected)
     result_test = ScanTest(test.scan_in, tuple(vectors))
     return OmissionResult(result_test, final_detected, trials,
                           removed_total)

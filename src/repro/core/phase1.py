@@ -16,6 +16,15 @@ set ``C`` (the pool of candidate scan-in states), Phase 1:
   (:meth:`repro.sim.fault_sim.FaultSimulator.run_with_records`), whose
   post-pass is exactly the paper's candidate scan over
   ``tau_SO,i = (SI, T0[0, i])``.
+
+Fault dropping in Phase 1 is deliberately limited to the paper's own
+``F0`` exclusion (Step 2 simulates only ``F - F0``): the scan-in
+selection argmax needs *exact per-candidate detection counts* and
+Step 3 needs records over the full target, so a cross-phase
+scoreboard may not shrink these targets without changing the chosen
+``SI``/``u_SO``.  The iteration driver in :mod:`repro.core.proposed`
+retires faults into the shared scoreboard only once the surviving
+``tau_seq`` is committed.
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ from ..atpg.comb_set import CombTest
 from ..sim import values as V
 from ..sim.comb_sim import CombPatternSim
 from ..sim.fault_sim import FaultSimulator
+from ..sim.scoreboard import FaultScoreboard
 from .combine import CombineStats, static_compact
 from .omission import omit_vectors
 from .phase1 import detect_no_scan, run_phase1
@@ -89,6 +90,7 @@ def run(
     omission_passes: int = 2,
     run_phase4: bool = True,
     scan_out_rule: str = "earliest",
+    scoreboard: Optional[FaultScoreboard] = None,
 ) -> ProposedResult:
     """Run the proposed procedure end to end.
 
@@ -115,6 +117,16 @@ def run(
         Step-3 variant: "earliest" (the paper's ``i0``) or
         "max_coverage" (the rejected ``i1`` -- kept for the ablation
         study).
+    scoreboard:
+        The cross-phase fault-dropping ledger; one is created when
+        omitted.  Must be *fresh* for this run -- its ledger is
+        interpreted as "detected by this run's committed tests".
+        Faults are retired as each artifact commits
+        (``tau_seq`` after the Phase 1+2 loop, every Phase-3 top-off
+        test, the Phase-4 compacted set), so each later full-set
+        simulation rebuilds a smaller injection word.  Dropping is
+        applied only where the result is provably unchanged; see
+        :mod:`repro.sim.scoreboard`.
 
     Raises
     ------
@@ -129,6 +141,9 @@ def run(
         target = set(range(len(sim.faults)))
     if max_iterations is None:
         max_iterations = len(comb_tests)
+    if scoreboard is None:
+        scoreboard = FaultScoreboard(len(sim.faults),
+                                     counters=sim.counters)
 
     selected = [False] * len(comb_tests)
     current: List[V.Vector] = [tuple(v) for v in t0]
@@ -163,12 +178,19 @@ def run(
         f0 = detect_no_scan(sim, current, sorted(target))
 
     assert tau is not None
+    # tau_seq is committed now: retire its known detections (from the
+    # omission pass over F_SO) so the full-target pass below carries
+    # only the still-unknown faults in its injection word.
+    scoreboard.retire(tau_detected & target)
     # Full detection set of tau_seq over the target faults.
-    seq_detected = sim.detect(list(tau.vectors), tau.scan_in,
-                              target=sorted(target), early_exit=False)
+    seq_detected = scoreboard.retired_within(target)
+    seq_detected |= sim.detect(list(tau.vectors), tau.scan_in,
+                               target=scoreboard.active(target),
+                               early_exit=False, retire_to=scoreboard)
 
     undetected = target - seq_detected
-    topoff = top_off(comb_sim, comb_tests, undetected)
+    topoff = top_off(comb_sim, comb_tests, undetected,
+                     retire_to=scoreboard)
     n_sv = sim.n_state_vars
     test_set = ScanTestSet(n_sv, [tau] + list(topoff.tests))
     final_detected = seq_detected | topoff.covered
@@ -176,7 +198,12 @@ def run(
     compacted = None
     combine_stats = None
     if run_phase4:
-        outcome = static_compact(sim, test_set, target=target)
+        # Phase 4 needs exact per-test detection sets; the only sound
+        # cross-phase saving is seeding tau_seq's set, which Phase 1+2
+        # already computed over the full target.
+        outcome = static_compact(sim, test_set, target=target,
+                                 known_detections={tau: seq_detected},
+                                 retire_to=scoreboard)
         compacted = outcome.test_set
         combine_stats = outcome.stats
 

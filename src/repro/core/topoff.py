@@ -53,8 +53,17 @@ def top_off(
     comb_sim: CombPatternSim,
     comb_tests: Sequence[CombTest],
     undetected: Set[int],
+    retire_to=None,
 ) -> TopOffResult:
-    """Select single-vector tests covering ``undetected`` faults."""
+    """Select single-vector tests covering ``undetected`` faults.
+
+    Phase 3 is inherently a dropped-fault consumer: the caller passes
+    only the faults the committed tests leave uncovered (the
+    scoreboard's ``active`` set), so every candidate simulation here
+    already runs on the smallest possible fault list.  With
+    ``retire_to`` set, the newly covered faults are retired into that
+    :class:`~repro.sim.scoreboard.FaultScoreboard` on return.
+    """
     remaining = set(undetected)
     if not remaining:
         return TopOffResult([], [], set(), set())
@@ -86,4 +95,6 @@ def top_off(
         newly = detects[j] & remaining
         covered |= newly
         remaining -= newly
+    if retire_to is not None:
+        retire_to.retire(covered)
     return TopOffResult(tests, chosen, covered, uncovered)

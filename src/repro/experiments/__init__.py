@@ -9,7 +9,8 @@ Two execution layers:
 
 from .harness import (HarnessConfig, JobRecord, JobSpec, RunStore,
                       SuiteOutcome, run_jobs, run_suite_resilient)
-from .reporting import (Table, atomic_write_text, dump_json, render_all,
+from .reporting import (Table, atomic_write_text, dump_json,
+                        engine_counters_table, render_all,
                         run_from_dict, run_to_dict)
 from .runner import (ArmResult, CircuitRun, resolve_profiles, run_circuit,
                      run_circuit_by_name, run_suite)
@@ -17,8 +18,8 @@ from .tables import (all_tables, paper_comparison, table1, table2, table3,
                      table4, table5, table_atspeed_coverage)
 
 __all__ = [
-    "Table", "atomic_write_text", "dump_json", "render_all",
-    "run_to_dict", "run_from_dict",
+    "Table", "atomic_write_text", "dump_json", "engine_counters_table",
+    "render_all", "run_to_dict", "run_from_dict",
     "ArmResult", "CircuitRun", "resolve_profiles", "run_circuit",
     "run_circuit_by_name", "run_suite",
     "HarnessConfig", "JobRecord", "JobSpec", "RunStore", "SuiteOutcome",

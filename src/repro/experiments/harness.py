@@ -75,13 +75,21 @@ ChaosFn = Callable[["JobSpec", int], Optional[str]]
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One unit of work: a circuit run under one seed / arm config."""
+    """One unit of work: a circuit run under one seed / arm config.
+
+    ``engine``/``width`` select the simulation backend and fault-
+    packing policy (see :meth:`repro.api.Workbench.for_netlist`); both
+    travel across the ``spawn`` boundary as plain values (``width`` is
+    an int or the string ``"auto"``).
+    """
 
     circuit: str
     seed: int = 1
     arms: Tuple[str, ...] = ("seqgen", "random")
     with_baselines: bool = True
     with_transition: bool = False
+    engine: str = "codegen"
+    width: Union[int, str] = "auto"
 
     @property
     def key(self) -> Tuple[str, int]:
@@ -287,7 +295,9 @@ def _worker_main(conn, spec_dict: Dict[str, Any], seed: int,
             spec_dict["circuit"], seed=seed,
             arms=tuple(spec_dict["arms"]),
             with_baselines=spec_dict["with_baselines"],
-            with_transition=spec_dict["with_transition"])
+            with_transition=spec_dict["with_transition"],
+            engine=spec_dict.get("engine", "codegen"),
+            width=spec_dict.get("width", "auto"))
         conn.send(("ok", reporting.run_to_dict(run)))
     except BaseException:
         try:
@@ -310,7 +320,8 @@ def _run_attempt_inline(spec: JobSpec, seed: int,
         run = run_circuit_by_name(
             spec.circuit, seed=seed, arms=spec.arms,
             with_baselines=spec.with_baselines,
-            with_transition=spec.with_transition)
+            with_transition=spec.with_transition,
+            engine=spec.engine, width=spec.width)
         return "ok", run
     except Exception:
         return "error", traceback.format_exc()
@@ -584,6 +595,8 @@ def run_suite_resilient(
     arms: Sequence[str] = ("seqgen", "random"),
     with_baselines: bool = True,
     with_transition: bool = False,
+    engine: str = "codegen",
+    width: Union[int, str] = "auto",
     config: Optional[HarnessConfig] = None,
     verbose: bool = False,
 ) -> SuiteOutcome:
@@ -596,6 +609,7 @@ def run_suite_resilient(
     """
     specs = [JobSpec(circuit=p.name, seed=seed, arms=tuple(arms),
                      with_baselines=with_baselines,
-                     with_transition=with_transition)
+                     with_transition=with_transition,
+                     engine=engine, width=width)
              for p in resolve_profiles(profiles, quick=quick)]
     return run_jobs(specs, config=config, verbose=verbose)

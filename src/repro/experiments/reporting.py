@@ -228,6 +228,7 @@ def run_to_dict(run: "CircuitRun") -> Dict[str, Any]:
                     if run.dynamic is not None else None),
         "transition": dict(run.transition),
         "seconds": run.seconds,
+        "counters": dict(run.counters),
     }
 
 
@@ -266,4 +267,30 @@ def run_from_dict(data: Dict[str, Any]) -> "CircuitRun":
                  if dynamic is not None else None),
         transition=dict(data.get("transition", {})),
         seconds=data.get("seconds", 0.0),
+        counters=dict(data.get("counters", {})),
     )
+
+
+def engine_counters_table(runs: Sequence["CircuitRun"]) -> Table:
+    """One row of engine instrumentation per circuit.
+
+    Columns come from :class:`repro.sim.counters.SimCounters`:
+    logical frames simulated, word evaluations, average faulty
+    machines packed per word, faults dropped by the cross-phase
+    scoreboard, and in-pass repacks.  Runs restored from old
+    checkpoints (no counters) render as ``-``.
+    """
+    table = Table("Engine counters",
+                  ["circuit", "frames", "words", "mach/word",
+                   "dropped", "repacks", "seconds"])
+    for run in runs:
+        c = run.counters
+        if c:
+            table.add_row(run.name, c.get("frames"), c.get("words"),
+                          c.get("machines_per_word"),
+                          c.get("faults_dropped"), c.get("repacks"),
+                          run.seconds)
+        else:
+            table.add_row(run.name, None, None, None, None, None,
+                          run.seconds)
+    return table

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .. import api
 from ..atpg import comb_set as comb_set_mod
@@ -50,6 +50,9 @@ class CircuitRun:
     dynamic: Optional[DynamicResult]
     transition: Dict[str, float] = field(default_factory=dict)
     seconds: float = 0.0
+    #: Engine instrumentation (``SimCounters.as_dict()`` of the
+    #: sequential simulator, summed over everything this run did).
+    counters: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -62,6 +65,8 @@ def run_circuit(
     arms: Sequence[str] = ("seqgen", "random"),
     with_baselines: bool = True,
     with_transition: bool = False,
+    engine: str = "codegen",
+    width="auto",
 ) -> CircuitRun:
     """Run every experiment on one circuit.
 
@@ -77,10 +82,13 @@ def run_circuit(
         Also run the [4] and [2,3] baselines.
     with_transition:
         Also compute transition-fault coverage of the final test sets.
+    engine, width:
+        Simulation backend and fault-packing policy, forwarded to
+        :meth:`repro.api.Workbench.for_netlist`.
     """
     started = time.time()
     netlist = profile.build()
-    wb = api.Workbench.for_netlist(netlist)
+    wb = api.Workbench.for_netlist(netlist, engine=engine, width=width)
     comb = comb_set_mod.generate(wb.circuit, wb.faults, seed=seed)
 
     arm_results: Dict[str, ArmResult] = {}
@@ -131,6 +139,7 @@ def run_circuit(
         dynamic=dynamic,
         transition=transition,
         seconds=time.time() - started,
+        counters=wb.counters.as_dict(),
     )
 
 
@@ -140,6 +149,8 @@ def run_circuit_by_name(
     arms: Sequence[str] = ("seqgen", "random"),
     with_baselines: bool = True,
     with_transition: bool = False,
+    engine: str = "codegen",
+    width="auto",
 ) -> CircuitRun:
     """:func:`run_circuit` on a suite circuit looked up by name.
 
@@ -155,7 +166,8 @@ def run_circuit_by_name(
     from ..circuits.suite import profile as lookup
     return run_circuit(lookup(name), seed=seed, arms=arms,
                        with_baselines=with_baselines,
-                       with_transition=with_transition)
+                       with_transition=with_transition,
+                       engine=engine, width=width)
 
 
 def resolve_profiles(
@@ -175,6 +187,8 @@ def run_suite(
     arms: Sequence[str] = ("seqgen", "random"),
     with_baselines: bool = True,
     with_transition: bool = False,
+    engine: str = "codegen",
+    width="auto",
     verbose: bool = False,
 ) -> List[CircuitRun]:
     """Run the whole suite serially, in process.
@@ -191,7 +205,8 @@ def run_suite(
     for profile in profiles:
         run = run_circuit(profile, seed=seed, arms=arms,
                           with_baselines=with_baselines,
-                          with_transition=with_transition)
+                          with_transition=with_transition,
+                          engine=engine, width=width)
         if verbose:  # pragma: no cover - console feedback only
             print(f"  {profile.name}: {run.seconds:.1f}s")
         runs.append(run)

@@ -13,17 +13,38 @@ forcing and fanout-branch overrides).  Equivalence against the generic
 engine is enforced by tests over random circuits and injection masks;
 pick the engine with ``CompiledCircuit(netlist, engine=...)``.
 
+The generated source is **word-width and chunk-count agnostic**: no
+literal in it depends on ``mask`` or on how many faulty machines the
+caller packed per word.  The same compiled function therefore serves
+the good-machine simulator (mask 1), the 128-bit chunked fault
+simulator, and the fused wide-word engine (one multi-thousand-bit
+word per pass) without recompilation -- the width lives entirely in
+the big-int operands.  Keep it that way: baking a width into the
+source would force one compile per packing policy and break the
+``width="auto"`` adaptive switch in :mod:`repro.sim.fault_sim`.
+
+Compiled code objects are cached by source text, so building many
+:class:`~repro.sim.logicsim.CompiledCircuit` instances over copies of
+the same netlist (benchmark harnesses, equivalence sweeps, worker
+subprocesses re-importing a suite circuit) pays the bytecode
+compilation once per distinct circuit per process.
+
 Typical speedup on 100-gate circuits is 1.5-2.5x for the whole fault
 simulation stack (measured in ``benchmarks/bench_engine.py``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, Dict, List
 
 from ..circuits.netlist import Netlist
 
 # Opcode values mirror logicsim's (kept in sync by the import below).
+
+#: Source-text -> compiled code object cache (process lifetime; the
+#: source embeds every net id, so identical text implies an identical
+#: evaluator).
+_CODE_CACHE: Dict[str, object] = {}
 
 
 def generate_source(circuit) -> str:
@@ -108,7 +129,10 @@ def build_evaluator(circuit) -> Callable:
     """
     from .logicsim import _eval_lists
     source = generate_source(circuit)
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        code = compile(source, f"<codegen:{circuit.netlist.name}>", "exec")
+        _CODE_CACHE[source] = code
     namespace = {"_eval_lists": _eval_lists}
-    code = compile(source, f"<codegen:{circuit.netlist.name}>", "exec")
     exec(code, namespace)
     return namespace["eval_frame"]

@@ -1,0 +1,108 @@
+"""Engine instrumentation: cheap counters for the simulation hot path.
+
+Every :class:`~repro.sim.fault_sim.FaultSimulator` owns a
+:class:`SimCounters` instance (callers may share one across simulators)
+and bumps it from the inner loops: how many logical frames were
+simulated, how many packed words were evaluated (``frames x chunks``),
+how many machine bits those words carried, how many faults were
+retired before or during a pass, and how many tentative
+omission/combination trials the compaction procedures ran.
+
+The point is to make engine work *measurable*: the wide-word fusion
+and fault-dropping optimizations claim to reduce words-evaluated and
+raise effective machines/word -- these counters are what
+``benchmarks/emit_bench.py`` dumps into ``BENCH_engine.json`` and what
+the CLI surfaces per circuit, so a perf regression shows up as a
+number, not a feeling.
+
+Counting convention
+-------------------
+* ``frames`` -- logical frames simulated: one per time step of a pass,
+  regardless of how many words (chunks) carried the fault set.
+* ``words`` -- word evaluations: one per ``eval_frame`` call made on
+  behalf of fault simulation (``frames x chunks``, minus early exits).
+* ``machines`` -- total faulty-machine bits across evaluated words;
+  ``machines / words`` is the effective packing density (the fused
+  engine pushes this toward the full fault-set size, the 128-bit
+  chunked engine caps it at 127).
+* ``faults_dropped`` -- faults retired from simulation because a
+  scoreboard already knew them detected, or because an in-pass repack
+  removed their machine bits mid-sequence.
+* ``repacks`` -- in-pass word compactions performed by
+  :meth:`~repro.sim.fault_sim.FaultSimulator.detect`.
+* ``detect_passes`` / ``record_passes`` -- calls into
+  :meth:`~repro.sim.fault_sim.FaultSimulator.detect` /
+  :meth:`~repro.sim.fault_sim.FaultSimulator.run_with_records`.
+* ``omission_trials`` / ``combine_trials`` -- tentative vector
+  omissions and pair combinations simulated by Phase 2 / Phase 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+
+@dataclass
+class SimCounters:
+    """Mutable engine counters (see module docstring for semantics)."""
+
+    frames: int = 0
+    words: int = 0
+    machines: int = 0
+    faults_dropped: int = 0
+    repacks: int = 0
+    detect_passes: int = 0
+    record_passes: int = 0
+    omission_trials: int = 0
+    combine_trials: int = 0
+
+    # ------------------------------------------------------------------
+    def note_words(self, n_words: int, n_machines: int) -> None:
+        """Record ``n_words`` word evaluations carrying ``n_machines``
+        machine bits each."""
+        self.words += n_words
+        self.machines += n_words * n_machines
+
+    @property
+    def machines_per_word(self) -> float:
+        """Effective packing density (0.0 before any work)."""
+        if not self.words:
+            return 0.0
+        return self.machines / self.words
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "SimCounters") -> None:
+        """Accumulate ``other`` into this instance."""
+        for f in fields(self):
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> "SimCounters":
+        """An independent copy (for before/after deltas)."""
+        return SimCounters(**{f.name: getattr(self, f.name)
+                              for f in fields(self)})
+
+    def delta(self, since: "SimCounters") -> "SimCounters":
+        """Counters accumulated since the ``since`` snapshot."""
+        return SimCounters(**{
+            f.name: getattr(self, f.name) - getattr(since, f.name)
+            for f in fields(self)})
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready view, including the derived packing density."""
+        out: Dict[str, float] = {f.name: getattr(self, f.name)
+                                 for f in fields(self)}
+        out["machines_per_word"] = round(self.machines_per_word, 2)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "SimCounters":
+        """Inverse of :meth:`as_dict` (derived keys ignored)."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in data.items() if k in names})

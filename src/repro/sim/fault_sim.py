@@ -1,15 +1,45 @@
 """Bit-parallel parallel-fault sequential fault simulation.
 
-The simulator packs up to ``width - 1`` faulty machines plus the
-fault-free machine (always bit 0) into one pair of Python big-ints per
-net.  One pass over a sequence costs ``frames x gates x chunks`` big-int
-operations regardless of how many faults share a chunk.
+The simulator packs faulty machines plus the fault-free machine
+(always bit 0) into one pair of Python big-ints per net.  One pass
+over a sequence costs ``frames x gates x words`` big-int operations
+regardless of how many faults share a word, so the dominant cost is
+the *number of words*, not their width: Python integers are
+arbitrary-precision, and one 4096-bit AND is far cheaper than 32
+separate 128-bit evaluation passes.
+
+Packing policy (``width=``):
+
+* ``"auto"`` (default) -- **wide-word fusion**: every active fault of
+  a pass is packed into a single word pair per net, falling back to
+  balanced chunks of at most :data:`FUSED_CAP` machines for huge
+  fault sets (beyond a few thousand machine bits the per-digit cost
+  of big-int arithmetic starts to win over the per-pass interpreter
+  overhead; :func:`benchmark_packing` measures the crossover for a
+  concrete circuit).
+* an integer ``N`` -- classic fixed-width chunking with ``N - 1``
+  faulty machines per word (the pre-fusion engine; ``N = 128`` is the
+  historical default, kept as :data:`DEFAULT_WIDTH`).
+
+Fault dropping: :meth:`FaultSimulator.detect` retires
+already-detected machines *mid-pass* (``early_exit=True``) by
+repacking the survivors into a narrower word, and can report
+detections into a shared
+:class:`~repro.sim.scoreboard.FaultScoreboard` so later phases build
+smaller injection words.  Both mechanisms are pure accelerations:
+per-machine logic values are independent of packing, so detection
+sets are identical under every width policy (enforced by the
+equivalence test suite).
+
+Instrumentation: every simulator bumps a
+:class:`~repro.sim.counters.SimCounters` (frames, word evaluations,
+machine bits, drops, repacks) -- see ``benchmarks/emit_bench.py``.
 
 Two entry points cover all the needs of the compaction procedures:
 
 * :meth:`FaultSimulator.detect` -- which target faults does a test
   ``(SI, T)`` (or a scan-less sequence) detect?  Supports early exit and
-  per-chunk retirement, used heavily by vector omission and combining.
+  in-pass retirement, used heavily by vector omission and combining.
 * :meth:`FaultSimulator.run_with_records` -- a single full pass that
   records, per fault, the first frame with a primary-output difference
   and, per frame, which faults would be caught by a scan-out at that
@@ -25,14 +55,35 @@ captured by the final frame.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from . import values as V
+from .counters import SimCounters
 from .faults import Fault, FaultSet
 from .logicsim import CompiledCircuit
+from .scoreboard import FaultScoreboard
 
+#: Historical fixed chunk width (127 faulty machines + the good bit).
 DEFAULT_WIDTH = 128
+
+#: Machine-bit cap per fused word under ``width="auto"``.  Beyond this
+#: the per-digit cost of big-int ops outweighs the saved passes, so
+#: auto mode falls back to balanced chunks of at most this many
+#: machines.  Override with the ``REPRO_FUSED_CAP`` environment
+#: variable; measure a specific circuit with :func:`benchmark_packing`.
+FUSED_CAP = int(os.environ.get("REPRO_FUSED_CAP", "4096"))
+
+#: In-pass retirement fires only when a word still has at least this
+#: many machines (repacking tiny words saves nothing) ...
+_REPACK_MIN_MACHINES = 64
+#: ... at least half of them are already caught, and at least this many
+#: frames remain to amortize the bit-gather cost of the repack.
+_REPACK_MIN_FRAMES_LEFT = 8
+
+WidthPolicy = Union[int, str]
 
 
 @dataclass
@@ -94,14 +145,21 @@ class SimRecords:
         Raises
         ------
         ValueError
-            If not even the full sequence detects ``required``.
+            If the records cover no frames (there is no candidate
+            scan-out time unit at all), or if not even the full
+            sequence detects ``required``.
         """
+        if self.n_frames == 0:
+            raise ValueError(
+                "cannot select a scan-out time unit: the recorded test "
+                "has no frames")
         pending = set(required)
         po_by_frame: List[Set[int]] = [set() for _ in range(self.n_frames)]
         for fid, first in self.po_first.items():
             if fid in pending:
                 po_by_frame[first].add(fid)
         po_so_far: Set[int] = set()
+        missing: Set[int] = pending
         for i in range(self.n_frames):
             po_so_far |= po_by_frame[i]
             missing = pending - po_so_far - self.scan_diff[i]
@@ -114,20 +172,41 @@ class SimRecords:
 class FaultSimulator:
     """Parallel-fault simulator bound to one circuit and one fault set.
 
+    ``width`` selects the packing policy (see the module docstring):
+    ``"auto"`` fuses each pass's faults into one wide word (capped at
+    :data:`FUSED_CAP` machines), an int gives fixed-width chunking.
+
     ``scan_positions`` turns the simulator into a *partial-scan* model:
     scan-in vectors cover (and scan-outs observe) only the flip-flops
     at those positions; the rest power up unknown and are never
     directly observed.  ``None`` means full scan.
+
+    ``counters`` is the :class:`~repro.sim.counters.SimCounters` the
+    inner loops bump; pass a shared instance to aggregate across
+    simulators (one is created when omitted).
     """
 
     def __init__(self, circuit: CompiledCircuit, faults: FaultSet,
-                 width: int = DEFAULT_WIDTH,
-                 scan_positions: Optional[Sequence[int]] = None) -> None:
-        if width < 2:
-            raise ValueError("width must allow at least one faulty machine")
+                 width: WidthPolicy = "auto",
+                 scan_positions: Optional[Sequence[int]] = None,
+                 counters: Optional[SimCounters] = None,
+                 fused_cap: int = FUSED_CAP) -> None:
+        if width == "auto":
+            if fused_cap < 2:
+                raise ValueError("fused_cap must allow at least one "
+                                 "faulty machine")
+        elif isinstance(width, int):
+            if width < 2:
+                raise ValueError(
+                    "width must allow at least one faulty machine")
+        else:
+            raise ValueError(f"unknown width policy {width!r}; "
+                             f"use an int >= 2 or 'auto'")
         self.circuit = circuit
         self.faults = faults
         self.width = width
+        self.fused_cap = fused_cap
+        self.counters = counters if counters is not None else SimCounters()
         if scan_positions is None:
             self.scan_positions: Optional[List[int]] = None
             self.n_state_vars = len(circuit.ff_ids)
@@ -157,12 +236,44 @@ class FaultSimulator:
                     self._spec.append(("branch", ids[gate_name], pin))
 
     # ------------------------------------------------------------------
-    def _build_chunks(self, indices: Sequence[int]) -> List[_Chunk]:
-        chunks: List[_Chunk] = []
-        per = self.width - 1
+    def resolve_width(self, n_targets: int) -> int:
+        """The word width a pass over ``n_targets`` faults will use.
+
+        ``"auto"`` fuses everything into one word up to
+        ``fused_cap`` machines; beyond that, balanced chunks (all
+        within one machine of each other) no wider than the cap --
+        e.g. 9000 faults over a 4096 cap become three ~3000-machine
+        words rather than two full ones and a 808-machine remainder.
+        """
+        if self.width != "auto":
+            return self.width
+        if n_targets <= 0:
+            return 2
+        cap = self.fused_cap
+        if n_targets + 1 <= cap:
+            return n_targets + 1
+        n_chunks = -(-n_targets // (cap - 1))     # ceil division
+        return -(-n_targets // n_chunks) + 1
+
+    def _build_chunks(self, indices: Sequence[int],
+                      width: Optional[int] = None) -> List[_Chunk]:
         ordered = sorted(indices)
-        for start in range(0, len(ordered), per):
-            group = ordered[start:start + per]
+        if width is None:
+            width = self.resolve_width(len(ordered))
+        chunks: List[_Chunk] = []
+        per = width - 1
+        # Spread the faults evenly over ceil(n/per) chunks instead of
+        # filling chunks to `per` and leaving a short remainder: sizes
+        # end up within one machine of each other.
+        n_chunks = max(1, -(-len(ordered) // per)) if ordered else 0
+        groups: List[List[int]] = []
+        start = 0
+        for k in range(n_chunks):
+            size = len(ordered) // n_chunks + \
+                (1 if k < len(ordered) % n_chunks else 0)
+            groups.append(ordered[start:start + size])
+            start += size
+        for group in groups:
             chunk = _Chunk(indices=group, mask=(1 << (len(group) + 1)) - 1)
             for pos, fid in enumerate(group):
                 bit = chunk.bit_of(pos)
@@ -233,6 +344,44 @@ class FaultSimulator:
         return 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _gather_bits(word: int, positions: Sequence[int]) -> int:
+        """Compress ``word`` to the machine bits at ``positions`` (in
+        order): bit ``positions[i]`` of ``word`` becomes bit ``i``."""
+        out = 0
+        for i, p in enumerate(positions):
+            out |= ((word >> p) & 1) << i
+        return out
+
+    def _repack(self, chunk: _Chunk, caught: int,
+                ns_zero: List[int], ns_one: List[int]
+                ) -> Tuple[_Chunk, List[int], List[int]]:
+        """In-pass retirement: rebuild the pass state without the
+        machines in ``caught``.
+
+        Returns ``(new_chunk, zero, one)`` where the word arrays hold
+        the surviving machines' flip-flop state (gathered from the
+        next-state words) and every other net is zero -- sources are
+        reloaded and gate outputs recomputed on the next frame, so no
+        stale wide bits can leak into the narrower pass.
+        """
+        keep_positions = [0]       # the good machine always survives
+        remaining: List[int] = []
+        for pos, fid in enumerate(chunk.indices):
+            if not caught & chunk.bit_of(pos):
+                keep_positions.append(pos + 1)
+                remaining.append(fid)
+        new_chunk = self._build_chunks(remaining,
+                                       width=len(remaining) + 1)[0]
+        n = self.circuit.n_nets
+        zero = [0] * n
+        one = [0] * n
+        for ff_pos, nid in enumerate(self.circuit.ff_ids):
+            zero[nid] = self._gather_bits(ns_zero[ff_pos], keep_positions)
+            one[nid] = self._gather_bits(ns_one[ff_pos], keep_positions)
+        return new_chunk, zero, one
+
+    # ------------------------------------------------------------------
     def _check_vectors(self, vectors: Sequence[V.Vector]) -> None:
         n_pi = len(self.circuit.pi_ids)
         for i, vector in enumerate(vectors):
@@ -274,6 +423,7 @@ class FaultSimulator:
         observe_po: bool = True,
         early_exit: bool = True,
         scan_observe: Optional[Sequence[int]] = None,
+        retire_to: Optional[FaultScoreboard] = None,
     ) -> Set[int]:
         """Fault indices (within ``target``) detected by the test.
 
@@ -292,11 +442,18 @@ class FaultSimulator:
         observe_po:
             When false, primary outputs are ignored (useful in tests).
         early_exit:
-            Stop as soon as every target fault is detected.
+            Stop as soon as every target fault is detected, and retire
+            already-caught machines mid-pass by repacking the survivors
+            into a narrower word (in-pass fault dropping; the returned
+            set is unaffected).
         scan_observe:
             Flip-flop positions readable by the scan-out; ``None``
             means all (full scan).  A partial-scan chain observes only
             its scanned flip-flops.
+        retire_to:
+            Optional shared scoreboard; every detected fault is
+            retired into it (the caller asserts this test is part of
+            the committed test set).
         """
         if target is None:
             target = range(len(self.faults))
@@ -305,15 +462,23 @@ class FaultSimulator:
         if scan_observe is None:
             scan_observe = self.scan_positions
         chunks = self._build_chunks(target)
+        counters = self.counters
+        counters.detect_passes += 1
         detected: Set[int] = set()
         last = len(vectors) - 1
+        longest = 0
         for chunk in chunks:
             zero, one = self._init_words(chunk, init_state)
             caught = 0  # machine bits already detected in this chunk
-            for frame, vector in enumerate(vectors):
+            frame = 0
+            frames_done = 0
+            while frame <= last:
+                vector = vectors[frame]
                 self._load_frame(chunk, zero, one, vector)
                 self.circuit.eval_frame(zero, one, chunk.mask,
                                         chunk.stems, chunk.branch)
+                counters.note_words(1, len(chunk.indices))
+                frames_done += 1
                 ns_zero, ns_one = self._next_state_words(chunk, zero, one)
                 if observe_po:
                     for nid in self.circuit.po_ids:
@@ -327,13 +492,39 @@ class FaultSimulator:
                             caught |= self._diff_word(ns_zero[pos],
                                                       ns_one[pos])
                 caught &= ~1
-                if early_exit and caught == chunk.mask & ~1:
+                if caught == chunk.mask & ~1:
+                    # Saturated: every machine of this chunk is caught,
+                    # so no further frame (or the scan-out) can change
+                    # the result -- sound whatever ``early_exit`` says.
                     break
+                if (early_exit and caught and
+                        len(chunk.indices) >= _REPACK_MIN_MACHINES and
+                        last - frame >= _REPACK_MIN_FRAMES_LEFT and
+                        2 * bin(caught).count("1") >= len(chunk.indices)):
+                    # In-pass retirement: bank the caught faults and
+                    # carry on with a word half (or less) the size.
+                    n_dropped = 0
+                    for pos, fid in enumerate(chunk.indices):
+                        if caught & chunk.bit_of(pos):
+                            detected.add(fid)
+                            n_dropped += 1
+                    chunk, zero, one = self._repack(chunk, caught,
+                                                    ns_zero, ns_one)
+                    counters.repacks += 1
+                    counters.faults_dropped += n_dropped
+                    caught = 0
+                    frame += 1
+                    continue
                 for nid, z, o in zip(self.circuit.ff_ids, ns_zero, ns_one):
                     zero[nid], one[nid] = z, o
+                frame += 1
+            longest = max(longest, frames_done)
             for pos, fid in enumerate(chunk.indices):
                 if caught & chunk.bit_of(pos):
                     detected.add(fid)
+        counters.frames += longest
+        if retire_to is not None:
+            retire_to.retire(detected)
         return detected
 
     # ------------------------------------------------------------------
@@ -357,7 +548,10 @@ class FaultSimulator:
         if scan_observe is None:
             scan_observe = self.scan_positions
         chunks = self._build_chunks(target)
+        counters = self.counters
+        counters.record_passes += 1
         n_frames = len(vectors)
+        counters.frames += n_frames
         po_first: Dict[int, int] = {}
         scan_diff: List[Set[int]] = [set() for _ in range(n_frames)]
         for chunk in chunks:
@@ -367,6 +561,7 @@ class FaultSimulator:
                 self._load_frame(chunk, zero, one, vector)
                 self.circuit.eval_frame(zero, one, chunk.mask,
                                         chunk.stems, chunk.branch)
+                counters.note_words(1, len(chunk.indices))
                 ns_zero, ns_one = self._next_state_words(chunk, zero, one)
                 po_now = 0
                 for nid in self.circuit.po_ids:
@@ -413,6 +608,41 @@ class FaultSimulator:
         return {self.faults[i] for i in detected}
 
 
+def benchmark_packing(
+    circuit: CompiledCircuit,
+    faults: FaultSet,
+    frames: int = 8,
+    chunk_width: int = DEFAULT_WIDTH,
+    seed: int = 0,
+) -> Tuple[str, float, float]:
+    """Measure fused vs chunked packing on a concrete circuit.
+
+    Runs one short random-sequence pass over the whole fault set under
+    each policy and returns ``(winner, fused_seconds, chunked_seconds)``
+    where ``winner`` is ``"auto"`` or ``chunk_width``-as-int semantics
+    (``"chunked"``).  This is the measurement behind the ``"auto"``
+    heuristics: on every circuit we have benchmarked, fusion wins until
+    word widths reach several thousand bits (:data:`FUSED_CAP`), which
+    is why ``"auto"`` simply fuses below the cap.  Use this helper when
+    validating the cap for an unusual circuit; ``emit_bench.py``
+    records its verdict in ``BENCH_engine.json``.
+    """
+    import random as _random
+    rng = _random.Random(seed)
+    vectors = [V.random_binary_vector(len(circuit.pi_ids), rng)
+               for _ in range(frames)]
+    init = V.random_binary_vector(len(circuit.ff_ids), rng)
+    timings = []
+    for policy in ("auto", chunk_width):
+        sim = FaultSimulator(circuit, faults, width=policy)
+        start = time.perf_counter()
+        sim.detect(vectors, init, early_exit=False)
+        timings.append(time.perf_counter() - start)
+    fused_s, chunked_s = timings
+    return ("auto" if fused_s <= chunked_s else "chunked",
+            fused_s, chunked_s)
+
+
 @dataclass
 class StepPreview:
     """What one candidate vector would achieve (no state change)."""
@@ -427,7 +657,7 @@ class IncrementalFaultSim:
     Used by the sequential sequence generator: carries the good and
     faulty machine state words across frames so a candidate next vector
     can be evaluated (:meth:`preview`) or committed (:meth:`apply`) in
-    one combinational evaluation per chunk.
+    one combinational evaluation per word.
 
     Detection here is PO-only (the no-scan setting of the paper's
     ``T0`` generation); :meth:`scan_diff_count` exposes how many
@@ -459,6 +689,7 @@ class IncrementalFaultSim:
         parent._load_frame(chunk, zero, one, vector)
         parent.circuit.eval_frame(zero, one, chunk.mask, chunk.stems,
                                   chunk.branch)
+        parent.counters.note_words(1, len(chunk.indices))
         ns_zero, ns_one = parent._next_state_words(chunk, zero, one)
         po_diff = 0
         for nid in parent.circuit.po_ids:
@@ -500,6 +731,7 @@ class IncrementalFaultSim:
                 zero[nid], one[nid] = z, o
         self.detected |= newly
         self.n_frames += 1
+        self.parent.counters.frames += 1
         return newly
 
     def good_state(self) -> V.Vector:

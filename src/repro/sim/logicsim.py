@@ -16,6 +16,14 @@ The sequential simulation model is the standard one for full-scan work:
 
 Unknown values propagate pessimistically (X in, X out unless the gate's
 controlling value decides the output).
+
+Width contract: :meth:`CompiledCircuit.eval_frame` (both engines) is
+agnostic to the machine word width -- ``mask`` carries the active
+bits and every operation is a big-int bitwise op, so the same
+evaluator serves a 1-bit good-machine pass, a 128-bit chunk, or a
+fused multi-thousand-bit word without any per-width code.  The fused
+wide-word fault simulator depends on this: do not introduce
+width-sensitive constants here or in :mod:`repro.sim.codegen`.
 """
 
 from __future__ import annotations

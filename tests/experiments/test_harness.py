@@ -51,6 +51,34 @@ class TestSerialization:
         assert back.baseline4.stats == s27_full_run.baseline4.stats
         assert back.dynamic.detected == s27_full_run.dynamic.detected
 
+    def test_roundtrip_preserves_counters(self, s27_full_run):
+        assert s27_full_run.counters  # the runner collected them
+        assert s27_full_run.counters["words"] > 0
+        back = reporting.run_from_dict(
+            reporting.run_to_dict(s27_full_run))
+        assert back.counters == s27_full_run.counters
+
+    def test_counters_table_renders(self, s27_full_run):
+        table = reporting.engine_counters_table([s27_full_run])
+        text = table.render()
+        assert "mach/word" in text
+        assert "s27" in text
+
+    def test_legacy_checkpoint_without_counters(self, s27_full_run):
+        data = reporting.run_to_dict(s27_full_run)
+        del data["counters"]
+        back = reporting.run_from_dict(data)
+        assert back.counters == {}
+        # The renderer degrades to dashes, never crashes.
+        assert "-" in reporting.engine_counters_table([back]).render()
+
+    def test_engine_width_travel_through_jobspec(self):
+        spec = _spec(engine="interp", width=16)
+        outcome = run_jobs([spec], config=_cfg(isolate=True))
+        assert outcome.ok
+        run = outcome.runs[0]
+        assert run.counters["words"] >= run.counters["frames"]
+
     def test_roundtrip_preserves_tables(self, s27_full_run):
         back = reporting.run_from_dict(
             reporting.run_to_dict(s27_full_run))

@@ -1,0 +1,300 @@
+"""Engine equivalence: fused, chunked and codegen must agree exactly.
+
+The wide-word fusion, the in-pass repack and the codegen backend are
+pure packing/evaluation strategies -- none of them may change a single
+detection.  These properties drive random circuits, widths, scan
+configurations and X-laden vectors through every engine combination
+and require byte-identical detection sets.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg import random_gen
+from repro.circuits import synth
+from repro.core.combine import _detections
+from repro.core.scan_test import ScanTest
+from repro.sim import fault_sim as fault_sim_mod
+from repro.sim import values as V
+from repro.sim.counters import SimCounters
+from repro.sim.fault_sim import FaultSimulator
+from repro.sim.faults import FaultSet
+from repro.sim.logicsim import CompiledCircuit
+from repro.sim.scoreboard import FaultScoreboard
+
+_N_PI = 4
+
+_CACHE = {}
+
+
+def circuit_for(seed):
+    """Small random sequential circuit, cached across examples."""
+    if seed not in _CACHE:
+        net = synth.generate("equiv", _N_PI, 3, 5, 30, seed=seed)
+        cc_codegen = CompiledCircuit(net, engine="codegen")
+        cc_generic = CompiledCircuit(net.copy(), engine="generic")
+        fs = FaultSet.collapsed(net)
+        _CACHE[seed] = (cc_codegen, cc_generic, fs)
+    return _CACHE[seed]
+
+
+circuit_seeds = st.integers(0, 14)
+widths = st.sampled_from([2, 5, 128, "auto"])
+
+
+def _vectors(data, rng, n):
+    """A sequence that mixes binary and X-laden vectors."""
+    out = []
+    for _ in range(n):
+        if data.draw(st.booleans()):
+            out.append(V.random_binary_vector(_N_PI, rng))
+        else:
+            out.append(tuple(rng.choice((V.ZERO, V.ONE, V.X))
+                             for _ in range(_N_PI)))
+    return out
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=circuit_seeds, width=widths, data=st.data())
+    def test_detect_sets_identical(self, seed, width, data):
+        """Every (engine, width) pair agrees with the reference
+        (codegen, fused) detection set on the same test."""
+        cc_codegen, cc_generic, fs = circuit_for(seed)
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        n = data.draw(st.integers(1, 10))
+        vectors = _vectors(data, rng, n)
+        init = (V.random_binary_vector(len(cc_codegen.ff_ids), rng)
+                if data.draw(st.booleans()) else None)
+        scan_out = data.draw(st.booleans())
+        early_exit = data.draw(st.booleans())
+
+        reference = FaultSimulator(cc_codegen, fs, width="auto").detect(
+            vectors, init, scan_out=scan_out, early_exit=False)
+        for circuit in (cc_codegen, cc_generic):
+            sim = FaultSimulator(circuit, fs, width=width)
+            got = sim.detect(vectors, init, scan_out=scan_out,
+                             early_exit=early_exit)
+            assert got == reference
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=circuit_seeds, width=widths, data=st.data())
+    def test_partial_scan_observation(self, seed, width, data):
+        """Agreement holds when scan-out observes a subset of FFs."""
+        cc_codegen, cc_generic, fs = circuit_for(seed)
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        n_ff = len(cc_codegen.ff_ids)
+        observe = sorted(rng.sample(range(n_ff),
+                                    data.draw(st.integers(0, n_ff))))
+        vectors = _vectors(data, rng, data.draw(st.integers(1, 6)))
+        init = V.random_binary_vector(n_ff, rng)
+
+        reference = FaultSimulator(cc_codegen, fs, width="auto").detect(
+            vectors, init, scan_observe=observe, early_exit=False)
+        got = FaultSimulator(cc_generic, fs, width=width).detect(
+            vectors, init, scan_observe=observe, early_exit=False)
+        assert got == reference
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=circuit_seeds, width=widths, data=st.data())
+    def test_records_identical(self, seed, width, data):
+        """run_with_records yields the same truncated-test detections
+        whatever the packing policy or engine."""
+        cc_codegen, cc_generic, fs = circuit_for(seed)
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        vectors = _vectors(data, rng, data.draw(st.integers(1, 6)))
+        init = V.random_binary_vector(len(cc_codegen.ff_ids), rng)
+
+        ref = FaultSimulator(cc_codegen, fs, width="auto")\
+            .run_with_records(vectors, init)
+        alt = FaultSimulator(cc_generic, fs, width=width)\
+            .run_with_records(vectors, init)
+        for frame in range(len(vectors)):
+            assert (ref.detected_with_scanout_at(frame)
+                    == alt.detected_with_scanout_at(frame))
+
+
+class TestRepack:
+    def test_repack_preserves_detections(self, monkeypatch):
+        """Forcing aggressive in-pass retirement changes counters,
+        never the detection set."""
+        monkeypatch.setattr(fault_sim_mod, "_REPACK_MIN_MACHINES", 2)
+        monkeypatch.setattr(fault_sim_mod, "_REPACK_MIN_FRAMES_LEFT", 1)
+        net = synth.generate("repack", 5, 4, 8, 80, seed=3)
+        cc = CompiledCircuit(net)
+        fs = FaultSet.collapsed(net)
+        vectors = random_gen.random_sequence(cc, 30, seed=1)
+        init = random_gen.random_state(cc, seed=2)
+
+        plain = FaultSimulator(cc, fs, width="auto").detect(
+            vectors, init, early_exit=False)
+        repacking = FaultSimulator(cc, fs, width="auto")
+        got = repacking.detect(vectors, init, early_exit=True)
+        # early_exit/repack are pure shortcuts: the set is unchanged.
+        assert got == plain
+        assert repacking.counters.repacks > 0
+        assert repacking.counters.faults_dropped > 0
+
+    def test_repack_detects_same_on_hard_targets(self, monkeypatch):
+        """When early_exit cannot trigger the all-caught break (some
+        fault is never detected), the repacking pass must still find
+        exactly the full detection set."""
+        monkeypatch.setattr(fault_sim_mod, "_REPACK_MIN_MACHINES", 2)
+        monkeypatch.setattr(fault_sim_mod, "_REPACK_MIN_FRAMES_LEFT", 1)
+        net = synth.generate("repack2", 4, 3, 6, 50, seed=9)
+        cc = CompiledCircuit(net)
+        fs = FaultSet.collapsed(net)
+        vectors = random_gen.random_sequence(cc, 25, seed=4)
+        init = random_gen.random_state(cc, seed=5)
+
+        plain = FaultSimulator(cc, fs, width="auto").detect(
+            vectors, init, early_exit=False)
+        if len(plain) == len(fs):  # pragma: no cover - seed-dependent
+            pytest.skip("every fault detected: early exit would fire")
+        repacking = FaultSimulator(cc, fs, width="auto")
+        got = repacking.detect(vectors, init, early_exit=True)
+        assert got == plain
+        assert repacking.counters.repacks > 0
+
+
+class TestWidthPolicy:
+    def test_auto_fuses_below_cap(self):
+        net = synth.generate("wp", 3, 2, 4, 20, seed=0)
+        cc = CompiledCircuit(net)
+        fs = FaultSet.collapsed(net)
+        sim = FaultSimulator(cc, fs, width="auto")
+        assert sim.resolve_width(50) == 51
+        assert len(sim._build_chunks(range(50))) == 1
+
+    def test_auto_balances_above_cap(self):
+        net = synth.generate("wp", 3, 2, 4, 20, seed=0)
+        cc = CompiledCircuit(net)
+        fs = FaultSet.collapsed(net)
+        sim = FaultSimulator(cc, fs, width="auto", fused_cap=101)
+        # 250 targets over a 101-machine cap -> 3 balanced chunks.
+        assert sim.resolve_width(250) == 85  # ceil(250/3) + good machine
+        # And over the real fault list: chunks within one of each other.
+        small = FaultSimulator(cc, fs, width="auto",
+                               fused_cap=len(fs) // 2)
+        chunks = small._build_chunks(range(len(fs)))
+        sizes = [len(c.indices) for c in chunks]
+        assert len(sizes) >= 2
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == len(fs)
+
+    def test_bad_width_rejected(self):
+        net = synth.generate("wp", 3, 2, 4, 20, seed=0)
+        cc = CompiledCircuit(net)
+        fs = FaultSet.collapsed(net)
+        with pytest.raises(ValueError):
+            FaultSimulator(cc, fs, width=1)
+        with pytest.raises(ValueError):
+            FaultSimulator(cc, fs, width="wide")
+
+
+class TestScoreboard:
+    def test_retire_and_query(self):
+        counters = SimCounters()
+        board = FaultScoreboard(10, counters=counters)
+        assert board.retire([1, 3, 5]) == 3
+        assert board.retire([3, 5, 7]) == 1  # only 7 is new
+        assert board.n_retired == 4
+        assert board.is_retired(3)
+        assert not board.is_retired(0)
+        assert board.retired_within({0, 1, 2, 3}) == {1, 3}
+        assert board.active({0, 1, 2, 3}) == [0, 2]
+        assert counters.faults_dropped == 4
+
+    def test_out_of_range_rejected(self):
+        board = FaultScoreboard(4)
+        with pytest.raises(ValueError):
+            board.retire([4])
+        with pytest.raises(ValueError):
+            FaultScoreboard(-1)
+
+    def test_disabled_scoreboard_is_inert(self):
+        counters = SimCounters()
+        board = FaultScoreboard(10, counters=counters, enabled=False)
+        assert board.retire([1, 2, 3]) == 0
+        assert board.n_retired == 0
+        assert board.active({1, 2, 3}) == [1, 2, 3]
+        assert counters.faults_dropped == 0
+
+
+class TestCounters:
+    def test_note_words_and_density(self):
+        c = SimCounters()
+        c.note_words(4, 100)
+        c.note_words(1, 20)
+        assert c.words == 5
+        assert c.machines == 420
+        assert c.machines_per_word == 84.0
+
+    def test_dict_round_trip(self):
+        c = SimCounters(frames=7, words=3, machines=30,
+                        faults_dropped=2, repacks=1, detect_passes=4)
+        d = c.as_dict()
+        assert d["machines_per_word"] == 10.0
+        back = SimCounters.from_dict(d)
+        assert back == c
+
+    def test_counting_during_detect(self):
+        net = synth.generate("cnt", 3, 2, 4, 20, seed=1)
+        cc = CompiledCircuit(net)
+        fs = FaultSet.collapsed(net)
+        sim = FaultSimulator(cc, fs, width="auto")
+        vectors = random_gen.random_sequence(cc, 10, seed=0)
+        sim.detect(vectors, None, early_exit=False)
+        assert sim.counters.detect_passes == 1
+        assert sim.counters.frames == 10
+        assert sim.counters.words == 10  # fused: one word per frame
+        assert sim.counters.machines == 10 * len(fs)
+
+
+class TestCombineCache:
+    def test_cached_tests_not_resimulated(self):
+        net = synth.generate("cache", 4, 3, 5, 30, seed=2)
+        cc = CompiledCircuit(net)
+        fs = FaultSet.collapsed(net)
+        sim = FaultSimulator(cc, fs, width="auto")
+        rng = random.Random(0)
+        tests = [ScanTest(V.random_binary_vector(5, rng),
+                          (V.random_binary_vector(4, rng),))
+                 for _ in range(3)]
+        target = list(range(len(fs)))
+        cache = {}
+        first = _detections(sim, tests, target, cache)
+        passes = sim.counters.detect_passes
+        second = _detections(sim, tests, target, cache)
+        assert sim.counters.detect_passes == passes  # all cache hits
+        assert first == second
+
+    def test_superset_cache_entry_intersected(self):
+        net = synth.generate("cache", 4, 3, 5, 30, seed=2)
+        cc = CompiledCircuit(net)
+        fs = FaultSet.collapsed(net)
+        sim = FaultSimulator(cc, fs, width="auto")
+        rng = random.Random(1)
+        test = ScanTest(V.random_binary_vector(5, rng),
+                        (V.random_binary_vector(4, rng),))
+        full = sim.detect(list(test.vectors), test.scan_in,
+                          early_exit=False)
+        sub = sorted(full)[: max(1, len(full) // 2)]
+        cache = {test: full}
+        out = _detections(sim, [test], sub, cache)
+        assert out == [set(sub) & full]
+
+
+class TestScanoutRegression:
+    def test_zero_frame_records_raise_value_error(self):
+        """Regression: earliest_safe_scanout on an empty recording
+        raised NameError (unbound 'missing') instead of ValueError."""
+        net = synth.generate("reg", 3, 2, 4, 20, seed=0)
+        cc = CompiledCircuit(net)
+        fs = FaultSet.collapsed(net)
+        sim = FaultSimulator(cc, fs)
+        records = sim.run_with_records([], init_state=None)
+        with pytest.raises(ValueError, match="no frames"):
+            records.earliest_safe_scanout({0})

@@ -13,6 +13,22 @@ class TestWorkbench:
         assert wb.circuit.n_nets == s27.num_nets
         assert len(wb.faults) == 32
 
+    def test_engine_and_width_knobs(self, s27):
+        wb = api.Workbench.for_netlist(s27, engine="interp", width=8)
+        assert wb.circuit.engine == "generic"  # CLI alias resolved
+        assert wb.sim.width == 8
+        auto = api.Workbench.for_netlist(s27)
+        assert auto.circuit.engine == "codegen"
+        assert auto.sim.width == "auto"
+
+    def test_counters_property_is_sims(self, s27):
+        wb = api.Workbench.for_netlist(s27)
+        assert wb.counters is wb.sim.counters
+
+    def test_bad_engine_rejected(self, s27):
+        with pytest.raises(ValueError, match="engine"):
+            api.Workbench.for_netlist(s27, engine="fpga")
+
 
 class TestCompactTests:
     def test_seqgen_arm(self, s27):

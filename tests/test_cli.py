@@ -23,6 +23,36 @@ class TestParser:
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "Table 5" in out
+        assert "Engine counters" in out
+
+    def test_circuit_engine_width_flags(self, capsys):
+        assert main(["circuit", "s27", "--engine", "interp",
+                     "--width", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Engine counters" in out
+        # The chunked run packs at most 15 faulty machines per word.
+        assert "Table 1" in out
+
+    def test_width_auto_accepted(self):
+        args = build_parser().parse_args(
+            ["circuit", "s27", "--width", "auto"])
+        assert args.width == "auto"
+        args = build_parser().parse_args(
+            ["circuit", "s27", "--width", "64"])
+        assert args.width == 64
+
+    def test_width_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["circuit", "s27", "--width", "huge"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["circuit", "s27", "--width", "1"])
+
+    def test_engine_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["circuit", "s27", "--engine", "fpga"])
 
     def test_circuit_unknown(self, capsys):
         assert main(["circuit", "sXXX"]) == 2
