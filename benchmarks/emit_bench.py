@@ -1,7 +1,7 @@
-"""Emit ``BENCH_engine.json``: fused + dropping vs the chunked engine.
+"""Emit engine benchmarks: ``BENCH_engine.json`` / ``BENCH_phase1.json``.
 
-Runs the paper's full proposed procedure (:func:`repro.core.proposed.
-run`) twice on one synthesized circuit:
+Default mode runs the paper's full proposed procedure
+(:func:`repro.core.proposed.run`) twice on one synthesized circuit:
 
 * **before** -- the pre-fusion engine configuration: 128 machines per
   word (many chunks per pass) and a *disabled* scoreboard, so no
@@ -9,21 +9,32 @@ run`) twice on one synthesized circuit:
 * **after** -- the wide-word configuration: ``width="auto"`` (every
   target fused into one word) with cross-phase dropping on.
 
-Both arms must produce byte-identical results (detection sets, test
-sets, cycle counts) -- the script asserts it and records the check in
-the JSON.  The emitted file carries circuit stats, per-arm wall clock
-and engine counters, the speedup ratio, and the ``width="auto"``
-probe's verdict (:func:`repro.sim.fault_sim.benchmark_packing`).
+``--phase1`` instead benchmarks the Phase-1 candidate scan: the scalar
+per-candidate :meth:`~repro.sim.fault_sim.FaultSimulator.detect` loop
+vs the lane-transposed
+:meth:`~repro.sim.fault_sim.FaultSimulator.detect_candidates` pass
+(micro-benchmark over ``select_scan_in``, best of several repeats),
+plus one end-to-end ``run_proposed`` per mode.  The emitted
+``BENCH_phase1.json`` asserts identical ``(chosen_index, f_si)``,
+final test sets and clock cycles under both modes.
+
+Both modes must produce byte-identical results -- the script asserts
+it and records the check in the JSON.  The emitted file carries
+circuit stats, per-arm wall clock and engine counters, and the
+speedup ratio.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py            # full (~3 min)
     PYTHONPATH=src python benchmarks/emit_bench.py --quick    # CI-sized
     PYTHONPATH=src python benchmarks/emit_bench.py --quick --gate 1.5
+    PYTHONPATH=src python benchmarks/emit_bench.py --phase1   # lanes bench
+    PYTHONPATH=src python benchmarks/emit_bench.py --phase1 --quick --gate 1.0
 
 ``--gate RATIO`` turns the script into a perf gate: exit code 1 when
-the fused arm is slower than ``RATIO`` times the chunked arm (the CI
-perf-smoke job runs ``--quick --gate 1.5``).
+the after/lanes arm is slower than ``RATIO`` times the before/scalar
+arm (the CI perf-smoke job runs ``--quick --gate 1.5`` and
+``--phase1 --quick --gate 1.0``).
 """
 
 from __future__ import annotations
@@ -41,6 +52,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.atpg import comb_set as comb_set_mod
 from repro.atpg import random_gen
 from repro.circuits import synth
+from repro.core.phase1 import detect_no_scan, select_scan_in
 from repro.core.proposed import run as run_proposed
 from repro.experiments.reporting import atomic_write_text
 from repro.sim.comb_sim import CombPatternSim
@@ -152,32 +164,174 @@ def build_payload(quick: bool, seed: int = 1) -> Dict[str, Any]:
     }
 
 
+def _run_candidate_arm(netlist, comb_tests, t0, mode: str
+                       ) -> Dict[str, Any]:
+    """One full proposed-procedure pass under a candidate-scan mode."""
+    circuit = CompiledCircuit(netlist, engine="codegen")
+    faults = FaultSet.collapsed(netlist)
+    counters = SimCounters()
+    sim = FaultSimulator(circuit, faults, width="auto",
+                         counters=counters)
+    comb_sim = CombPatternSim(circuit, faults)
+    started = time.perf_counter()
+    result = run_proposed(sim, comb_sim, t0, comb_tests,
+                          candidate_scan=mode)
+    seconds = time.perf_counter() - started
+    final = result.compacted_set or result.test_set
+    return {
+        "candidate_scan": mode,
+        "seconds": round(seconds, 3),
+        "phase1_seconds": round(counters.phase1_s, 3),
+        "counters": counters.as_dict(),
+        "result": {
+            "seq_detected": len(result.seq_detected),
+            "final_detected": len(result.final_detected),
+            "tests": len(final),
+            "cycles": final.clock_cycles(),
+            "tau_seq_length": result.tau_seq.length,
+        },
+        "_sets": (result.seq_detected, result.final_detected,
+                  tuple(final.tests), final.clock_cycles()),
+    }
+
+
+def _time_select_scan_in(sim, t0, comb_tests, f0, selected, mode: str,
+                         repeats: int) -> Dict[str, Any]:
+    """Best-of-``repeats`` timing of one Step-2 selection pass."""
+    best = None
+    outcome = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        outcome = select_scan_in(sim, t0, comb_tests, f0, selected,
+                                 mode=mode)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return {"mode": mode, "seconds": round(best, 4),
+            "chosen_index": outcome[0], "f_si": outcome[1]}
+
+
+def build_phase1_payload(quick: bool, seed: int = 1,
+                         repeats: int = 3) -> Dict[str, Any]:
+    """The ``--phase1`` payload: scalar vs lanes candidate scan."""
+    profile = QUICK_PROFILE if quick else FULL_PROFILE
+    netlist = synth.generate(profile["name"], profile["n_pi"],
+                             profile["n_po"], profile["n_ff"],
+                             profile["n_gates"], seed=profile["seed"])
+    circuit = CompiledCircuit(netlist)
+    faults = FaultSet.collapsed(netlist)
+    comb = comb_set_mod.generate(circuit, faults, seed=seed)
+    t0 = random_gen.random_sequence(circuit, profile["t0_length"],
+                                    seed=seed)
+
+    print(f"circuit {profile['name']}: {netlist.num_gates} gates, "
+          f"{netlist.num_ffs} FFs, {len(faults)} collapsed faults, "
+          f"{len(comb.tests)} candidate states, |T0|={len(t0)}")
+
+    # Micro-benchmark: one Step-2 selection pass, best of `repeats`.
+    sim = FaultSimulator(circuit, faults, width="auto")
+    f0 = detect_no_scan(sim, t0, range(len(faults)))
+    selected = [False] * len(comb.tests)
+    print(f"select_scan_in scalar x{repeats} ...", flush=True)
+    scalar = _time_select_scan_in(sim, t0, comb.tests, f0, selected,
+                                  "scalar", repeats)
+    print(f"  best {scalar['seconds']}s")
+    print(f"select_scan_in lanes x{repeats} ...", flush=True)
+    lanes = _time_select_scan_in(sim, t0, comb.tests, f0, selected,
+                                 "lanes", repeats)
+    print(f"  best {lanes['seconds']}s")
+    identical_selection = (
+        scalar.pop("chosen_index"), scalar.pop("f_si")) == (
+        lanes.pop("chosen_index"), lanes.pop("f_si"))
+    if not identical_selection:
+        print("ERROR: scalar and lanes disagree on (chosen_index, f_si)",
+              file=sys.stderr)
+
+    # End to end: the full proposed procedure under each mode.
+    print("end-to-end run_proposed, scalar ...", flush=True)
+    e2e_scalar = _run_candidate_arm(netlist, comb.tests, t0, "scalar")
+    print(f"  {e2e_scalar['seconds']}s "
+          f"(phase1 {e2e_scalar['phase1_seconds']}s)")
+    print("end-to-end run_proposed, lanes ...", flush=True)
+    e2e_lanes = _run_candidate_arm(netlist, comb.tests, t0, "lanes")
+    print(f"  {e2e_lanes['seconds']}s "
+          f"(phase1 {e2e_lanes['phase1_seconds']}s)")
+    identical_e2e = e2e_scalar.pop("_sets") == e2e_lanes.pop("_sets")
+    if not identical_e2e:
+        print("ERROR: the two modes disagree on end-to-end results",
+              file=sys.stderr)
+
+    speedup = scalar["seconds"] / max(lanes["seconds"], 1e-9)
+    phase1_speedup = e2e_scalar["phase1_seconds"] / \
+        max(e2e_lanes["phase1_seconds"], 1e-9)
+    return {
+        "bench": "phase1: candidate-parallel lanes vs scalar scan-in "
+                 "selection",
+        "circuit": {
+            "name": profile["name"],
+            "pi": netlist.num_inputs,
+            "po": netlist.num_outputs,
+            "ff": netlist.num_ffs,
+            "gates": netlist.num_gates,
+            "faults": len(faults),
+            "comb_tests": len(comb.tests),
+            "t0_length": len(t0),
+        },
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "select_scan_in": {"scalar": scalar, "lanes": lanes,
+                           "speedup": round(speedup, 2)},
+        "end_to_end": {"scalar": e2e_scalar, "lanes": e2e_lanes,
+                       "phase1_speedup": round(phase1_speedup, 2)},
+        "speedup": round(speedup, 2),
+        "identical_results": identical_selection and identical_e2e,
+    }
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized circuit instead of the full one")
+    parser.add_argument("--phase1", action="store_true",
+                        help="benchmark the Phase-1 candidate scan "
+                             "(lanes vs scalar) instead of the engine")
     parser.add_argument("--gate", type=float, metavar="RATIO",
-                        help="fail (exit 1) when fused wall clock "
-                             "exceeds RATIO x chunked")
+                        help="fail (exit 1) when the after/lanes wall "
+                             "clock exceeds RATIO x before/scalar")
     parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument("-o", "--out", default="BENCH_engine.json")
+    parser.add_argument("-o", "--out", default=None)
     args = parser.parse_args(argv)
 
-    payload = build_payload(quick=args.quick, seed=args.seed)
-    atomic_write_text(args.out, json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.out}: speedup x{payload['speedup']} "
+    if args.phase1:
+        out = args.out or "BENCH_phase1.json"
+        payload = build_phase1_payload(quick=args.quick, seed=args.seed)
+        gate_pair = (payload["select_scan_in"]["lanes"]["seconds"],
+                     payload["select_scan_in"]["scalar"]["seconds"])
+        gate_label = "lanes/scalar"
+    else:
+        out = args.out or "BENCH_engine.json"
+        payload = build_payload(quick=args.quick, seed=args.seed)
+        gate_pair = (payload["after"]["seconds"],
+                     payload["before"]["seconds"])
+        gate_label = "fused/chunked"
+
+    atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}: speedup x{payload['speedup']} "
           f"(identical results: {payload['identical_results']})")
 
     if not payload["identical_results"]:
         return 1
     if args.gate is not None:
-        ratio = payload["after"]["seconds"] / \
-            max(payload["before"]["seconds"], 1e-9)
+        ratio = gate_pair[0] / max(gate_pair[1], 1e-9)
         if ratio > args.gate:
-            print(f"PERF GATE FAILED: fused/chunked = {ratio:.2f} "
+            print(f"PERF GATE FAILED: {gate_label} = {ratio:.2f} "
                   f"> {args.gate}", file=sys.stderr)
             return 1
-        print(f"perf gate ok: fused/chunked = {ratio:.2f} "
+        print(f"perf gate ok: {gate_label} = {ratio:.2f} "
               f"<= {args.gate}")
     return 0
 

@@ -18,6 +18,7 @@ from .atpg.comb_set import CombSetResult, CombTest
 from .circuits.netlist import Netlist
 from .core.combine import CombineResult, static_compact
 from .core.dynamic import DynamicResult, dynamic_compact
+from .core.phase1 import DEFAULT_CANDIDATE_SCAN
 from .core.proposed import ProposedResult, run as run_proposed
 from .core.scan_test import ScanTestSet, single_vector_test
 from .sim import values as V
@@ -97,6 +98,7 @@ def compact_tests(
     comb_tests: Optional[Sequence[CombTest]] = None,
     run_phase4: bool = True,
     workbench: Optional[Workbench] = None,
+    candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
 ) -> ProposedResult:
     """Run the paper's proposed procedure on a circuit.
 
@@ -118,6 +120,9 @@ def compact_tests(
         An explicit combinational test set; generated when omitted.
     run_phase4:
         Apply the [4] static compaction at the end.
+    candidate_scan:
+        Phase-1 Step-2 engine mode, ``"lanes"`` or ``"scalar"``; see
+        :func:`repro.core.proposed.run`.
 
     Raises
     ------
@@ -142,7 +147,8 @@ def compact_tests(
                 f"unknown t0_source {t0_source!r}; "
                 f"use 'seqgen', 'random' or pass t0=")
     return run_proposed(wb.sim, wb.comb_sim, t0, comb_tests,
-                        run_phase4=run_phase4)
+                        run_phase4=run_phase4,
+                        candidate_scan=candidate_scan)
 
 
 def baseline_static(

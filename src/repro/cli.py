@@ -100,6 +100,7 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
     outcome = run_suite_resilient(profiles, seed=args.seed,
                                   with_transition=args.transition,
                                   engine=args.engine, width=args.width,
+                                  candidate_scan=args.candidate_scan,
                                   config=_harness_config(args))
     print(render_all(all_tables(outcome.runs,
                                 with_transition=args.transition,
@@ -122,6 +123,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
                                   seed=args.seed,
                                   with_transition=args.transition,
                                   engine=args.engine, width=args.width,
+                                  candidate_scan=args.candidate_scan,
                                   config=_harness_config(args),
                                   verbose=True)
     tables = all_tables(outcome.runs, with_transition=args.transition,
@@ -213,6 +215,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fault machines per simulation word: an "
                              "integer chunk width, or 'auto' (default) "
                              "to fuse all targets into one wide word")
+    egroup.add_argument("--candidate-scan", choices=("scalar", "lanes"),
+                        default="lanes", dest="candidate_scan",
+                        help="Phase-1 scan-in selection mode: "
+                             "candidate-parallel transposed lanes "
+                             "(default) or one pass per candidate "
+                             "state (scalar); results are identical")
 
     resilience = argparse.ArgumentParser(add_help=False)
     group = resilience.add_argument_group("resilience")

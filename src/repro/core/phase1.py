@@ -36,6 +36,18 @@ from ..atpg.comb_set import CombTest
 from ..sim import values as V
 from ..sim.fault_sim import FaultSimulator
 
+#: Valid ``candidate_scan`` modes for Step 2: ``"scalar"`` runs one
+#: :meth:`~repro.sim.fault_sim.FaultSimulator.detect` pass per unique
+#: candidate state; ``"lanes"`` runs the transposed candidate-parallel
+#: :meth:`~repro.sim.fault_sim.FaultSimulator.detect_candidates` pass.
+#: Both produce byte-identical ``(chosen_index, f_si)``.
+CANDIDATE_SCAN_MODES = ("scalar", "lanes")
+
+#: Default Step-2 mode.  ``"lanes"`` because the equivalence suite
+#: (tests/core/test_candidate_scan.py) proves it exact and it turns
+#: ``|C|`` sequence passes into ``ceil(F/groups)`` passes.
+DEFAULT_CANDIDATE_SCAN = "lanes"
+
 
 @dataclass
 class Phase1Result:
@@ -86,8 +98,17 @@ def select_scan_in(
     f0: Set[int],
     selected: Sequence[bool],
     target: Optional[Set[int]] = None,
+    mode: str = DEFAULT_CANDIDATE_SCAN,
 ) -> Tuple[int, Set[int]]:
     """Step 2: choose the scan-in state maximizing detection.
+
+    Distinct tests of ``C`` often share a state part; each *unique*
+    state is simulated exactly once (one lane in ``"lanes"`` mode, one
+    :meth:`~repro.sim.fault_sim.FaultSimulator.detect` pass in
+    ``"scalar"`` mode) and the argmax then replays the original loop
+    over all of ``C``, so the winner -- including the
+    unselected-preferred tie-break -- is byte-identical to simulating
+    every test separately.
 
     Parameters
     ----------
@@ -104,6 +125,8 @@ def select_scan_in(
         Per-test *selected* flags (Section 3.3 bookkeeping).
     target:
         The full target fault index set; defaults to all faults.
+    mode:
+        One of :data:`CANDIDATE_SCAN_MODES`.
 
     Returns
     -------
@@ -114,32 +137,53 @@ def select_scan_in(
     Raises
     ------
     ValueError
-        If ``comb_tests`` is empty or flag/test lengths mismatch.
+        If ``comb_tests`` is empty, flag/test lengths mismatch, or the
+        mode is unknown.
     """
     if not comb_tests:
         raise ValueError("combinational test set is empty")
     if len(selected) != len(comb_tests):
         raise ValueError("selected flags do not match the test set")
+    if mode not in CANDIDATE_SCAN_MODES:
+        raise ValueError(f"unknown candidate-scan mode {mode!r}; "
+                         f"use one of {CANDIDATE_SCAN_MODES}")
     if target is None:
         target = set(range(len(sim.faults)))
     remaining = sorted(target - f0)
+    t0_list = list(t0)
+    # Deduplicate state parts: simulate each unique state once, in
+    # first-appearance order so slot k is the first test using it.
+    slot_by_state: dict = {}
+    slot_of: List[int] = []
+    unique_states: List[V.Vector] = []
+    for test in comb_tests:
+        state = tuple(test.state)
+        slot = slot_by_state.get(state)
+        if slot is None:
+            slot = len(unique_states)
+            slot_by_state[state] = slot
+            unique_states.append(state)
+        slot_of.append(slot)
+    if mode == "lanes":
+        per_slot = sim.detect_candidates(t0_list, unique_states,
+                                         target=remaining, scan_out=True)
+    else:
+        per_slot = [sim.detect(t0_list, init_state=state,
+                               target=remaining, scan_out=True,
+                               early_exit=False)
+                    for state in unique_states]
     best_index = -1
     best_count = -1
     best_unselected = False
-    best_detected: Set[int] = set()
-    for j, test in enumerate(comb_tests):
-        detected = sim.detect(list(t0), init_state=test.state,
-                              target=remaining, scan_out=True,
-                              early_exit=False)
-        count = len(detected)
+    for j in range(len(comb_tests)):
+        count = len(per_slot[slot_of[j]])
         unselected = not selected[j]
         # Maximize count; among equals prefer unselected tests.
         if count > best_count or (count == best_count and unselected
                                   and not best_unselected):
             best_index, best_count = j, count
             best_unselected = unselected
-            best_detected = detected
-    return best_index, best_detected | f0
+    return best_index, per_slot[slot_of[best_index]] | f0
 
 
 def select_scan_out(
@@ -196,19 +240,22 @@ def run_phase1(
     target: Optional[Set[int]] = None,
     f0: Optional[Set[int]] = None,
     scan_out_rule: str = "earliest",
+    candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
 ) -> Phase1Result:
     """Run Steps 1-3 and assemble a :class:`Phase1Result`.
 
     ``f0`` may be supplied when the caller has already simulated the
     no-scan detections (the iteration loop reuses them).
     ``scan_out_rule`` selects the paper's ``i0`` ("earliest") or
-    ``i1`` ("max_coverage") Step-3 variant.
+    ``i1`` ("max_coverage") Step-3 variant.  ``candidate_scan``
+    selects the Step-2 engine mode (see :data:`CANDIDATE_SCAN_MODES`).
     """
     if target is None:
         target = set(range(len(sim.faults)))
     if f0 is None:
         f0 = detect_no_scan(sim, t0, sorted(target))
-    index, f_si = select_scan_in(sim, t0, comb_tests, f0, selected, target)
+    index, f_si = select_scan_in(sim, t0, comb_tests, f0, selected,
+                                 target, mode=candidate_scan)
     scan_in = comb_tests[index].state
     u_so, f_so = select_scan_out(sim, scan_in, t0, f_si, target,
                                  rule=scan_out_rule)

@@ -29,7 +29,7 @@ from ..sim.fault_sim import FaultSimulator
 from ..sim.scoreboard import FaultScoreboard
 from .combine import CombineStats, static_compact
 from .omission import omit_vectors
-from .phase1 import detect_no_scan, run_phase1
+from .phase1 import DEFAULT_CANDIDATE_SCAN, detect_no_scan, run_phase1
 from .scan_test import ScanTest, ScanTestSet
 from .topoff import top_off
 
@@ -91,6 +91,7 @@ def run(
     run_phase4: bool = True,
     scan_out_rule: str = "earliest",
     scoreboard: Optional[FaultScoreboard] = None,
+    candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
 ) -> ProposedResult:
     """Run the proposed procedure end to end.
 
@@ -127,6 +128,11 @@ def run(
         simulation rebuilds a smaller injection word.  Dropping is
         applied only where the result is provably unchanged; see
         :mod:`repro.sim.scoreboard`.
+    candidate_scan:
+        Phase-1 Step-2 engine mode: ``"lanes"`` (candidate-parallel
+        transposed packing, the default) or ``"scalar"`` (one detect
+        pass per unique candidate state).  Both produce identical
+        results; see :data:`repro.core.phase1.CANDIDATE_SCAN_MODES`.
 
     Raises
     ------
@@ -145,21 +151,27 @@ def run(
         scoreboard = FaultScoreboard(len(sim.faults),
                                      counters=sim.counters)
 
+    timers = sim.counters
+
     selected = [False] * len(comb_tests)
     current: List[V.Vector] = [tuple(v) for v in t0]
-    t0_detected = detect_no_scan(sim, current, sorted(target))
+    with timers.phase_timer("phase1"):
+        t0_detected = detect_no_scan(sim, current, sorted(target))
     f0 = set(t0_detected)
     tau: Optional[ScanTest] = None
     tau_detected: Set[int] = set()
     logs: List[IterationLog] = []
 
     for _ in range(max(1, max_iterations)):
-        phase1 = run_phase1(sim, current, comb_tests, selected,
-                            target=target, f0=f0,
-                            scan_out_rule=scan_out_rule)
+        with timers.phase_timer("phase1"):
+            phase1 = run_phase1(sim, current, comb_tests, selected,
+                                target=target, f0=f0,
+                                scan_out_rule=scan_out_rule,
+                                candidate_scan=candidate_scan)
         candidate = ScanTest(phase1.scan_in, phase1.vectors)
-        omission = omit_vectors(sim, candidate, phase1.f_so,
-                                passes=omission_passes)
+        with timers.phase_timer("phase2"):
+            omission = omit_vectors(sim, candidate, phase1.f_so,
+                                    passes=omission_passes)
         logs.append(IterationLog(
             scan_in_index=phase1.chosen_index,
             u_so=phase1.u_so,
@@ -175,22 +187,24 @@ def run(
         selected[phase1.chosen_index] = True
         current = list(tau.vectors)
         # Next iteration's Step 1 runs on the new sequence.
-        f0 = detect_no_scan(sim, current, sorted(target))
+        with timers.phase_timer("phase1"):
+            f0 = detect_no_scan(sim, current, sorted(target))
 
     assert tau is not None
     # tau_seq is committed now: retire its known detections (from the
     # omission pass over F_SO) so the full-target pass below carries
     # only the still-unknown faults in its injection word.
     scoreboard.retire(tau_detected & target)
-    # Full detection set of tau_seq over the target faults.
-    seq_detected = scoreboard.retired_within(target)
-    seq_detected |= sim.detect(list(tau.vectors), tau.scan_in,
-                               target=scoreboard.active(target),
-                               early_exit=False, retire_to=scoreboard)
+    with timers.phase_timer("phase3"):
+        # Full detection set of tau_seq over the target faults.
+        seq_detected = scoreboard.retired_within(target)
+        seq_detected |= sim.detect(list(tau.vectors), tau.scan_in,
+                                   target=scoreboard.active(target),
+                                   early_exit=False, retire_to=scoreboard)
 
-    undetected = target - seq_detected
-    topoff = top_off(comb_sim, comb_tests, undetected,
-                     retire_to=scoreboard)
+        undetected = target - seq_detected
+        topoff = top_off(comb_sim, comb_tests, undetected,
+                         retire_to=scoreboard)
     n_sv = sim.n_state_vars
     test_set = ScanTestSet(n_sv, [tau] + list(topoff.tests))
     final_detected = seq_detected | topoff.covered
@@ -201,9 +215,10 @@ def run(
         # Phase 4 needs exact per-test detection sets; the only sound
         # cross-phase saving is seeding tau_seq's set, which Phase 1+2
         # already computed over the full target.
-        outcome = static_compact(sim, test_set, target=target,
-                                 known_detections={tau: seq_detected},
-                                 retire_to=scoreboard)
+        with timers.phase_timer("phase4"):
+            outcome = static_compact(sim, test_set, target=target,
+                                     known_detections={tau: seq_detected},
+                                     retire_to=scoreboard)
         compacted = outcome.test_set
         combine_stats = outcome.stats
 

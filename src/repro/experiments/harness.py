@@ -57,6 +57,7 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
 
 from ..circuits.suite import CircuitProfile
+from ..core.phase1 import DEFAULT_CANDIDATE_SCAN
 from . import reporting
 from .reporting import Table
 from .runner import CircuitRun, resolve_profiles, run_circuit_by_name
@@ -78,9 +79,11 @@ class JobSpec:
     """One unit of work: a circuit run under one seed / arm config.
 
     ``engine``/``width`` select the simulation backend and fault-
-    packing policy (see :meth:`repro.api.Workbench.for_netlist`); both
-    travel across the ``spawn`` boundary as plain values (``width`` is
-    an int or the string ``"auto"``).
+    packing policy (see :meth:`repro.api.Workbench.for_netlist`);
+    ``candidate_scan`` the Phase-1 Step-2 mode ("lanes" or "scalar").
+    All travel across the ``spawn`` boundary as plain values
+    (``width`` is an int or the string ``"auto"``); workers read
+    missing keys with defaults, so old callers stay compatible.
     """
 
     circuit: str
@@ -90,6 +93,7 @@ class JobSpec:
     with_transition: bool = False
     engine: str = "codegen"
     width: Union[int, str] = "auto"
+    candidate_scan: str = DEFAULT_CANDIDATE_SCAN
 
     @property
     def key(self) -> Tuple[str, int]:
@@ -297,7 +301,9 @@ def _worker_main(conn, spec_dict: Dict[str, Any], seed: int,
             with_baselines=spec_dict["with_baselines"],
             with_transition=spec_dict["with_transition"],
             engine=spec_dict.get("engine", "codegen"),
-            width=spec_dict.get("width", "auto"))
+            width=spec_dict.get("width", "auto"),
+            candidate_scan=spec_dict.get("candidate_scan",
+                                         DEFAULT_CANDIDATE_SCAN))
         conn.send(("ok", reporting.run_to_dict(run)))
     except BaseException:
         try:
@@ -321,7 +327,8 @@ def _run_attempt_inline(spec: JobSpec, seed: int,
             spec.circuit, seed=seed, arms=spec.arms,
             with_baselines=spec.with_baselines,
             with_transition=spec.with_transition,
-            engine=spec.engine, width=spec.width)
+            engine=spec.engine, width=spec.width,
+            candidate_scan=spec.candidate_scan)
         return "ok", run
     except Exception:
         return "error", traceback.format_exc()
@@ -597,6 +604,7 @@ def run_suite_resilient(
     with_transition: bool = False,
     engine: str = "codegen",
     width: Union[int, str] = "auto",
+    candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
     config: Optional[HarnessConfig] = None,
     verbose: bool = False,
 ) -> SuiteOutcome:
@@ -610,6 +618,7 @@ def run_suite_resilient(
     specs = [JobSpec(circuit=p.name, seed=seed, arms=tuple(arms),
                      with_baselines=with_baselines,
                      with_transition=with_transition,
-                     engine=engine, width=width)
+                     engine=engine, width=width,
+                     candidate_scan=candidate_scan)
              for p in resolve_profiles(profiles, quick=quick)]
     return run_jobs(specs, config=config, verbose=verbose)

@@ -277,20 +277,24 @@ def engine_counters_table(runs: Sequence["CircuitRun"]) -> Table:
     Columns come from :class:`repro.sim.counters.SimCounters`:
     logical frames simulated, word evaluations, average faulty
     machines packed per word, faults dropped by the cross-phase
-    scoreboard, and in-pass repacks.  Runs restored from old
-    checkpoints (no counters) render as ``-``.
+    scoreboard, in-pass repacks, and the per-phase wall-clock timers
+    (``p1_s`` .. ``p4_s``).  Runs restored from old checkpoints render
+    as ``-`` for whichever counters they lack.
     """
     table = Table("Engine counters",
                   ["circuit", "frames", "words", "mach/word",
-                   "dropped", "repacks", "seconds"])
+                   "dropped", "repacks", "p1_s", "p2_s", "p3_s",
+                   "p4_s", "seconds"])
     for run in runs:
         c = run.counters
         if c:
             table.add_row(run.name, c.get("frames"), c.get("words"),
                           c.get("machines_per_word"),
                           c.get("faults_dropped"), c.get("repacks"),
+                          c.get("phase1_s"), c.get("phase2_s"),
+                          c.get("phase3_s"), c.get("phase4_s"),
                           run.seconds)
         else:
             table.add_row(run.name, None, None, None, None, None,
-                          run.seconds)
+                          None, None, None, None, run.seconds)
     return table

@@ -21,6 +21,7 @@ from ..atpg import random_gen, seqgen
 from ..circuits.suite import CircuitProfile, suite
 from ..core.combine import CombineResult
 from ..core.dynamic import DynamicResult
+from ..core.phase1 import DEFAULT_CANDIDATE_SCAN
 from ..core.proposed import ProposedResult
 from ..delay.transition import TransitionSim
 
@@ -67,6 +68,7 @@ def run_circuit(
     with_transition: bool = False,
     engine: str = "codegen",
     width="auto",
+    candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
 ) -> CircuitRun:
     """Run every experiment on one circuit.
 
@@ -85,6 +87,9 @@ def run_circuit(
     engine, width:
         Simulation backend and fault-packing policy, forwarded to
         :meth:`repro.api.Workbench.for_netlist`.
+    candidate_scan:
+        Phase-1 Step-2 mode ("lanes" or "scalar"), forwarded to
+        :func:`repro.api.compact_tests`.
     """
     started = time.time()
     netlist = profile.build()
@@ -102,7 +107,8 @@ def run_circuit(
             raise ValueError(f"unknown arm {source!r}")
         result = api.compact_tests(
             netlist, seed=seed, t0_source=source, t0_length=length,
-            comb_tests=comb.tests, workbench=wb)
+            comb_tests=comb.tests, workbench=wb,
+            candidate_scan=candidate_scan)
         arm_results[source] = ArmResult(
             t0_source=source, t0_length=length, result=result,
             seconds=time.time() - t0_started)
@@ -151,6 +157,7 @@ def run_circuit_by_name(
     with_transition: bool = False,
     engine: str = "codegen",
     width="auto",
+    candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
 ) -> CircuitRun:
     """:func:`run_circuit` on a suite circuit looked up by name.
 
@@ -167,7 +174,8 @@ def run_circuit_by_name(
     return run_circuit(lookup(name), seed=seed, arms=arms,
                        with_baselines=with_baselines,
                        with_transition=with_transition,
-                       engine=engine, width=width)
+                       engine=engine, width=width,
+                       candidate_scan=candidate_scan)
 
 
 def resolve_profiles(
@@ -189,6 +197,7 @@ def run_suite(
     with_transition: bool = False,
     engine: str = "codegen",
     width="auto",
+    candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
     verbose: bool = False,
 ) -> List[CircuitRun]:
     """Run the whole suite serially, in process.
@@ -206,7 +215,8 @@ def run_suite(
         run = run_circuit(profile, seed=seed, arms=arms,
                           with_baselines=with_baselines,
                           with_transition=with_transition,
-                          engine=engine, width=width)
+                          engine=engine, width=width,
+                          candidate_scan=candidate_scan)
         if verbose:  # pragma: no cover - console feedback only
             print(f"  {profile.name}: {run.seconds:.1f}s")
         runs.append(run)

@@ -30,17 +30,34 @@ Counting convention
   removed their machine bits mid-sequence.
 * ``repacks`` -- in-pass word compactions performed by
   :meth:`~repro.sim.fault_sim.FaultSimulator.detect`.
-* ``detect_passes`` / ``record_passes`` -- calls into
-  :meth:`~repro.sim.fault_sim.FaultSimulator.detect` /
-  :meth:`~repro.sim.fault_sim.FaultSimulator.run_with_records`.
+* ``detect_passes`` / ``record_passes`` / ``candidate_passes`` --
+  calls into :meth:`~repro.sim.fault_sim.FaultSimulator.detect` /
+  :meth:`~repro.sim.fault_sim.FaultSimulator.run_with_records` /
+  :meth:`~repro.sim.fault_sim.FaultSimulator.detect_candidates`.
 * ``omission_trials`` / ``combine_trials`` -- tentative vector
   omissions and pair combinations simulated by Phase 2 / Phase 4.
+
+Phase wall-clock timers
+-----------------------
+``phase1_s`` .. ``phase4_s`` accumulate wall-clock seconds per paper
+phase (Phase 1 scan-in/scan-out selection incl. Step 1, Phase 2
+vector omission, Phase 3 top-off incl. the ``tau_seq`` full-set
+re-simulation, Phase 4 static compaction).  They are bumped by the
+:meth:`SimCounters.phase_timer` context manager from
+:func:`repro.core.proposed.run` and surfaced in the CLI "Engine
+counters" table and ``CircuitRun`` JSON; checkpoints written before
+these fields existed simply lack the keys and render as dashes.
 """
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, fields
 from typing import Dict
+
+#: Phases :meth:`SimCounters.phase_timer` accepts.
+PHASE_NAMES = ("phase1", "phase2", "phase3", "phase4")
 
 
 @dataclass
@@ -54,8 +71,13 @@ class SimCounters:
     repacks: int = 0
     detect_passes: int = 0
     record_passes: int = 0
+    candidate_passes: int = 0
     omission_trials: int = 0
     combine_trials: int = 0
+    phase1_s: float = 0.0
+    phase2_s: float = 0.0
+    phase3_s: float = 0.0
+    phase4_s: float = 0.0
 
     # ------------------------------------------------------------------
     def note_words(self, n_words: int, n_machines: int) -> None:
@@ -71,6 +93,24 @@ class SimCounters:
             return 0.0
         return self.machines / self.words
 
+    @contextmanager
+    def phase_timer(self, phase: str):
+        """Accumulate the wall clock of the ``with`` body into
+        ``<phase>_s``.  ``phase`` must be one of :data:`PHASE_NAMES`.
+        Re-entrant use double-counts; the pipeline times disjoint
+        stages only.
+        """
+        if phase not in PHASE_NAMES:
+            raise ValueError(f"unknown phase {phase!r}; "
+                             f"use one of {PHASE_NAMES}")
+        attr = f"{phase}_s"
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            setattr(self, attr,
+                    getattr(self, attr) + time.perf_counter() - started)
+
     # ------------------------------------------------------------------
     def merge(self, other: "SimCounters") -> None:
         """Accumulate ``other`` into this instance."""
@@ -80,7 +120,7 @@ class SimCounters:
 
     def reset(self) -> None:
         for f in fields(self):
-            setattr(self, f.name, 0)
+            setattr(self, f.name, f.default)
 
     def snapshot(self) -> "SimCounters":
         """An independent copy (for before/after deltas)."""
@@ -95,14 +135,24 @@ class SimCounters:
 
     # ------------------------------------------------------------------
     def as_dict(self) -> Dict[str, float]:
-        """JSON-ready view, including the derived packing density."""
-        out: Dict[str, float] = {f.name: getattr(self, f.name)
-                                 for f in fields(self)}
+        """JSON-ready view, including the derived packing density.
+
+        Timer fields are rounded to microseconds so checkpoint JSON
+        stays stable across load/save cycles.
+        """
+        out: Dict[str, float] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = round(value, 6) if isinstance(value, float) \
+                else value
         out["machines_per_word"] = round(self.machines_per_word, 2)
         return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, float]) -> "SimCounters":
-        """Inverse of :meth:`as_dict` (derived keys ignored)."""
-        names = {f.name for f in fields(cls)}
-        return cls(**{k: int(v) for k, v in data.items() if k in names})
+        """Inverse of :meth:`as_dict` (derived keys ignored; timer
+        fields keep their float type, counters coerce to int)."""
+        converters = {f.name: (float if isinstance(f.default, float)
+                               else int) for f in fields(cls)}
+        return cls(**{k: conv(data[k]) for k, conv in converters.items()
+                      if k in data})

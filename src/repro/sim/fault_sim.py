@@ -35,7 +35,7 @@ Instrumentation: every simulator bumps a
 :class:`~repro.sim.counters.SimCounters` (frames, word evaluations,
 machine bits, drops, repacks) -- see ``benchmarks/emit_bench.py``.
 
-Two entry points cover all the needs of the compaction procedures:
+Three entry points cover all the needs of the compaction procedures:
 
 * :meth:`FaultSimulator.detect` -- which target faults does a test
   ``(SI, T)`` (or a scan-less sequence) detect?  Supports early exit and
@@ -46,6 +46,12 @@ Two entry points cover all the needs of the compaction procedures:
   frame.  This turns the paper's Phase-1 Step 3 scan over all candidate
   scan-out times into one simulation plus a cheap post-pass (the result
   is identical to simulating every candidate, by construction).
+* :meth:`FaultSimulator.detect_candidates` -- the *transposed* packing
+  mode: candidate scan-in states occupy the lanes (one lane per
+  candidate, per-lane initial flip-flop state) and each fault is
+  injected across all lanes at once, turning the ``|C|`` sequence
+  passes of Phase-1 Step 2 into ``ceil(F / groups-per-word)`` passes
+  with per-lane detection words.  See DESIGN.md section 9.
 
 Detection semantics (see DESIGN.md section 4): a binary good/faulty
 difference at a primary output in any functional frame, or -- when a
@@ -73,8 +79,15 @@ DEFAULT_WIDTH = 128
 #: the per-digit cost of big-int ops outweighs the saved passes, so
 #: auto mode falls back to balanced chunks of at most this many
 #: machines.  Override with the ``REPRO_FUSED_CAP`` environment
-#: variable; measure a specific circuit with :func:`benchmark_packing`.
-FUSED_CAP = int(os.environ.get("REPRO_FUSED_CAP", "4096"))
+#: variable (read at :class:`FaultSimulator` construction, so tests
+#: and benchmarks can override it per simulator); measure a specific
+#: circuit with :func:`benchmark_packing`.
+FUSED_CAP = 4096
+
+
+def _resolve_fused_cap() -> int:
+    """The effective fused cap: ``REPRO_FUSED_CAP`` or the default."""
+    return int(os.environ.get("REPRO_FUSED_CAP", FUSED_CAP))
 
 #: In-pass retirement fires only when a word still has at least this
 #: many machines (repacking tiny words saves nothing) ...
@@ -82,6 +95,9 @@ _REPACK_MIN_MACHINES = 64
 #: ... at least half of them are already caught, and at least this many
 #: frames remain to amortize the bit-gather cost of the repack.
 _REPACK_MIN_FRAMES_LEFT = 8
+#: Lane-transposed passes repack only words carrying at least this many
+#: fault groups (mirrors ``_REPACK_MIN_MACHINES`` for candidate lanes).
+_REPACK_MIN_GROUPS = 8
 
 WidthPolicy = Union[int, str]
 
@@ -103,6 +119,54 @@ class _Chunk:
     def bit_of(self, position: int) -> int:
         """Machine bit for the fault at local position ``position``."""
         return 1 << (position + 1)
+
+
+@dataclass
+class _LaneChunk:
+    """Injection data for one word of *lane-transposed* faulty machines.
+
+    The word is laid out as ``n_groups`` blocks of ``n_lanes`` bits:
+    block ``g`` carries fault ``indices[g]`` simulated simultaneously
+    in every candidate lane (lane ``k`` of every block starts from
+    candidate ``k``'s scan-in state).  There is no good-machine bit --
+    the fault-free reference comes from a separate good pass over the
+    same lanes.  ``stems``/``branch``/``ff_branch`` use the same mask
+    format as :class:`_Chunk`, with each fault's masks covering its
+    whole lane block.
+    """
+
+    indices: List[int]                 # fault id of lane block g
+    n_lanes: int
+    mask: int                          # all n_groups * n_lanes bits
+    stems: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    branch: Dict[int, List[Tuple[int, int, int]]] = field(
+        default_factory=dict)
+    ff_branch: List[Tuple[int, int, int]] = field(default_factory=list)
+    src_stem_ids: List[int] = field(default_factory=list)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.indices)
+
+    @property
+    def replication(self) -> int:
+        """Multiplier replicating an ``n_lanes``-bit word into every
+        lane block.  The shifted copies occupy disjoint bit ranges, so
+        ``word * replication`` is an exact concatenation (no carries).
+        """
+        block = 1 << self.n_lanes
+        return (block ** self.n_groups - 1) // (block - 1)
+
+
+def _gather_blocks(word: int, keep_groups: Sequence[int],
+                   n_lanes: int) -> int:
+    """Concatenate the ``n_lanes``-bit blocks of ``word`` selected by
+    ``keep_groups`` (in order) into a narrower word."""
+    lane_mask = (1 << n_lanes) - 1
+    out = 0
+    for new_g, g in enumerate(keep_groups):
+        out |= ((word >> (g * n_lanes)) & lane_mask) << (new_g * n_lanes)
+    return out
 
 
 @dataclass
@@ -190,7 +254,9 @@ class FaultSimulator:
                  width: WidthPolicy = "auto",
                  scan_positions: Optional[Sequence[int]] = None,
                  counters: Optional[SimCounters] = None,
-                 fused_cap: int = FUSED_CAP) -> None:
+                 fused_cap: Optional[int] = None) -> None:
+        if fused_cap is None:
+            fused_cap = _resolve_fused_cap()
         if width == "auto":
             if fused_cap < 2:
                 raise ValueError("fused_cap must allow at least one "
@@ -589,6 +655,278 @@ class FaultSimulator:
                 for nid, z, o in zip(self.circuit.ff_ids, ns_zero, ns_one):
                     zero[nid], one[nid] = z, o
         return SimRecords(n_frames, po_first, scan_diff)
+
+    # ------------------------------------------------------------------
+    # Candidate-parallel (lane-transposed) simulation
+    # ------------------------------------------------------------------
+
+    def _lane_groups_per_word(self, n_lanes: int) -> int:
+        """Fault groups per lane-transposed word: the packing cap
+        (fused cap under ``"auto"``, the chunk width otherwise) divided
+        by the lanes each group occupies, never below one group."""
+        cap = self.fused_cap if self.width == "auto" else self.width
+        return max(1, cap // n_lanes)
+
+    def _build_lane_chunks(self, indices: Sequence[int], n_lanes: int,
+                           groups_per_word: Optional[int] = None
+                           ) -> List[_LaneChunk]:
+        """Balanced lane-transposed chunks over sorted ``indices``."""
+        ordered = sorted(indices)
+        if groups_per_word is None:
+            groups_per_word = self._lane_groups_per_word(n_lanes)
+        n_chunks = max(1, -(-len(ordered) // groups_per_word)) \
+            if ordered else 0
+        lane_mask = (1 << n_lanes) - 1
+        chunks: List[_LaneChunk] = []
+        start = 0
+        for k in range(n_chunks):
+            size = len(ordered) // n_chunks + \
+                (1 if k < len(ordered) % n_chunks else 0)
+            group = ordered[start:start + size]
+            start += size
+            chunk = _LaneChunk(indices=group, n_lanes=n_lanes,
+                               mask=(1 << (len(group) * n_lanes)) - 1)
+            stem0: Dict[int, int] = {}
+            stem1: Dict[int, int] = {}
+            for g, fid in enumerate(group):
+                block = lane_mask << (g * n_lanes)
+                spec = self._spec[fid]
+                stuck = self.faults[fid].stuck
+                if spec[0] == "stem":
+                    target = stem1 if stuck else stem0
+                    target[spec[1]] = target.get(spec[1], 0) | block
+                elif spec[0] == "branch":
+                    m0 = block if stuck == 0 else 0
+                    m1 = block if stuck == 1 else 0
+                    chunk.branch.setdefault(spec[1], []).append(
+                        (spec[2], m0, m1))
+                else:  # ff data-pin branch fault
+                    m0 = block if stuck == 0 else 0
+                    m1 = block if stuck == 1 else 0
+                    chunk.ff_branch.append((spec[1], m0, m1))
+            chunk.stems = {
+                nid: (stem0.get(nid, 0), stem1.get(nid, 0))
+                for nid in set(stem0) | set(stem1)}
+            chunk.src_stem_ids = [
+                nid for nid in chunk.stems if nid in self._source_ids]
+            chunks.append(chunk)
+        return chunks
+
+    def _good_candidate_pass(
+        self, vectors: Sequence[V.Vector],
+        full_states: Sequence[V.Vector],
+        observe_po: bool, scan_out: bool,
+        scan_observe: Optional[Sequence[int]],
+    ) -> Tuple[List[List[Tuple[int, int]]],
+               Optional[List[Tuple[int, int]]]]:
+        """One fault-free pass with candidate ``k`` in lane ``k``.
+
+        Returns ``(po_frames, final_state)``: the per-frame primary-
+        output lane words (empty inner lists when ``observe_po`` is
+        false) and the flip-flop lane words captured by the last frame
+        at the observed positions (None without ``scan_out``).
+        """
+        circuit = self.circuit
+        n_lanes = len(full_states)
+        lane_mask = (1 << n_lanes) - 1
+        zero = [0] * circuit.n_nets
+        one = [0] * circuit.n_nets
+        for ff_pos, nid in enumerate(circuit.ff_ids):
+            zero[nid], one[nid] = V.pack_lanes(
+                [s[ff_pos] for s in full_states])
+        po_frames: List[List[Tuple[int, int]]] = []
+        final_state: Optional[List[Tuple[int, int]]] = None
+        last = len(vectors) - 1
+        for frame, vector in enumerate(vectors):
+            for nid, val in zip(circuit.pi_ids, vector):
+                zero[nid], one[nid] = V.pack_scalar(val, lane_mask)
+            circuit.eval_frame(zero, one, lane_mask)
+            self.counters.note_words(1, n_lanes)
+            po_frames.append([(zero[nid], one[nid])
+                              for nid in circuit.po_ids]
+                             if observe_po else [])
+            ns = [(zero[nid], one[nid]) for nid in circuit.ff_d_ids]
+            if scan_out and frame == last:
+                if scan_observe is None:
+                    final_state = ns
+                else:
+                    final_state = [ns[pos] for pos in scan_observe]
+            for nid, (z, o) in zip(circuit.ff_ids, ns):
+                zero[nid], one[nid] = z, o
+        return po_frames, final_state
+
+    def detect_candidates(
+        self,
+        vectors: Sequence[V.Vector],
+        init_states: Sequence[V.Vector],
+        target: Optional[Sequence[int]] = None,
+        scan_out: bool = True,
+        observe_po: bool = True,
+        scan_observe: Optional[Sequence[int]] = None,
+    ) -> List[Set[int]]:
+        """Per-candidate detection sets of ``(SI_k, vectors)``, all at
+        once -- the transposed packing mode behind Phase-1 scan-in
+        selection.
+
+        Instead of one full-sequence :meth:`detect` pass per candidate
+        scan-in state (faults in the lanes, ``|C|`` passes), the
+        *candidates* occupy the lanes: one fault-free pass simulates
+        every candidate's good machine simultaneously (gates evaluate
+        bitwise, so lanes never interact), then the target faults are
+        packed ``groups x lanes`` into wide words and each fault is
+        injected across all candidate lanes in one pass.  Per-lane
+        detection is the usual binary good/faulty difference, compared
+        lane-by-lane against the recorded good pass.  A fault caught
+        in every lane retires mid-pass (its lane block repacks away);
+        it contributes to every candidate equally, so retirement can
+        never change the per-candidate counts this method reports.
+
+        Returns one detected-fault-index set per candidate, exactly
+        equal to ``[detect(vectors, s, target, early_exit=False) for s
+        in init_states]`` (the equivalence suite enforces this bit for
+        bit).
+        """
+        self._check_vectors(vectors)
+        full_states = [self.embed_state(s) for s in init_states]
+        if scan_observe is None:
+            scan_observe = self.scan_positions
+        n_lanes = len(full_states)
+        detected: List[Set[int]] = [set() for _ in range(n_lanes)]
+        if n_lanes == 0:
+            return detected
+        if target is None:
+            target = range(len(self.faults))
+        target_list = sorted(target)
+        counters = self.counters
+        counters.candidate_passes += 1
+        if not vectors or not target_list:
+            return detected
+        good_po, good_scan = self._good_candidate_pass(
+            vectors, full_states, observe_po, scan_out, scan_observe)
+        counters.frames += len(vectors)
+        init_words = [V.pack_lanes([s[ff_pos] for s in full_states])
+                      for ff_pos in range(len(self.circuit.ff_ids))]
+        longest = 0
+        for chunk in self._build_lane_chunks(target_list, n_lanes):
+            longest = max(longest, self._run_lane_chunk(
+                chunk, vectors, init_words, good_po, good_scan,
+                observe_po, scan_out, scan_observe, detected))
+        counters.frames += longest
+        return detected
+
+    def _run_lane_chunk(
+        self, chunk: _LaneChunk, vectors: Sequence[V.Vector],
+        init_words: Sequence[Tuple[int, int]],
+        good_po: List[List[Tuple[int, int]]],
+        good_scan: Optional[List[Tuple[int, int]]],
+        observe_po: bool, scan_out: bool,
+        scan_observe: Optional[Sequence[int]],
+        detected: List[Set[int]],
+    ) -> int:
+        """One faulty pass over a lane-transposed chunk.
+
+        Accumulates per-lane detections into ``detected`` and returns
+        the number of frames actually simulated.
+        """
+        circuit = self.circuit
+        counters = self.counters
+        n_lanes = chunk.n_lanes
+        lane_mask = (1 << n_lanes) - 1
+        rep = chunk.replication
+        zero = [0] * circuit.n_nets
+        one = [0] * circuit.n_nets
+        for (z, o), nid in zip(init_words, circuit.ff_ids):
+            zero[nid], one[nid] = z * rep, o * rep
+        caught = 0
+        frame = 0
+        frames_done = 0
+        last = len(vectors) - 1
+        while frame <= last:
+            full_mask = chunk.mask
+            for nid, val in zip(circuit.pi_ids, vectors[frame]):
+                zero[nid], one[nid] = V.pack_scalar(val, full_mask)
+            for nid in chunk.src_stem_ids:
+                m0, m1 = chunk.stems[nid]
+                keep = full_mask & ~(m0 | m1)
+                zero[nid] = (zero[nid] & keep) | m0
+                one[nid] = (one[nid] & keep) | m1
+            circuit.eval_frame(zero, one, full_mask, chunk.stems,
+                               chunk.branch)
+            counters.note_words(1, chunk.n_groups * n_lanes)
+            frames_done += 1
+            ns_zero = [zero[nid] for nid in circuit.ff_d_ids]
+            ns_one = [one[nid] for nid in circuit.ff_d_ids]
+            for pos, m0, m1 in chunk.ff_branch:
+                keep = full_mask & ~(m0 | m1)
+                ns_zero[pos] = (ns_zero[pos] & keep) | m0
+                ns_one[pos] = (ns_one[pos] & keep) | m1
+            if observe_po:
+                frame_po = good_po[frame]
+                for po_i, nid in enumerate(circuit.po_ids):
+                    gz, go = frame_po[po_i]
+                    # Lane detected <=> good binary b, faulty binary ~b.
+                    caught |= ((gz * rep) & one[nid]) | \
+                              ((go * rep) & zero[nid])
+            if scan_out and frame == last:
+                positions = (range(len(ns_zero)) if scan_observe is None
+                             else scan_observe)
+                for slot, pos in enumerate(positions):
+                    gz, go = good_scan[slot]
+                    caught |= ((gz * rep) & ns_one[pos]) | \
+                              ((go * rep) & ns_zero[pos])
+            if caught == chunk.mask:
+                # Every fault caught in every lane: no later frame nor
+                # the scan-out can change any per-lane set.
+                break
+            if (chunk.n_groups >= _REPACK_MIN_GROUPS and
+                    last - frame >= _REPACK_MIN_FRAMES_LEFT and caught):
+                saturated = [
+                    g for g in range(chunk.n_groups)
+                    if (caught >> (g * n_lanes)) & lane_mask == lane_mask]
+                if 2 * len(saturated) >= chunk.n_groups:
+                    # Retire faults detected in every lane: they add
+                    # one to every candidate count, so dropping their
+                    # lane blocks cannot change the argmax inputs.
+                    for g in saturated:
+                        fid = chunk.indices[g]
+                        for lane_set in detected:
+                            lane_set.add(fid)
+                    sat_set = set(saturated)
+                    keep_groups = [g for g in range(chunk.n_groups)
+                                   if g not in sat_set]
+                    remaining = [chunk.indices[g] for g in keep_groups]
+                    new_chunk = self._build_lane_chunks(
+                        remaining, n_lanes,
+                        groups_per_word=len(remaining))[0]
+                    gathered_z = [0] * circuit.n_nets
+                    gathered_o = [0] * circuit.n_nets
+                    for ff_pos, nid in enumerate(circuit.ff_ids):
+                        gathered_z[nid] = _gather_blocks(
+                            ns_zero[ff_pos], keep_groups, n_lanes)
+                        gathered_o[nid] = _gather_blocks(
+                            ns_one[ff_pos], keep_groups, n_lanes)
+                    # Partially-caught lanes of surviving groups stay
+                    # caught across the repack.
+                    caught = _gather_blocks(caught, keep_groups, n_lanes)
+                    zero, one = gathered_z, gathered_o
+                    chunk = new_chunk
+                    rep = chunk.replication
+                    counters.repacks += 1
+                    counters.faults_dropped += len(saturated)
+                    frame += 1
+                    continue
+            for nid, z, o in zip(circuit.ff_ids, ns_zero, ns_one):
+                zero[nid], one[nid] = z, o
+            frame += 1
+        for g, fid in enumerate(chunk.indices):
+            lanes = (caught >> (g * n_lanes)) & lane_mask
+            k = 0
+            while lanes:
+                if lanes & 1:
+                    detected[k].add(fid)
+                lanes >>= 1
+                k += 1
+        return frames_done
 
     # ------------------------------------------------------------------
     def incremental(self, init_state: Optional[V.Vector] = None,

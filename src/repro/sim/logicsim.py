@@ -122,6 +122,14 @@ class CompiledCircuit:
         FF outputs) must already hold their values.  ``mask`` selects the
         active machine bits.
 
+        The evaluation is strictly bitwise and width-agnostic: machine
+        bits never interact, and no bit has special meaning at this
+        layer.  This is the contract the lane-transposed candidate
+        scan (:meth:`repro.sim.fault_sim.FaultSimulator.
+        detect_candidates`) relies on -- it re-purposes the lanes to
+        carry one candidate scan-in state each instead of one faulty
+        machine each, with no changes here.
+
         Fault injection (used by the fault simulator):
 
         * ``stems[nid] = (m0, m1)``: machines whose view of net ``nid``

@@ -92,6 +92,27 @@ def diff_mask(zero: int, one: int, good_value: int) -> int:
     return 0
 
 
+def pack_lanes(values: Sequence[int]) -> Tuple[int, int]:
+    """Pack one scalar *per machine lane* into a ``(zero, one)`` pair.
+
+    Lane ``k`` of the word carries ``values[k]``.  This is the
+    transposed counterpart of :func:`pack_scalar` (which broadcasts one
+    scalar to every machine): candidate-parallel simulation packs one
+    *candidate scan-in state* per lane, so each lane starts from its
+    own flip-flop value.
+    """
+    zero = 0
+    one = 0
+    for k, value in enumerate(values):
+        if value == ZERO:
+            zero |= 1 << k
+        elif value == ONE:
+            one |= 1 << k
+        elif value != X:
+            raise ValueError(f"invalid scalar value {value!r}")
+    return zero, one
+
+
 def random_binary_vector(width: int, rng) -> Vector:
     """A uniformly random fully-specified vector of length ``width``."""
     return tuple(rng.randint(0, 1) for _ in range(width))

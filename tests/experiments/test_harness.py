@@ -62,7 +62,20 @@ class TestSerialization:
         table = reporting.engine_counters_table([s27_full_run])
         text = table.render()
         assert "mach/word" in text
+        assert "p1_s" in text and "p4_s" in text
         assert "s27" in text
+
+    def test_phase_timers_collected_and_roundtrip(self, s27_full_run):
+        counters = s27_full_run.counters
+        # Every phase ran, so every timer accumulated wall clock.
+        for key in ("phase1_s", "phase2_s", "phase3_s", "phase4_s"):
+            assert counters[key] > 0.0
+        back = reporting.run_from_dict(
+            reporting.run_to_dict(s27_full_run))
+        # Timers stay floats through the JSON checkpoint round-trip.
+        assert all(isinstance(back.counters[k], float)
+                   for k in ("phase1_s", "phase2_s",
+                             "phase3_s", "phase4_s"))
 
     def test_legacy_checkpoint_without_counters(self, s27_full_run):
         data = reporting.run_to_dict(s27_full_run)
@@ -72,12 +85,35 @@ class TestSerialization:
         # The renderer degrades to dashes, never crashes.
         assert "-" in reporting.engine_counters_table([back]).render()
 
+    def test_legacy_checkpoint_without_phase_timers(self, s27_full_run):
+        """Checkpoints written before the timer fields existed render
+        with dashes in the timer columns, not a KeyError."""
+        data = reporting.run_to_dict(s27_full_run)
+        for key in ("phase1_s", "phase2_s", "phase3_s", "phase4_s"):
+            del data["counters"][key]
+        back = reporting.run_from_dict(data)
+        text = reporting.engine_counters_table([back]).render()
+        assert "s27" in text and "-" in text
+
     def test_engine_width_travel_through_jobspec(self):
         spec = _spec(engine="interp", width=16)
         outcome = run_jobs([spec], config=_cfg(isolate=True))
         assert outcome.ok
         run = outcome.runs[0]
         assert run.counters["words"] >= run.counters["frames"]
+
+    def test_candidate_scan_travels_through_jobspec(self):
+        """The candidate-scan knob crosses the spawn boundary, and a
+        spec dict without the field (old checkpoint) still loads."""
+        spec = _spec(candidate_scan="scalar")
+        outcome = run_jobs([spec], config=_cfg(isolate=True))
+        assert outcome.ok
+        assert outcome.runs[0].counters["candidate_passes"] == 0
+        from dataclasses import asdict
+        legacy = asdict(_spec())
+        del legacy["candidate_scan"]
+        assert JobSpec(**legacy).candidate_scan == \
+            harness.DEFAULT_CANDIDATE_SCAN
 
     def test_roundtrip_preserves_tables(self, s27_full_run):
         back = reporting.run_from_dict(

@@ -240,6 +240,30 @@ class TestCounters:
         back = SimCounters.from_dict(d)
         assert back == c
 
+    def test_phase_timer_accumulates(self):
+        c = SimCounters()
+        with c.phase_timer("phase2"):
+            pass
+        first = c.phase2_s
+        assert first >= 0.0
+        with c.phase_timer("phase2"):
+            sum(range(1000))
+        assert c.phase2_s >= first  # accumulates, never resets
+        assert c.phase1_s == 0.0
+        with pytest.raises(ValueError, match="phase"):
+            with c.phase_timer("phase9"):
+                pass
+
+    def test_timer_fields_stay_float_through_dict(self):
+        c = SimCounters(frames=2, words=1, machines=4)
+        with c.phase_timer("phase1"):
+            pass
+        back = SimCounters.from_dict(c.as_dict())
+        assert isinstance(back.phase1_s, float)
+        assert isinstance(back.frames, int)
+        c.reset()
+        assert c.phase1_s == 0.0 and c.frames == 0
+
     def test_counting_during_detect(self):
         net = synth.generate("cnt", 3, 2, 4, 20, seed=1)
         cc = CompiledCircuit(net)

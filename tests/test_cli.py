@@ -54,6 +54,22 @@ class TestParser:
             build_parser().parse_args(
                 ["circuit", "s27", "--engine", "fpga"])
 
+    def test_candidate_scan_flag(self, capsys):
+        args = build_parser().parse_args(["circuit", "s27"])
+        assert args.candidate_scan == "lanes"
+        args = build_parser().parse_args(
+            ["circuit", "s27", "--candidate-scan", "scalar"])
+        assert args.candidate_scan == "scalar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["circuit", "s27", "--candidate-scan", "vectorized"])
+
+    def test_circuit_candidate_scan_scalar_runs(self, capsys):
+        assert main(["circuit", "s27", "--candidate-scan",
+                     "scalar"]) == 0
+        out = capsys.readouterr().out
+        assert "Engine counters" in out
+
     def test_circuit_unknown(self, capsys):
         assert main(["circuit", "sXXX"]) == 2
         err = capsys.readouterr().err
