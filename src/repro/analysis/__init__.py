@@ -1,0 +1,36 @@
+"""Static analysis for scan circuits: netlist lint and engine sanitizer.
+
+Two halves (see DESIGN.md section 10):
+
+* :mod:`repro.analysis.rules` / :mod:`repro.analysis.xinit` -- structural
+  lint passes plus a ternary reachability analysis that decides, without
+  simulating a single test vector, whether a circuit can be driven out of
+  the all-X reset state (and if not, *which* flip-flops are stuck and
+  why).
+* :mod:`repro.analysis.sanitizer` -- runtime invariant checks for the
+  wide-word fault-simulation engines, armed by ``REPRO_SANITIZE=1``.
+
+Everything user-facing funnels through :func:`lint_netlist` /
+:func:`lint_bench_text` and the :class:`LintReport` they return.
+"""
+
+from .diagnostics import (ERROR, INFO, WARNING, Diagnostic, LintReport,
+                          diagnostic_from_dict)
+from .rules import lint_bench_path, lint_bench_text, lint_netlist
+from .xinit import XInitResult, analyze_xinit
+from . import sanitizer
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "Diagnostic",
+    "LintReport",
+    "diagnostic_from_dict",
+    "lint_netlist",
+    "lint_bench_text",
+    "lint_bench_path",
+    "XInitResult",
+    "analyze_xinit",
+    "sanitizer",
+]

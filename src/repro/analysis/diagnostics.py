@@ -1,0 +1,136 @@
+"""Structured findings shared by every analysis pass.
+
+A :class:`Diagnostic` is one finding: a stable machine-readable rule id
+(``"struct.comb-cycle"``, ``"xinit.not-synchronizable"``, ...), a
+severity, a human message, the nets involved, and an open ``data`` dict
+for rule-specific detail (witness sequences, state counts, per-FF
+explanations).  A :class:`LintReport` is the ordered collection of
+diagnostics one circuit produced, with helpers for the CLI (table and
+JSON rendering) and the harness (error/rule-id extraction).
+
+Severity semantics, used consistently across the stack:
+
+* ``error`` -- the circuit is structurally broken; downstream code
+  (compile, simulate) would crash or silently misbehave.  The harness
+  pre-flight turns these into ``SKIPPED(lint: <rule>)`` rows.
+* ``warning`` -- the circuit is well-formed but has a property that
+  undermines the experiments (e.g. not initializable from all-X).
+  Jobs still run.
+* ``info`` -- an analysis was inconclusive (budget exhausted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding."""
+
+    rule: str
+    severity: str
+    message: str
+    nets: Tuple[str, ...] = ()
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_ORDER:
+            raise ValueError(f"invalid severity {self.severity!r}")
+        object.__setattr__(self, "nets", tuple(self.nets))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rule": self.rule, "severity": self.severity,
+                "message": self.message, "nets": list(self.nets),
+                "data": dict(self.data)}
+
+    def __str__(self) -> str:
+        where = f" [{', '.join(self.nets)}]" if self.nets else ""
+        return f"{self.severity}: {self.rule}: {self.message}{where}"
+
+
+def diagnostic_from_dict(data: Mapping[str, Any]) -> Diagnostic:
+    """Rebuild a :class:`Diagnostic` from :meth:`Diagnostic.to_dict`."""
+    return Diagnostic(rule=str(data["rule"]),
+                      severity=str(data["severity"]),
+                      message=str(data["message"]),
+                      nets=tuple(data.get("nets", ())),
+                      data=dict(data.get("data", {})))
+
+
+@dataclass
+class LintReport:
+    """All diagnostics one circuit produced, in pass order."""
+
+    circuit: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Sequence[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing error-severity was found."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing at all was found."""
+        return not self.diagnostics
+
+    @property
+    def rule_ids(self) -> Tuple[str, ...]:
+        """Sorted unique rule ids, errors first."""
+        seen: Dict[str, int] = {}
+        for d in self.diagnostics:
+            sev = _SEVERITY_ORDER[d.severity]
+            if d.rule not in seen or sev < seen[d.rule]:
+                seen[d.rule] = sev
+        return tuple(sorted(seen, key=lambda r: (seen[r], r)))
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"circuit": self.circuit,
+                "diagnostics": [d.to_dict() for d in self.diagnostics]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LintReport":
+        return cls(circuit=str(data["circuit"]),
+                   diagnostics=[diagnostic_from_dict(d)
+                                for d in data.get("diagnostics", [])])
+
+    def table(self) -> Any:
+        """Render as a :class:`repro.experiments.reporting.Table`."""
+        from ..experiments.reporting import Table
+        table = Table(f"Lint: {self.circuit}",
+                      ["severity", "rule", "nets", "message"])
+        for d in sorted(self.diagnostics,
+                        key=lambda d: (_SEVERITY_ORDER[d.severity], d.rule)):
+            nets = ",".join(d.nets) if d.nets else "-"
+            table.add_row(d.severity, d.rule, nets, d.message)
+        return table
+
+    def render(self) -> str:
+        if self.clean:
+            return f"Lint: {self.circuit}\n  clean"
+        return str(self.table().render())

@@ -1,0 +1,293 @@
+"""Structural lint rules over netlists and raw ``.bench`` text.
+
+The passes split by what they can run on:
+
+* **Pre-compile rules** work on a bare :class:`Netlist` whose
+  ``compile()`` would *raise* -- undriven nets and combinational cycles
+  (found via Tarjan's SCC algorithm, iteratively, so deep netlists do
+  not hit the recursion limit).  These are exactly the crashes the
+  harness pre-flight wants to turn into ``SKIPPED(lint: ...)`` rows.
+* **Post-compile rules** need fanout/topo data: dangling nets, unused
+  inputs, duplicate fanins, unobservable flip-flops (reusing
+  :mod:`repro.circuits.validate`), dead logic cones, and input-isolated
+  flip-flops.
+* **Raw-text rules** catch what a :class:`Netlist` cannot even
+  represent: multi-driver nets (``Netlist._add`` raises on the second
+  driver) and floating gate inputs (gate arity is enforced at
+  construction).  :func:`lint_bench_text` parses the ``.bench`` source
+  itself.
+
+Entry points: :func:`lint_netlist` (optionally chaining into the
+X-initializability analysis) and :func:`lint_bench_text` /
+:func:`lint_bench_path`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..circuits import bench as bench_mod
+from ..circuits import validate as validate_mod
+from ..circuits.netlist import (ALL_TYPES, SOURCE_TYPES, Netlist,
+                                NetlistError)
+from .diagnostics import ERROR, WARNING, Diagnostic, LintReport
+from .xinit import analyze_xinit
+
+
+def lint_netlist(net: Netlist, *, xinit: bool = True,
+                 xinit_state_budget: Optional[int] = None) -> LintReport:
+    """Run every applicable rule pass; never raises on a broken netlist.
+
+    Error-severity structural findings stop the analysis early (the
+    deeper passes assume a compilable circuit).  ``xinit=False`` skips
+    the reachability analysis, which is the only non-linear-time pass
+    -- the harness pre-flight uses that mode.
+    """
+    report = LintReport(circuit=net.name)
+    report.extend(_rule_undriven(net))
+    if not report.errors:
+        report.extend(_rule_comb_cycle(net))
+    if report.errors:
+        return report
+
+    work = net if net.is_compiled() else net.copy()
+    try:
+        if not work.is_compiled():
+            work.compile()
+    except NetlistError as exc:  # arity/driver errors the rules missed
+        report.add(Diagnostic(rule="struct.compile-error", severity=ERROR,
+                              message=str(exc)))
+        return report
+
+    for issue in validate_mod.check(work):
+        report.add(Diagnostic(rule=f"struct.{issue.code}",
+                              severity=issue.severity,
+                              message=issue.message))
+    report.extend(_rule_dead_cone(work))
+    report.extend(_rule_isolated_ff(work))
+
+    if xinit and not report.errors:
+        kwargs = ({}
+                  if xinit_state_budget is None
+                  else {"state_budget": xinit_state_budget})
+        report.extend(analyze_xinit(work, **kwargs).to_diagnostics())
+    return report
+
+
+def lint_bench_text(text: str, name: str = "bench") -> LintReport:
+    """Lint raw ``.bench`` source, then the netlist it describes.
+
+    The raw pass reports what the netlist layer rejects at construction
+    time (multi-driver nets, floating gate inputs, unknown gate types,
+    syntax errors); when the text is representable, the parsed netlist
+    goes through :func:`lint_netlist`.
+    """
+    report = LintReport(circuit=name)
+    drivers: Dict[str, int] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = bench_mod._DECL_RE.match(line)
+        if decl:
+            kind, signal = decl.group(1).upper(), decl.group(2)
+            if kind == "INPUT":
+                if signal in drivers:
+                    report.add(Diagnostic(
+                        rule="bench.multi-driver", severity=ERROR,
+                        nets=(signal,),
+                        message=f"line {lineno}: net {signal!r} already "
+                                f"driven at line {drivers[signal]}"))
+                else:
+                    drivers[signal] = lineno
+            continue
+        gate = bench_mod._GATE_RE.match(line)
+        if gate is None:
+            report.add(Diagnostic(
+                rule="bench.syntax", severity=ERROR,
+                message=f"line {lineno}: cannot parse {line!r}"))
+            continue
+        out, gtype, args = gate.group(1), gate.group(2).upper(), gate.group(3)
+        gtype = bench_mod._TYPE_ALIASES.get(gtype, gtype)
+        fanins = [a for a in (s.strip() for s in args.split(",")) if a]
+        if gtype not in ALL_TYPES:
+            report.add(Diagnostic(
+                rule="bench.unknown-type", severity=ERROR, nets=(out,),
+                message=f"line {lineno}: unknown gate type {gtype!r}"))
+            continue
+        if not fanins and gtype not in ("CONST0", "CONST1"):
+            report.add(Diagnostic(
+                rule="bench.floating-input", severity=ERROR, nets=(out,),
+                message=f"line {lineno}: gate {out!r} ({gtype}) has no "
+                        f"inputs"))
+        if out in drivers:
+            report.add(Diagnostic(
+                rule="bench.multi-driver", severity=ERROR, nets=(out,),
+                message=f"line {lineno}: net {out!r} already driven at "
+                        f"line {drivers[out]}"))
+        else:
+            drivers[out] = lineno
+    if report.errors:
+        return report
+    try:
+        net = bench_mod.loads(text, name=name, compile=False)
+    except (bench_mod.BenchFormatError, NetlistError) as exc:
+        report.add(Diagnostic(rule="bench.syntax", severity=ERROR,
+                              message=str(exc)))
+        return report
+    deep = lint_netlist(net)
+    report.extend(deep.diagnostics)
+    return report
+
+
+def lint_bench_path(path: Union[str, "object"]) -> LintReport:
+    """Lint a ``.bench`` file (circuit named after the file stem)."""
+    from pathlib import Path
+    p = Path(str(path))
+    return lint_bench_text(p.read_text(), name=p.stem)
+
+
+# ----------------------------------------------------------------------
+# pre-compile rules
+# ----------------------------------------------------------------------
+
+def _rule_undriven(net: Netlist) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for gate in net.gates.values():
+        for fin in gate.fanins:
+            if fin not in net.gates:
+                out.append(Diagnostic(
+                    rule="struct.undriven-net", severity=ERROR,
+                    nets=(fin,),
+                    message=f"net {fin!r} used by {gate.name!r} is "
+                            f"never driven"))
+    for po in net.outputs:
+        if po not in net.gates:
+            out.append(Diagnostic(
+                rule="struct.undriven-net", severity=ERROR, nets=(po,),
+                message=f"primary output {po!r} is never driven"))
+    return out
+
+
+def _rule_comb_cycle(net: Netlist) -> List[Diagnostic]:
+    """Combinational cycles via iterative Tarjan SCC.
+
+    The graph has one node per non-source gate and an edge from each
+    combinational fanin to its reader; DFF data pins are cut points
+    (sequential feedback is legal), so every SCC of size > 1 -- or a
+    self-loop -- is a genuine combinational cycle.
+    """
+    comb = {g.name for g in net.gates.values()
+            if g.gtype not in SOURCE_TYPES}
+    succs: Dict[str, List[str]] = {n: [] for n in comb}
+    for gate in net.gates.values():
+        if gate.name not in comb:
+            continue
+        for fin in gate.fanins:
+            if fin in comb:
+                succs[fin].append(gate.name)
+
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = 0
+    for root in comb:
+        if root in index:
+            continue
+        # Iterative Tarjan: (node, iterator position) frames.
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, pos = work[-1]
+            if pos == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = succs[node]
+            while pos < len(children):
+                child = children[pos]
+                pos += 1
+                if child not in index:
+                    work[-1] = (node, pos)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    out: List[Diagnostic] = []
+    for scc in sccs:
+        cyclic = (len(scc) > 1 or
+                  scc[0] in net.gates[scc[0]].fanins)
+        if cyclic:
+            members = tuple(sorted(scc))
+            out.append(Diagnostic(
+                rule="struct.comb-cycle", severity=ERROR, nets=members,
+                message=f"combinational cycle through "
+                        f"{len(members)} net(s): "
+                        f"{', '.join(members[:8])}"
+                        f"{', ...' if len(members) > 8 else ''}"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# post-compile rules
+# ----------------------------------------------------------------------
+
+def _rule_dead_cone(net: Netlist) -> List[Diagnostic]:
+    """Combinational gates that transitively feed no PO and no flip-flop
+    data pin.  The directly dangling root is already reported by
+    ``struct.dangling-net``; this flags the logic buried behind it."""
+    seeds = list(net.outputs)
+    seeds.extend(net.gates[q].fanins[0] for q in net.flip_flops)
+    live = set(net.transitive_fanin(seeds, stop_at_ffs=True)) if seeds \
+        else set()
+    po = set(net.outputs)
+    out: List[Diagnostic] = []
+    for name in net.comb_gates:
+        if name in live or name in po:
+            continue
+        if not net.fanout[name]:
+            continue  # dangling-net already covers the root
+        out.append(Diagnostic(
+            rule="struct.dead-cone", severity=WARNING, nets=(name,),
+            message=f"gate {name!r} feeds only dead logic (no path to "
+                    f"a primary output or flip-flop)"))
+    return out
+
+
+def _rule_isolated_ff(net: Netlist) -> List[Diagnostic]:
+    """Flip-flops whose sequential input cone contains no primary
+    input: their state evolves independently of every test vector, so
+    nothing an ATPG does can control them (scan aside)."""
+    pis = set(net.inputs)
+    out: List[Diagnostic] = []
+    for ff in net.flip_flops:
+        d = net.gates[ff].fanins[0]
+        cone = net.transitive_fanin([d], stop_at_ffs=False)
+        if not pis.intersection(cone):
+            out.append(Diagnostic(
+                rule="struct.input-isolated-ff", severity=WARNING,
+                nets=(ff,),
+                message=f"flip-flop {ff!r} has no primary input in its "
+                        f"sequential cone; its state cannot be "
+                        f"controlled from the circuit inputs"))
+    return out

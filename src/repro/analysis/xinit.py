@@ -1,0 +1,469 @@
+"""Static X-initializability (synchronizability) analysis.
+
+Decides, without running a single test vector through the fault
+simulator, whether a circuit can be driven out of the all-X reset state
+-- and when it cannot, *which* flip-flops are stuck at X and why.
+
+Semantics
+---------
+The analysis works in the standard ternary (0/1/X) abstraction, the
+same one the logic simulator uses.  A circuit is *synchronizable* when
+some input sequence applied from the all-X state reaches an all-binary
+state.  All-binary states are absorbing under binary inputs (a binary
+state plus binary inputs produces a binary next state), so reaching one
+is exactly what "the test set initializes the circuit" means; a passing
+random-initialization run is a constructive witness of reachability.
+Conversely, a proof that no all-binary state is reachable guarantees
+that *every* vector sequence leaves at least one flip-flop at X --
+which is what makes the ``xinit.not-synchronizable`` diagnostic safe to
+use as an xfail predicate for initialization tests.
+
+Two cooperating engines:
+
+1. A **greedy constructive search** builds a synchronizing sequence one
+   frame at a time: per frame it assembles a single input vector by
+   walking the flip-flops (already-binary ones first, then by cone
+   size) and enumerating assignments to each next-state cone's still
+   free inputs, keeping any partial assignment that forces the cone to
+   a binary value.  Ternary evaluation is monotone under refinement, so
+   a cone that is binary under a partial assignment stays binary (with
+   the same value) however the remaining inputs are filled.  When the
+   search finds an all-binary state, the sequence is returned as the
+   witness.  This resolves most practical circuits in milliseconds but
+   is incomplete (per-FF myopia).
+2. An **exact ternary reachability search** (BFS over ternary states
+   under all binary input vectors) settles the circuits the greedy
+   pass gives up on, provided the input count and the reachable state
+   set fit a budget.  Restricting to binary inputs is sound: X inputs
+   only lose information, so they can never help reach a binary state.
+   The BFS either finds an all-binary state (synchronizable, witness
+   reconstructed from the parent chain), exhausts the reachable set
+   (proof of non-synchronizability), or hits the budget (unknown).
+
+Per-FF witness
+--------------
+On the non-synchronizable path the analysis answers "*which* flip-flops
+are stuck" with a sustainability fixed point over ternary value sets.
+``I``, the *persistently initializable* set, is the least fixed point
+of: ``f`` joins ``I`` when its next-state cone evaluates may-binary (no
+resolution of the remaining X flip-flops can leave it at X) for **more
+than half** of the assignments to its cone inputs, with ``I``
+flip-flops carrying the value set {0, 1} and every other flip-flop held
+at {X}.  The majority threshold is the sustainability criterion: under
+unconstrained binary inputs a below-majority flip-flop loses its value
+more often than it reacquires one, so its binary episodes are transient
+PI-forced coincidences, while an above-majority flip-flop's value
+survives typical input changes and can seed the initialization of
+others (hence the fixed-point iteration).
+
+The flagged set is the complement of ``I``.  Each flagged flip-flop
+gets a witness drawn from the exhaustive BFS bookkeeping:
+``never-binary`` (its next-state function was X on every reachable
+transition) or ``transient-only`` (it does take binary values --
+example vector recorded when the value is input-forced from the all-X
+state -- but below the sustainment majority, so they decay back to X).
+
+On the ROADMAP's seed-4941 generator circuit this reports
+{0, 2, 3, 4} -- a superset of the {0, 2, 4} observed by endpoint
+sampling, with ff3 the borderline case sampling happened to miss.  The
+per-FF refinement only runs *after* the reachability proof, which is
+what keeps it sound: a circuit that does settle under simulation has a
+reachable all-binary state, so it can never be flagged, regardless of
+how the majority vote would have gone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.netlist import Netlist
+from ..sim import values as V
+from .diagnostics import INFO, WARNING, Diagnostic
+
+#: Greedy search: max free cone inputs to enumerate jointly (2**cap
+#: evaluations worst case per flip-flop per frame).
+DEFAULT_ENUM_CAP = 10
+#: Exact search: only attempted when the circuit has at most this many
+#: primary inputs (the BFS branches over all 2**n_pi binary vectors).
+DEFAULT_PI_CAP = 8
+#: Exact search: give up after exploring this many ternary states.
+DEFAULT_STATE_BUDGET = 20000
+
+_ZERO, _ONE, _X = V.ZERO, V.ONE, V.X
+
+State = Tuple[int, ...]
+
+
+def _eval_gate(gtype: str, vals: Sequence[int]) -> int:
+    """Ternary evaluation of one gate (0 dominates AND, 1 dominates OR,
+    XOR/XNOR are X-strict)."""
+    if gtype == "NOT":
+        v = vals[0]
+        return _X if v == _X else 1 - v
+    if gtype == "BUF":
+        return vals[0]
+    if gtype in ("AND", "NAND"):
+        if any(v == _ZERO for v in vals):
+            out = _ZERO
+        elif any(v == _X for v in vals):
+            out = _X
+        else:
+            out = _ONE
+        if gtype == "NAND" and out != _X:
+            out = 1 - out
+        return out
+    if gtype in ("OR", "NOR"):
+        if any(v == _ONE for v in vals):
+            out = _ONE
+        elif any(v == _X for v in vals):
+            out = _X
+        else:
+            out = _ZERO
+        if gtype == "NOR" and out != _X:
+            out = 1 - out
+        return out
+    if gtype in ("XOR", "XNOR"):
+        if any(v == _X for v in vals):
+            return _X
+        out = 0
+        for v in vals:
+            out ^= v
+        if gtype == "XNOR":
+            out = 1 - out
+        return out
+    if gtype == "CONST0":
+        return _ZERO
+    if gtype == "CONST1":
+        return _ONE
+    raise ValueError(f"cannot evaluate gate type {gtype!r}")
+
+
+@dataclass
+class _Cone:
+    """Next-state cone of one flip-flop: its data net, the primary-input
+    indices it depends on, the flip-flop indices it reads, and its gates
+    in topological order."""
+
+    dnet: str
+    pi_idx: Tuple[int, ...]
+    ff_idx: Tuple[int, ...]
+    gates: Tuple[Tuple[str, str, Tuple[str, ...]], ...]  # (name, type, fanins)
+
+
+class _TernaryEval:
+    """Frame-level ternary evaluator over a compiled netlist."""
+
+    def __init__(self, net: Netlist) -> None:
+        if not net.is_compiled():
+            net = net.copy().compile()
+        self.net = net
+        self.pis: List[str] = net.inputs
+        self.ffs: List[str] = net.flip_flops
+        self.dnets: List[str] = [net.gates[q].fanins[0] for q in self.ffs]
+        self.order: List[Tuple[str, str, Tuple[str, ...]]] = [
+            (g.name, g.gtype, tuple(g.fanins))
+            for g in (net.gates[n] for n in net.order)]
+        self.cones: List[_Cone] = [self._cone(d) for d in self.dnets]
+
+    def _cone(self, dnet: str) -> _Cone:
+        cone_nets = set(self.net.transitive_fanin([dnet], stop_at_ffs=True))
+        pi_pos = {name: i for i, name in enumerate(self.pis)}
+        ff_pos = {name: i for i, name in enumerate(self.ffs)}
+        return _Cone(
+            dnet=dnet,
+            pi_idx=tuple(pi_pos[n] for n in self.pis if n in cone_nets),
+            ff_idx=tuple(ff_pos[n] for n in self.ffs if n in cone_nets),
+            gates=tuple(g for g in self.order if g[0] in cone_nets))
+
+    def next_state(self, state: State, vector: Sequence[int]) -> State:
+        values: Dict[str, int] = {}
+        for i, pi in enumerate(self.pis):
+            values[pi] = vector[i]
+        for i, ff in enumerate(self.ffs):
+            values[ff] = state[i]
+        for name, gtype, fanins in self.order:
+            values[name] = _eval_gate(gtype, [values[f] for f in fanins])
+        return tuple(values[d] for d in self.dnets)
+
+    def eval_cone(self, cone: _Cone, state: State,
+                  pi_assign: Dict[int, int]) -> int:
+        """Value of one cone under a *partial* input assignment
+        (unassigned inputs are X)."""
+        values: Dict[str, int] = {}
+        for p in cone.pi_idx:
+            values[self.pis[p]] = pi_assign.get(p, _X)
+        for f in cone.ff_idx:
+            values[self.ffs[f]] = state[f]
+        for name, gtype, fanins in cone.gates:
+            values[name] = _eval_gate(gtype, [values[f] for f in fanins])
+        return values[cone.dnet]
+
+    def eval_cone_sets(self, cone: _Cone, pi_assign: Dict[int, int],
+                       ff_sets: Dict[int, Tuple[int, ...]]
+                       ) -> Tuple[int, ...]:
+        """Value *set* of one cone: inputs fixed binary, each flip-flop
+        carrying a set of possible values, propagated gate by gate (the
+        set of outputs over every combination of fanin members)."""
+        values: Dict[str, Tuple[int, ...]] = {}
+        for p in cone.pi_idx:
+            values[self.pis[p]] = (pi_assign[p],)
+        for f in cone.ff_idx:
+            values[self.ffs[f]] = ff_sets[f]
+        for name, gtype, fanins in cone.gates:
+            out = {_eval_gate(gtype, combo)
+                   for combo in product(*(values[f] for f in fanins))}
+            values[name] = tuple(sorted(out))
+        return values[cone.dnet]
+
+
+@dataclass
+class XInitResult:
+    """Outcome of :func:`analyze_xinit`.
+
+    ``status`` is ``"synchronizable"`` (with ``witness``, the input
+    sequence that reaches an all-binary state), ``"not-synchronizable"``
+    (with the flagged flip-flop classification), or ``"unknown"`` (both
+    engines exhausted their budgets without a proof either way).
+    """
+
+    status: str
+    method: str = ""
+    ff_names: Tuple[str, ...] = ()
+    states_explored: int = 0
+    witness: Optional[List[V.Vector]] = None
+    flagged: Tuple[int, ...] = ()
+    never_binary: Tuple[int, ...] = ()
+    persistent: Tuple[int, ...] = ()
+    may_binary: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    forced_examples: Dict[int, Tuple[V.Vector, int]] = field(
+        default_factory=dict)
+
+    @property
+    def flagged_names(self) -> Tuple[str, ...]:
+        return tuple(self.ff_names[f] for f in self.flagged)
+
+    def ff_witness(self, f: int) -> str:
+        """One-line explanation for a flagged flip-flop index."""
+        name = self.ff_names[f]
+        if f in self.never_binary:
+            return (f"{name}: next-state function is X on every "
+                    f"reachable transition")
+        nbin, total = self.may_binary.get(f, (0, 0))
+        vote = (f"binary for only {nbin}/{total} input assignments "
+                f"(below the sustainment majority)"
+                if total else "below the sustainment majority")
+        vec, val = self.forced_examples.get(f, ((), _X))
+        forced = (f"; e.g. inputs {V.vec_str(vec)} transiently force "
+                  f"{val}" if vec else "")
+        return (f"{name}: next-state cone is {vote} even with every "
+                f"initializable flip-flop binary{forced}; its values "
+                f"decay to X when the inputs change")
+
+    def to_diagnostics(self) -> List[Diagnostic]:
+        if self.status == "synchronizable":
+            return []
+        if self.status == "unknown":
+            return [Diagnostic(
+                rule="xinit.unresolved", severity=INFO,
+                message=("initializability analysis inconclusive "
+                         "(search budget exhausted after "
+                         f"{self.states_explored} states)"),
+                data={"states_explored": self.states_explored})]
+        witness = {f: self.ff_witness(f) for f in self.flagged}
+        names = ", ".join(self.flagged_names)
+        return [Diagnostic(
+            rule="xinit.not-synchronizable", severity=WARNING,
+            message=(f"no input sequence can initialize this circuit "
+                     f"from all-X (exhaustive over "
+                     f"{self.states_explored} reachable ternary "
+                     f"states); stuck flip-flops: {names}"),
+            nets=self.flagged_names,
+            data={"states_explored": self.states_explored,
+                  "flagged": list(self.flagged),
+                  "never_binary": list(self.never_binary),
+                  "persistent": list(self.persistent),
+                  "may_binary": {self.ff_names[f]: list(c)
+                                 for f, c in self.may_binary.items()},
+                  "ff_witness": {self.ff_names[f]: witness[f]
+                                 for f in self.flagged}})]
+
+
+def _greedy_witness(ev: _TernaryEval, max_frames: int,
+                    enum_cap: int) -> Optional[List[V.Vector]]:
+    """Constructive synchronizing-sequence search; None when stuck."""
+    n = len(ev.ffs)
+    n_pis = len(ev.pis)
+    state: State = (_X,) * n
+    seq: List[V.Vector] = []
+    best_unknown = n
+    stall = 0
+    for _ in range(max_frames):
+        assign: Dict[int, int] = {}
+        # Keep already-binary FFs binary first (they are the invested
+        # progress), then attack X FFs, small cones first.
+        for f in sorted(range(n),
+                        key=lambda f: (state[f] == _X,
+                                       len(ev.cones[f].pi_idx))):
+            cone = ev.cones[f]
+            free = [p for p in cone.pi_idx if p not in assign]
+            if len(free) > enum_cap:
+                continue
+            if ev.eval_cone(cone, state, assign) != _X:
+                continue
+            for bits in product((0, 1), repeat=len(free)):
+                trial = dict(assign)
+                trial.update(zip(free, bits))
+                if ev.eval_cone(cone, state, trial) != _X:
+                    assign = trial
+                    break
+        vector = tuple(assign.get(p, 0) for p in range(n_pis))
+        state = ev.next_state(state, vector)
+        seq.append(vector)
+        unknown = sum(1 for v in state if v == _X)
+        if unknown == 0:
+            return seq
+        if unknown >= best_unknown:
+            stall += 1
+            if stall > n + 4:
+                return None
+        else:
+            stall = 0
+            best_unknown = unknown
+    return None
+
+
+def _persistence_lfp(ev: _TernaryEval
+                     ) -> Tuple[Tuple[int, ...],
+                                Dict[int, Tuple[int, int]]]:
+    """Least fixed point of the sustainability vote (module docstring):
+    a flip-flop joins the persistently-initializable set ``I`` when its
+    next-state cone is may-binary for more than half of its cone-input
+    assignments, with ``I`` flip-flops at {0, 1} and the rest at {X}.
+
+    Returns ``I`` and, for each flip-flop outside it, the final losing
+    vote ``(n_binary, n_assignments)``.
+    """
+    n = len(ev.ffs)
+    init: set = set()
+    counts: Dict[int, Tuple[int, int]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for f in range(n):
+            if f in init:
+                continue
+            cone = ev.cones[f]
+            ff_sets = {g: ((_ZERO, _ONE) if g in init else (_X,))
+                       for g in cone.ff_idx}
+            total = 1 << len(cone.pi_idx)
+            nbin = 0
+            for bits in product((0, 1), repeat=len(cone.pi_idx)):
+                assign = dict(zip(cone.pi_idx, bits))
+                if _X not in ev.eval_cone_sets(cone, assign, ff_sets):
+                    nbin += 1
+            counts[f] = (nbin, total)
+            if 2 * nbin > total:
+                init.add(f)
+                changed = True
+    return (tuple(sorted(init)),
+            {f: counts[f] for f in range(n) if f not in init})
+
+
+def _exact_search(ev: _TernaryEval, state_budget: int) -> XInitResult:
+    """Exhaustive ternary BFS from all-X under all binary vectors."""
+    n = len(ev.ffs)
+    ff_names = tuple(ev.ffs)
+    vectors = [tuple(bits) for bits in product((0, 1), repeat=len(ev.pis))]
+    start: State = (_X,) * n
+    seen = {start}
+    parent: Dict[State, Optional[Tuple[State, V.Vector]]] = {start: None}
+    frontier = deque([start])
+    allx_next: Dict[V.Vector, State] = {}
+    ever_binary = [False] * n
+    state_derived = [False] * n
+    forced_examples: Dict[int, Tuple[V.Vector, int]] = {}
+
+    def _witness(end: State) -> List[V.Vector]:
+        seq: List[V.Vector] = []
+        cur: State = end
+        while True:
+            link = parent[cur]
+            if link is None:
+                return seq[::-1]
+            cur, vec = link
+            seq.append(vec)
+
+    while frontier:
+        s = frontier.popleft()
+        for vec in vectors:
+            ns = ev.next_state(s, vec)
+            ax = allx_next.get(vec)
+            if ax is None:
+                ax = ns if s == start else ev.next_state(start, vec)
+                allx_next[vec] = ax
+            for f, v in enumerate(ns):
+                if v == _X:
+                    continue
+                ever_binary[f] = True
+                if ax[f] == _X:
+                    state_derived[f] = True
+                elif f not in forced_examples:
+                    forced_examples[f] = (vec, ax[f])
+            if ns in seen:
+                continue
+            seen.add(ns)
+            parent[ns] = (s, vec)
+            if all(v != _X for v in ns):
+                return XInitResult(status="synchronizable", method="exact",
+                                   ff_names=ff_names,
+                                   states_explored=len(seen),
+                                   witness=_witness(ns))
+            if len(seen) > state_budget:
+                return XInitResult(status="unknown", method="exact",
+                                   ff_names=ff_names,
+                                   states_explored=len(seen))
+            frontier.append(ns)
+
+    never = tuple(f for f in range(n) if not ever_binary[f])
+    persistent, may_binary = _persistence_lfp(ev)
+    flagged = tuple(f for f in range(n) if f not in persistent)
+    if not flagged:
+        # Degenerate: every FF wins the sustainability vote yet no
+        # all-binary state is reachable (a joint conflict).  Fall back
+        # to the BFS bookkeeping so the diagnostic still names FFs.
+        flagged = tuple(sorted(set(never) |
+                               {f for f in range(n)
+                                if ever_binary[f] and not state_derived[f]}))
+    return XInitResult(status="not-synchronizable", method="exact",
+                       ff_names=ff_names, states_explored=len(seen),
+                       flagged=flagged, never_binary=never,
+                       persistent=persistent, may_binary=may_binary,
+                       forced_examples={f: forced_examples[f]
+                                        for f in flagged
+                                        if f in forced_examples})
+
+
+def analyze_xinit(net: Netlist, *,
+                  enum_cap: int = DEFAULT_ENUM_CAP,
+                  pi_cap: int = DEFAULT_PI_CAP,
+                  state_budget: int = DEFAULT_STATE_BUDGET,
+                  max_frames: Optional[int] = None) -> XInitResult:
+    """Run the two-stage analysis; see the module docstring."""
+    ev = _TernaryEval(net)
+    n = len(ev.ffs)
+    if n == 0:
+        return XInitResult(status="synchronizable", method="trivial",
+                           witness=[])
+    if max_frames is None:
+        max_frames = 4 * n + 8
+    seq = _greedy_witness(ev, max_frames, enum_cap)
+    if seq is not None:
+        return XInitResult(status="synchronizable", method="greedy",
+                           ff_names=tuple(ev.ffs), witness=seq)
+    if len(ev.pis) <= pi_cap:
+        return _exact_search(ev, state_budget)
+    return XInitResult(status="unknown", method="greedy",
+                       ff_names=tuple(ev.ffs))

@@ -9,9 +9,10 @@ in one call.  Power users compose the pieces from :mod:`repro.core`,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
+from .analysis.diagnostics import Diagnostic
 from .atpg import comb_set as comb_set_mod
 from .atpg import random_gen, seqgen
 from .atpg.comb_set import CombSetResult, CombTest
@@ -38,6 +39,9 @@ class Workbench:
     faults: FaultSet
     sim: FaultSimulator
     comb_sim: CombPatternSim
+    #: Structural lint findings for the netlist (populated when the
+    #: workbench is built with ``lint=True``); see :mod:`repro.analysis`.
+    diagnostics: List[Diagnostic] = field(default_factory=list)
 
     @property
     def counters(self) -> SimCounters:
@@ -46,7 +50,8 @@ class Workbench:
 
     @classmethod
     def for_netlist(cls, netlist: Netlist, engine: str = "codegen",
-                    width: WidthPolicy = "auto") -> "Workbench":
+                    width: WidthPolicy = "auto",
+                    lint: bool = False) -> "Workbench":
         """Build the standard toolchain for one circuit.
 
         Parameters
@@ -63,9 +68,19 @@ class Workbench:
             ``"auto"`` (fuse every target into one wide word, chunk
             only past the fused cap) or an explicit machines-per-word
             integer.  See :class:`repro.sim.fault_sim.FaultSimulator`.
+        lint:
+            Run the structural netlist lint first and carry its
+            findings in :attr:`diagnostics`.  Only the cheap
+            structural rules run (no X-initializability analysis);
+            use :func:`repro.analysis.lint_netlist` directly for the
+            full pass.
         """
         if engine == "interp":
             engine = "generic"
+        diagnostics: List[Diagnostic] = []
+        if lint:
+            from .analysis.rules import lint_netlist
+            diagnostics = list(lint_netlist(netlist, xinit=False).diagnostics)
         circuit = CompiledCircuit(netlist, engine=engine)
         faults = FaultSet.collapsed(netlist)
         return cls(
@@ -74,6 +89,7 @@ class Workbench:
             faults=faults,
             sim=FaultSimulator(circuit, faults, width=width),
             comb_sim=CombPatternSim(circuit, faults),
+            diagnostics=diagnostics,
         )
 
 

@@ -39,7 +39,8 @@ class BenchFormatError(NetlistError):
     """Raised when a ``.bench`` file cannot be parsed."""
 
 
-def loads(text: str, name: str = "circuit") -> Netlist:
+def loads(text: str, name: str = "circuit",
+          compile: bool = True) -> Netlist:
     """Parse ``.bench`` source text into a compiled :class:`Netlist`.
 
     Parameters
@@ -48,6 +49,11 @@ def loads(text: str, name: str = "circuit") -> Netlist:
         The file contents.
     name:
         Name to give the resulting netlist.
+    compile:
+        Compile the parsed netlist (default).  ``compile=False``
+        returns the raw netlist so callers that *diagnose* broken
+        circuits (the lint rules) can run their pre-compile passes
+        instead of getting a :class:`NetlistError`.
 
     Raises
     ------
@@ -87,7 +93,7 @@ def loads(text: str, name: str = "circuit") -> Netlist:
                 net.add_gate(out, gtype, fanins)
             continue
         raise BenchFormatError(f"line {lineno}: cannot parse {raw!r}")
-    return net.compile()
+    return net.compile() if compile else net
 
 
 def load(path: Union[str, Path], name: str = "") -> Netlist:

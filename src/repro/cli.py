@@ -5,7 +5,21 @@ Subcommands::
     repro-compact list                         # suite circuits
     repro-compact circuit s298 [--seed N]      # one circuit, all methods
     repro-compact tables [--full] [--transition] [--json OUT]
+    repro-compact lint [targets ...]           # static netlist analysis
     repro-compact bench-info                   # how to run the benches
+
+``lint`` runs the static analyzer (:mod:`repro.analysis`) over suite
+circuits, ``.bench`` files and/or generated synthetic circuits
+(``--synth PI,PO,FF,GATES --seed N [--sweep N]``), printing one report
+per circuit (``--json`` for machine-readable output).  Exit code 1 when
+any circuit has error-severity findings (``--strict`` promotes
+warnings), 0 when clean; ``--allow circuit:rule`` waives a finding and
+``--expect RULE`` inverts the contract (succeed only if every target
+reports RULE -- the CI regression hook for known-bad circuits).
+
+``--sanitize`` (on ``circuit`` and ``tables``) arms the engine-
+invariant sanitizer by exporting ``REPRO_SANITIZE=1``, which worker
+subprocesses inherit; see :mod:`repro.analysis.sanitizer`.
 
 ``tables`` regenerates the paper's Tables 1-5 (quick suite by default;
 ``--full`` runs every reproduced circuit and takes correspondingly
@@ -25,8 +39,11 @@ exit code is 1.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Tuple
 
 from .circuits import suite as suite_mod
 from .experiments import (HarnessConfig, all_tables, dump_json,
@@ -189,6 +206,103 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_synth(text: str) -> Tuple[int, int, int, int]:
+    """``--synth`` value: four comma-separated sizes PI,PO,FF,GATES."""
+    parts = text.split(",")
+    try:
+        values = tuple(int(p) for p in parts)
+    except ValueError:
+        values = ()
+    if len(values) != 4:
+        raise argparse.ArgumentTypeError(
+            f"--synth needs PI,PO,FF,GATES (four integers), got {text!r}")
+    return values  # type: ignore[return-value]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint_bench_path, lint_netlist
+    from .circuits import synth as synth_mod
+
+    xinit = not args.no_xinit
+    reports = []
+    for target in args.targets:
+        path = Path(target)
+        if target.endswith(".bench") or path.exists():
+            if not path.exists():
+                print(f"error: no such file {target!r}", file=sys.stderr)
+                return 2
+            reports.append(lint_bench_path(path))
+            continue
+        try:
+            prof = suite_mod.profile(target)
+        except KeyError:
+            valid = ", ".join(p.name for p in suite_mod.paper_suite())
+            print(f"error: {target!r} is neither a file nor a suite "
+                  f"circuit\nvalid circuits: {valid}", file=sys.stderr)
+            return 2
+        report = lint_netlist(prof.build(), xinit=xinit)
+        report.circuit = target  # suite name, not the netlist name
+        reports.append(report)
+    if args.synth:
+        n_pi, n_po, n_ff, n_gates = args.synth
+        for i in range(max(1, args.sweep)):
+            seed = args.seed + i
+            net = synth_mod.generate(f"synth-{seed}", n_pi, n_po, n_ff,
+                                     n_gates, seed=seed)
+            reports.append(lint_netlist(net, xinit=xinit))
+    if not args.targets and not args.synth:
+        for prof in suite_mod.paper_suite():
+            report = lint_netlist(prof.build(), xinit=xinit)
+            report.circuit = prof.name
+            reports.append(report)
+
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+            print()
+
+    allow = set()
+    for item in args.allow or []:
+        circuit, _, rule = item.partition(":")
+        if not rule:
+            print(f"error: --allow wants CIRCUIT:RULE, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        allow.add((circuit, rule))
+
+    if args.expect:
+        missing = [r.circuit for r in reports
+                   if args.expect not in r.rule_ids]
+        if missing:
+            print(f"expected rule {args.expect!r} missing on: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            return 1
+        if not args.json:
+            print(f"{len(reports)} circuit(s) report {args.expect!r} "
+                  f"as expected")
+        return 0
+
+    severities = ("error", "warning") if args.strict else ("error",)
+    failing = []
+    for report in reports:
+        bad = sorted({d.rule for d in report.diagnostics
+                      if d.severity in severities
+                      and (report.circuit, d.rule) not in allow})
+        if bad:
+            failing.append((report.circuit, bad))
+    if failing:
+        for name, rules in failing:
+            print(f"{name}: {', '.join(rules)}", file=sys.stderr)
+        print(f"{len(failing)} of {len(reports)} circuit(s) have lint "
+              f"findings", file=sys.stderr)
+        return 1
+    if not args.json:
+        print(f"{len(reports)} circuit(s) linted: clean")
+    return 0
+
+
 def _cmd_bench_info(_args: argparse.Namespace) -> int:
     print("Benchmarks live under benchmarks/ -- run them with:\n"
           "  pytest benchmarks/ --benchmark-only\n"
@@ -221,6 +335,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "candidate-parallel transposed lanes "
                              "(default) or one pass per candidate "
                              "state (scalar); results are identical")
+    egroup.add_argument("--sanitize", action="store_true",
+                        help="arm the engine-invariant sanitizer "
+                             "(exports REPRO_SANITIZE=1; worker "
+                             "subprocesses inherit it)")
 
     resilience = argparse.ArgumentParser(add_help=False)
     group = resilience.add_argument_group("resilience")
@@ -278,6 +396,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="use a random T0 (Table-5 arm)")
     p_export.set_defaults(func=_cmd_export)
 
+    p_lint = sub.add_parser(
+        "lint", help="static netlist lint + X-initializability analysis")
+    p_lint.add_argument("targets", nargs="*",
+                        help="suite circuit names and/or .bench files "
+                             "(default: the whole paper suite)")
+    p_lint.add_argument("--synth", type=_parse_synth,
+                        metavar="PI,PO,FF,GATES",
+                        help="also lint a generated synthetic circuit")
+    p_lint.add_argument("--seed", type=int, default=0,
+                        help="seed for --synth (default: 0)")
+    p_lint.add_argument("--sweep", type=int, default=1, metavar="N",
+                        help="lint N consecutive --synth seeds")
+    p_lint.add_argument("--no-xinit", action="store_true",
+                        help="structural rules only (skip the "
+                             "X-initializability analysis)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="print the reports as JSON")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="warnings also fail the lint")
+    p_lint.add_argument("--expect", metavar="RULE",
+                        help="succeed iff every linted circuit reports "
+                             "RULE (CI hook for known-bad circuits)")
+    p_lint.add_argument("--allow", action="append",
+                        metavar="CIRCUIT:RULE",
+                        help="waive RULE on CIRCUIT for the exit code")
+    p_lint.set_defaults(func=_cmd_lint)
+
     p_bench = sub.add_parser("bench-info", help="benchmark pointers")
     p_bench.set_defaults(func=_cmd_bench_info)
     return parser
@@ -289,6 +434,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "resume", False) and not getattr(args, "run_dir",
                                                       None):
         parser.error("--resume requires --run-dir")
+    if getattr(args, "sanitize", False):
+        os.environ["REPRO_SANITIZE"] = "1"
     return args.func(args)
 
 

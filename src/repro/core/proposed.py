@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set
 
+from ..analysis import sanitizer
 from ..atpg.comb_set import CombTest
 from ..sim import values as V
 from ..sim.comb_sim import CombPatternSim
@@ -221,6 +222,12 @@ def run(
                                      retire_to=scoreboard)
         compacted = outcome.test_set
         combine_stats = outcome.stats
+
+    if sanitizer.enabled():
+        # Soundness of cross-phase dropping: everything the scoreboard
+        # retired over this run must be in the final detected set.
+        sanitizer.check_retired_subset(scoreboard.retired_within(target),
+                                       final_detected, "proposed.run")
 
     return ProposedResult(
         tau_seq=tau,

@@ -14,11 +14,17 @@ fault-simulation sweep needs:
   optionally perturbing the seed on the final attempt (a different
   random ``T0`` often steers around a pathological case);
 * every outcome is recorded as a structured :class:`JobRecord`
-  (``ok`` / ``failed`` / ``timeout`` / ``skipped-resume``, attempt
-  count, seconds, traceback);
+  (``ok`` / ``failed`` / ``timeout`` / ``skipped-resume`` /
+  ``skipped-lint``, attempt count, seconds, traceback);
 * completed runs are **checkpointed** incrementally to a JSONL run
   store, so an interrupted or partially failed campaign resumes from
-  the checkpoint instead of recomputing.
+  the checkpoint instead of recomputing;
+* a **pre-flight lint** (structural rules only; see
+  :mod:`repro.analysis`) runs once per distinct circuit before any
+  worker is spawned: a circuit with error-severity findings would
+  crash (or silently mislead) every attempt, so its jobs are recorded
+  as ``skipped-lint`` with the rule ids instead of burning
+  ``retries + 1`` subprocesses to rediscover the problem.
 
 Run-store layout (``run_dir``)::
 
@@ -107,20 +113,33 @@ class JobRecord:
 
     circuit: str
     seed: int
-    status: str               # ok | failed | timeout | skipped-resume
+    status: str   # ok | failed | timeout | skipped-resume | skipped-lint
     attempts: int
     seconds: float
     error: Optional[str] = None
+    #: Analyzer rule ids behind a ``skipped-lint`` outcome (empty
+    #: otherwise).  Stored in the journal; JSON round-trips lists, so
+    #: ``__post_init__`` re-tuples.
+    lint_rules: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.lint_rules = tuple(self.lint_rules)
 
     @property
     def failed(self) -> bool:
         return self.status in ("failed", "timeout")
 
     @property
+    def skipped_lint(self) -> bool:
+        return self.status == "skipped-lint"
+
+    @property
     def reason(self) -> str:
         """Short annotation for degraded table rows."""
         if self.status == "timeout":
             return "timeout"
+        if self.skipped_lint:
+            return "lint: " + ",".join(self.lint_rules or ("?",))
         if self.error:
             last = self.error.strip().splitlines()[-1]
             return last[:60]
@@ -155,6 +174,11 @@ class HarnessConfig:
         Run jobs in subprocesses (default).  ``False`` keeps the old
         in-process behavior with retry/backoff/checkpoint support but
         no timeouts and no crash isolation beyond ``except``.
+    preflight:
+        Lint every distinct circuit (structural rules only) before
+        scheduling and record jobs on broken circuits as
+        ``skipped-lint`` instead of running them.  ``False`` restores
+        the lint-free behavior.
     chaos:
         Fault-injection callable ``(spec, attempt) -> directive`` --
         see the module docstring.
@@ -168,6 +192,7 @@ class HarnessConfig:
     backoff_base: float = 0.5
     perturb_final_seed: bool = True
     isolate: bool = True
+    preflight: bool = True
     chaos: Optional[ChaosFn] = None
 
 
@@ -183,22 +208,38 @@ class SuiteOutcome:
         return [r for r in self.records if r.failed]
 
     @property
+    def skipped_records(self) -> List[JobRecord]:
+        """Jobs the pre-flight lint refused to run."""
+        return [r for r in self.records if r.skipped_lint]
+
+    @property
     def ok(self) -> bool:
-        """True iff no job ultimately failed."""
+        """True iff no job ultimately failed (lint skips are
+        deliberate outcomes, not failures)."""
         return not self.failed_records
 
     @property
     def failures(self) -> Dict[str, str]:
-        """``{circuit: reason}`` for the table renderers."""
-        return {r.circuit: r.reason for r in self.failed_records}
+        """``{circuit: reason}`` for the table renderers.
+
+        Covers both failed and lint-skipped jobs; the latter carry a
+        ``lint: <rule,...>`` reason that the renderers turn into a
+        ``SKIPPED(...)`` row.
+        """
+        out = {r.circuit: r.reason for r in self.failed_records}
+        for r in self.skipped_records:
+            out.setdefault(r.circuit, r.reason)
+        return out
 
     def failure_summary(self) -> Table:
         """One row per job, for the end-of-campaign report."""
         table = Table("Job summary",
-                      ["circuit", "seed", "status", "attempts", "seconds"])
+                      ["circuit", "seed", "status", "attempts",
+                       "seconds", "lint"])
         for record in self.records:
             table.add_row(record.circuit, record.seed, record.status,
-                          record.attempts, record.seconds)
+                          record.attempts, record.seconds,
+                          ",".join(record.lint_rules) or None)
         return table
 
 
@@ -367,6 +408,28 @@ def _attempt_seed(spec: JobSpec, attempt: int,
     return spec.seed
 
 
+def _preflight_rules(circuit: str,
+                     cache: Dict[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+    """Error-severity lint rule ids for one suite circuit (cached).
+
+    Only the cheap structural rules run (``xinit=False``).  Resolution
+    or analysis problems never fail the pre-flight: a circuit that is
+    unknown, unbuildable or un-lintable returns no rules and its job
+    runs (and fails) normally, keeping the real traceback.
+    """
+    if circuit not in cache:
+        rules: Tuple[str, ...] = ()
+        try:
+            from ..analysis.rules import lint_netlist
+            from ..circuits.suite import profile as lookup
+            report = lint_netlist(lookup(circuit).build(), xinit=False)
+            rules = tuple(dict.fromkeys(d.rule for d in report.errors))
+        except Exception:
+            pass
+        cache[circuit] = rules
+    return cache[circuit]
+
+
 def _chaos_directive(config: HarnessConfig, store: Optional[RunStore],
                      spec: JobSpec, attempt: int) -> Optional[str]:
     if config.chaos is None:
@@ -402,6 +465,7 @@ def run_jobs(specs: Sequence[JobSpec],
     results: Dict[Tuple[str, int], CircuitRun] = {}
     records: List[JobRecord] = []
     pending: List[_JobState] = []
+    lint_cache: Dict[str, Tuple[str, ...]] = {}
 
     checkpoint: Dict[Tuple[str, int], CircuitRun] = {}
     if store is not None and config.resume:
@@ -421,6 +485,20 @@ def run_jobs(specs: Sequence[JobSpec],
             if verbose:
                 print(f"  {spec.circuit}: resumed from checkpoint")
             continue
+        if config.preflight:
+            rules = _preflight_rules(spec.circuit, lint_cache)
+            if rules:
+                record = JobRecord(spec.circuit, spec.seed, "skipped-lint",
+                                   attempts=0, seconds=0.0,
+                                   error="lint: " + ", ".join(rules),
+                                   lint_rules=rules)
+                records.append(record)
+                if store is not None:
+                    store.append_record(record)
+                if verbose:
+                    print(f"  {spec.circuit}: skipped "
+                          f"(lint: {', '.join(rules)})")
+                continue
         pending.append(_JobState(spec))
 
     if config.isolate:

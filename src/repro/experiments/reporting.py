@@ -229,6 +229,7 @@ def run_to_dict(run: "CircuitRun") -> Dict[str, Any]:
         "transition": dict(run.transition),
         "seconds": run.seconds,
         "counters": dict(run.counters),
+        "diagnostics": [dict(d) for d in run.diagnostics],
     }
 
 
@@ -268,6 +269,7 @@ def run_from_dict(data: Dict[str, Any]) -> "CircuitRun":
         transition=dict(data.get("transition", {})),
         seconds=data.get("seconds", 0.0),
         counters=dict(data.get("counters", {})),
+        diagnostics=[dict(d) for d in data.get("diagnostics", [])],
     )
 
 

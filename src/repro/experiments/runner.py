@@ -54,10 +54,25 @@ class CircuitRun:
     #: Engine instrumentation (``SimCounters.as_dict()`` of the
     #: sequential simulator, summed over everything this run did).
     counters: Dict[str, Any] = field(default_factory=dict)
+    #: Structural lint findings for the circuit, as
+    #: ``Diagnostic.to_dict()`` dicts (JSON-able; see
+    #: :mod:`repro.analysis.diagnostics`).  Empty for clean circuits
+    #: and for runs restored from pre-analyzer checkpoints.
+    diagnostics: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def name(self) -> str:
         return self.profile.name
+
+    @property
+    def lint_rules(self) -> List[str]:
+        """Unique rule ids among :attr:`diagnostics`, in pass order."""
+        seen: List[str] = []
+        for d in self.diagnostics:
+            rule = str(d.get("rule", ""))
+            if rule and rule not in seen:
+                seen.append(rule)
+        return seen
 
 
 def run_circuit(
@@ -93,7 +108,8 @@ def run_circuit(
     """
     started = time.time()
     netlist = profile.build()
-    wb = api.Workbench.for_netlist(netlist, engine=engine, width=width)
+    wb = api.Workbench.for_netlist(netlist, engine=engine, width=width,
+                                   lint=True)
     comb = comb_set_mod.generate(wb.circuit, wb.faults, seed=seed)
 
     arm_results: Dict[str, ArmResult] = {}
@@ -146,6 +162,7 @@ def run_circuit(
         transition=transition,
         seconds=time.time() - started,
         counters=wb.counters.as_dict(),
+        diagnostics=[d.to_dict() for d in wb.diagnostics],
     )
 
 

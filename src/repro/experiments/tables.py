@@ -29,10 +29,16 @@ def _add_failure_rows(table: Table, failures: Failures) -> None:
 
     A failed job still gets a row: its name, ``FAILED(reason)`` in the
     first data column, and dashes for the rest -- so a partially
-    degraded campaign renders every requested circuit.
+    degraded campaign renders every requested circuit.  Jobs the
+    pre-flight analyzer refused to run carry a ``lint: <rule,...>``
+    reason and render as ``SKIPPED(lint: <rule,...>)``: skipping a
+    structurally broken circuit is deliberate, not a failure.
     """
     for name in sorted(failures or {}):
-        cells: List[Optional[str]] = [name, f"FAILED({failures[name]})"]
+        reason = failures[name]
+        label = (f"SKIPPED({reason})" if reason.startswith("lint:")
+                 else f"FAILED({reason})")
+        cells: List[Optional[str]] = [name, label]
         cells.extend([None] * (len(table.headers) - 2))
         table.add_row(*cells)
 

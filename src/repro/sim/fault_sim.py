@@ -64,9 +64,10 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from . import values as V
+from ..analysis import sanitizer
 from .counters import SimCounters
 from .faults import Fault, FaultSet
 from .logicsim import CompiledCircuit
@@ -98,6 +99,14 @@ _REPACK_MIN_FRAMES_LEFT = 8
 #: Lane-transposed passes repack only words carrying at least this many
 #: fault groups (mirrors ``_REPACK_MIN_MACHINES`` for candidate lanes).
 _REPACK_MIN_GROUPS = 8
+
+#: Under ``REPRO_SANITIZE`` each simulator cross-checks its first few
+#: ``detect`` passes against a freshly packed shadow engine (fused vs
+#: chunked agreement) ...
+_SANITIZE_SPOT_BUDGET = 3
+#: ... but only for passes small enough that the doubled work stays
+#: negligible.
+_SANITIZE_SPOT_TARGET_CAP = 256
 
 WidthPolicy = Union[int, str]
 
@@ -287,9 +296,11 @@ class FaultSimulator:
         ids = net.net_ids
         self._source_ids = set(circuit.pi_ids) | set(circuit.ff_ids)
         self._ff_pos = {name: i for i, name in enumerate(net.flip_flops)}
+        self._sanitize_spots_left = _SANITIZE_SPOT_BUDGET
+        self._sanitize_shadow = False
         # Precompute per-fault injection spec:
         #   ("stem", net_id) | ("branch", out_net_id, pin) | ("ff", ff_pos)
-        self._spec: List[Tuple] = []
+        self._spec: List[Tuple[Any, ...]] = []
         for fault in faults:
             if fault.pin is None:
                 self._spec.append(("stem", ids[fault.net]))
@@ -439,6 +450,8 @@ class FaultSimulator:
                 remaining.append(fid)
         new_chunk = self._build_chunks(remaining,
                                        width=len(remaining) + 1)[0]
+        if sanitizer.enabled():
+            sanitizer.check_chunk(new_chunk, "FaultSimulator.detect repack")
         n = self.circuit.n_nets
         zero = [0] * n
         one = [0] * n
@@ -528,6 +541,12 @@ class FaultSimulator:
         if scan_observe is None:
             scan_observe = self.scan_positions
         chunks = self._build_chunks(target)
+        if sanitizer.enabled():
+            if retire_to is not None:
+                sanitizer.check_fresh_targets(retire_to, target,
+                                              "FaultSimulator.detect")
+            for chunk in chunks:
+                sanitizer.check_chunk(chunk, "FaultSimulator.detect")
         counters = self.counters
         counters.detect_passes += 1
         detected: Set[int] = set()
@@ -589,9 +608,48 @@ class FaultSimulator:
                 if caught & chunk.bit_of(pos):
                     detected.add(fid)
         counters.frames += longest
+        if (sanitizer.enabled() and not self._sanitize_shadow and
+                self._sanitize_spots_left > 0 and vectors):
+            self._sanitize_agreement(vectors, init_state, sorted(target),
+                                     scan_out, observe_po, scan_observe,
+                                     detected)
         if retire_to is not None:
             retire_to.retire(detected)
         return detected
+
+    def _sanitize_agreement(
+        self, vectors: Sequence[V.Vector], full_state: V.Vector,
+        target_list: List[int], scan_out: bool, observe_po: bool,
+        scan_observe: Optional[Sequence[int]], detected: Set[int],
+    ) -> None:
+        """Spot-check one finished ``detect`` pass against a shadow
+        simulator using the *opposite* packing policy (fused vs
+        chunked), with early exit and retirement off.  Budgeted per
+        simulator and capped in target size; see the sanitizer module.
+        """
+        if not 0 < len(target_list) <= _SANITIZE_SPOT_TARGET_CAP:
+            return
+        self._sanitize_spots_left -= 1
+        if self.width == "auto":
+            # Force genuine chunking: split the targets over >= 2 words.
+            shadow_width: WidthPolicy = max(2, len(target_list) // 2 + 1)
+        else:
+            shadow_width = "auto"
+        shadow = FaultSimulator(self.circuit, self.faults,
+                                width=shadow_width,
+                                counters=SimCounters())
+        shadow._sanitize_shadow = True
+        other = shadow.detect(vectors, init_state=full_state,
+                              target=target_list, scan_out=scan_out,
+                              observe_po=observe_po, early_exit=False,
+                              scan_observe=scan_observe)
+        fused, chunked = ((set(detected), other)
+                          if self.width == "auto"
+                          else (other, set(detected)))
+        sanitizer.check_agreement(
+            fused, chunked,
+            f"FaultSimulator.detect ({len(target_list)} targets, "
+            f"width={self.width!r} vs {shadow_width!r})")
 
     # ------------------------------------------------------------------
     def run_with_records(
@@ -806,8 +864,13 @@ class FaultSimulator:
         counters.frames += len(vectors)
         init_words = [V.pack_lanes([s[ff_pos] for s in full_states])
                       for ff_pos in range(len(self.circuit.ff_ids))]
+        lane_chunks = self._build_lane_chunks(target_list, n_lanes)
+        if sanitizer.enabled():
+            for chunk in lane_chunks:
+                sanitizer.check_lane_chunk(
+                    chunk, "FaultSimulator.detect_candidates")
         longest = 0
-        for chunk in self._build_lane_chunks(target_list, n_lanes):
+        for chunk in lane_chunks:
             longest = max(longest, self._run_lane_chunk(
                 chunk, vectors, init_words, good_po, good_scan,
                 observe_po, scan_out, scan_observe, detected))
@@ -898,6 +961,10 @@ class FaultSimulator:
                     new_chunk = self._build_lane_chunks(
                         remaining, n_lanes,
                         groups_per_word=len(remaining))[0]
+                    if sanitizer.enabled():
+                        sanitizer.check_lane_chunk(
+                            new_chunk,
+                            "FaultSimulator.detect_candidates repack")
                     gathered_z = [0] * circuit.n_nets
                     gathered_o = [0] * circuit.n_nets
                     for ff_pos, nid in enumerate(circuit.ff_ids):

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Set
 
+from ..analysis import sanitizer
 from .counters import SimCounters
 
 
@@ -64,11 +65,15 @@ class FaultScoreboard:
         """
         if not self.enabled:
             return 0
+        before = set(self._retired) if sanitizer.enabled() else None
         fresh = set(fault_ids) - self._retired
         for fid in fresh:
             if not 0 <= fid < self.n_faults:
                 raise ValueError(f"fault index {fid} out of range")
         self._retired |= fresh
+        if before is not None:
+            sanitizer.check_monotone(before, self._retired,
+                                     "FaultScoreboard.retire")
         if self.counters is not None and fresh:
             self.counters.faults_dropped += len(fresh)
         return len(fresh)

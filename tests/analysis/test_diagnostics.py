@@ -1,0 +1,71 @@
+"""Tests for the diagnostic containers shared by every analysis pass."""
+
+import pytest
+
+from repro.analysis import (ERROR, INFO, WARNING, Diagnostic, LintReport,
+                            diagnostic_from_dict)
+
+
+class TestDiagnostic:
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Diagnostic(rule="x", severity="fatal", message="boom")
+
+    def test_nets_coerced_to_tuple(self):
+        d = Diagnostic(rule="x", severity=ERROR, message="m",
+                       nets=["a", "b"])
+        assert d.nets == ("a", "b")
+
+    def test_dict_round_trip(self):
+        d = Diagnostic(rule="struct.comb-cycle", severity=ERROR,
+                       message="cycle", nets=("g1", "g2"),
+                       data={"states": 3})
+        back = diagnostic_from_dict(d.to_dict())
+        assert back == d
+
+    def test_str_mentions_rule_and_nets(self):
+        d = Diagnostic(rule="r", severity=WARNING, message="m",
+                       nets=("n1",))
+        assert "r" in str(d) and "n1" in str(d)
+
+
+class TestLintReport:
+    def _report(self):
+        r = LintReport(circuit="c")
+        r.add(Diagnostic(rule="b.warn", severity=WARNING, message="w"))
+        r.add(Diagnostic(rule="a.err", severity=ERROR, message="e"))
+        r.add(Diagnostic(rule="c.info", severity=INFO, message="i"))
+        return r
+
+    def test_severity_buckets(self):
+        r = self._report()
+        assert [d.rule for d in r.errors] == ["a.err"]
+        assert [d.rule for d in r.warnings] == ["b.warn"]
+        assert not r.ok
+        assert not r.clean
+
+    def test_clean_and_ok(self):
+        r = LintReport(circuit="c")
+        assert r.ok and r.clean
+        r.add(Diagnostic(rule="w", severity=WARNING, message="m"))
+        assert r.ok and not r.clean
+
+    def test_rule_ids_errors_first(self):
+        assert self._report().rule_ids == ("a.err", "b.warn", "c.info")
+
+    def test_by_rule(self):
+        r = self._report()
+        assert len(r.by_rule("a.err")) == 1
+        assert r.by_rule("missing") == []
+
+    def test_dict_round_trip(self):
+        r = self._report()
+        back = LintReport.from_dict(r.to_dict())
+        assert back.circuit == "c"
+        assert back.diagnostics == r.diagnostics
+
+    def test_render(self):
+        clean = LintReport(circuit="c")
+        assert "clean" in clean.render()
+        text = self._report().render()
+        assert "a.err" in text and "error" in text

@@ -1,0 +1,166 @@
+"""Tests for the structural lint rules (netlist- and bench-level)."""
+
+from repro.analysis import lint_bench_path, lint_bench_text, lint_netlist
+from repro.circuits import library, synth
+from repro.circuits.netlist import Netlist
+
+
+def _rules(report):
+    return {d.rule for d in report.diagnostics}
+
+
+class TestNetlistRules:
+    def test_s27_is_clean(self):
+        report = lint_netlist(library.s27())
+        assert report.clean, report.render()
+
+    def test_undriven_net(self):
+        net = Netlist("t")
+        net.add_input("a")
+        net.add_gate("g1", "AND", ["a", "ghost"])
+        net.add_output("g1")
+        report = lint_netlist(net)
+        assert "struct.undriven-net" in _rules(report)
+        assert not report.ok
+        assert any("ghost" in d.nets
+                   for d in report.by_rule("struct.undriven-net"))
+
+    def test_undriven_primary_output(self):
+        net = Netlist("t")
+        net.add_input("a")
+        net.add_gate("g1", "NOT", ["a"])
+        net.add_output("nowhere")
+        report = lint_netlist(net)
+        assert "struct.undriven-net" in _rules(report)
+
+    def test_comb_cycle(self):
+        net = Netlist("t")
+        net.add_input("a")
+        net.add_gate("g1", "AND", ["a", "g2"])
+        net.add_gate("g2", "NOT", ["g1"])
+        net.add_output("g1")
+        report = lint_netlist(net)
+        cycles = report.by_rule("struct.comb-cycle")
+        assert cycles and cycles[0].severity == "error"
+        assert set(cycles[0].nets) == {"g1", "g2"}
+
+    def test_self_loop_is_a_cycle(self):
+        net = Netlist("t")
+        net.add_input("a")
+        net.add_gate("g1", "AND", ["a", "g1"])
+        net.add_output("g1")
+        assert "struct.comb-cycle" in _rules(lint_netlist(net))
+
+    def test_sequential_feedback_is_not_a_cycle(self):
+        net = Netlist("t")
+        net.add_input("a")
+        net.add_gate("d", "XOR", ["a", "q"])
+        net.add_dff("q", "d")
+        net.add_output("d")
+        assert "struct.comb-cycle" not in _rules(lint_netlist(net))
+
+    def test_errors_stop_deeper_passes(self):
+        net = Netlist("t")
+        net.add_input("a")
+        net.add_gate("g1", "AND", ["a", "ghost"])
+        net.add_output("g1")
+        report = lint_netlist(net)
+        # No post-compile or xinit rules after a structural error.
+        assert all(r.startswith("struct.") for r in report.rule_ids)
+
+    def test_dead_cone_warning(self):
+        net = Netlist("t")
+        net.add_input("a")
+        net.add_gate("g1", "NOT", ["a"])   # feeds only dangling g2
+        net.add_gate("g2", "NOT", ["g1"])  # dangling root
+        net.add_gate("o", "BUF", ["a"])
+        net.add_output("o")
+        report = lint_netlist(net)
+        dead = report.by_rule("struct.dead-cone")
+        assert [d.nets for d in dead] == [("g1",)]
+        assert report.ok  # warnings only
+
+    def test_input_isolated_ff(self):
+        net = Netlist("t")
+        net.add_input("a")
+        net.add_gate("d", "NOT", ["q"])    # no PI in the cone
+        net.add_dff("q", "d")
+        net.add_gate("o", "AND", ["a", "q"])
+        net.add_output("o")
+        report = lint_netlist(net, xinit=False)
+        iso = report.by_rule("struct.input-isolated-ff")
+        assert [d.nets for d in iso] == [("q",)]
+
+    def test_xinit_opt_out(self):
+        net = synth.generate("t", 4, 3, 5, 40, seed=4941)
+        with_x = lint_netlist(net)
+        without = lint_netlist(net, xinit=False)
+        assert "xinit.not-synchronizable" in with_x.rule_ids
+        assert "xinit.not-synchronizable" not in without.rule_ids
+
+    def test_lint_does_not_mutate_uncompiled_input(self):
+        net = Netlist("t")
+        net.add_input("a")
+        net.add_gate("g1", "NOT", ["a"])
+        net.add_output("g1")
+        assert not net.is_compiled()
+        lint_netlist(net)
+        assert not net.is_compiled()  # linted a copy
+
+
+class TestBenchRules:
+    def test_clean_bench(self):
+        text = ("INPUT(a)\nINPUT(b)\n"
+                "g1 = AND(a, b)\nOUTPUT(g1)\n")
+        report = lint_bench_text(text)
+        assert report.clean, report.render()
+
+    def test_multi_driver(self):
+        text = ("INPUT(a)\n"
+                "g1 = NOT(a)\ng1 = BUF(a)\nOUTPUT(g1)\n")
+        report = lint_bench_text(text)
+        assert "bench.multi-driver" in report.rule_ids
+
+    def test_input_decl_registers_driver(self):
+        text = ("INPUT(a)\na = NOT(a)\nOUTPUT(a)\n")
+        report = lint_bench_text(text)
+        assert "bench.multi-driver" in report.rule_ids
+
+    def test_floating_input(self):
+        text = ("INPUT(a)\ng1 = AND()\nOUTPUT(g1)\n")
+        report = lint_bench_text(text)
+        assert "bench.floating-input" in report.rule_ids
+
+    def test_const_gates_allowed_no_inputs(self):
+        text = ("INPUT(a)\nc = CONST1()\n"
+                "g1 = AND(a, c)\nOUTPUT(g1)\n")
+        report = lint_bench_text(text)
+        assert "bench.floating-input" not in report.rule_ids
+
+    def test_unknown_type(self):
+        text = ("INPUT(a)\ng1 = FROB(a)\nOUTPUT(g1)\n")
+        report = lint_bench_text(text)
+        assert "bench.unknown-type" in report.rule_ids
+
+    def test_syntax_garbage(self):
+        report = lint_bench_text("INPUT(a)\nthis is not bench\n")
+        assert "bench.syntax" in report.rule_ids
+
+    def test_raw_errors_stop_deep_lint(self):
+        text = ("INPUT(a)\ng1 = NOT(a)\ng1 = BUF(a)\nOUTPUT(g1)\n")
+        report = lint_bench_text(text)
+        assert all(r.startswith("bench.") for r in report.rule_ids)
+
+    def test_deep_rules_after_clean_raw_pass(self):
+        # Raw text is fine, but the netlist has a combinational cycle.
+        text = ("INPUT(a)\n"
+                "g1 = AND(a, g2)\ng2 = NOT(g1)\nOUTPUT(g1)\n")
+        report = lint_bench_text(text)
+        assert "struct.comb-cycle" in report.rule_ids
+
+    def test_lint_bench_path(self, tmp_path):
+        p = tmp_path / "mini.bench"
+        p.write_text("INPUT(a)\ng1 = NOT(a)\nOUTPUT(g1)\n")
+        report = lint_bench_path(p)
+        assert report.circuit == "mini"
+        assert report.clean

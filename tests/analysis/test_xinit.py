@@ -1,0 +1,98 @@
+"""Tests for the X-initializability (synchronizability) analysis."""
+
+from repro.analysis import analyze_xinit
+from repro.circuits import library, synth
+from repro.circuits.netlist import Netlist
+from repro.sim import values as V
+from repro.sim.logicsim import CompiledCircuit, simulate_sequence
+
+
+class TestSynchronizable:
+    def test_s27_with_verified_witness(self):
+        net = library.s27()
+        res = analyze_xinit(net)
+        assert res.status == "synchronizable"
+        assert res.witness is not None
+        assert res.to_diagnostics() == []
+        # The witness must actually work: simulating it from all-X
+        # ends in an all-binary state.
+        out = simulate_sequence(CompiledCircuit(net), res.witness)
+        assert all(v in (V.ZERO, V.ONE) for v in out.final_state)
+
+    def test_no_ffs_is_trivially_synchronizable(self):
+        net = Netlist("comb")
+        net.add_input("a")
+        net.add_gate("g1", "NOT", ["a"])
+        net.add_output("g1")
+        res = analyze_xinit(net.compile())
+        assert res.status == "synchronizable"
+        assert res.method == "trivial"
+
+    def test_suite_circuits_synchronizable(self):
+        # A representative sample (full sweep runs in CI's lint job).
+        for name in ("b01", "b02", "s27"):
+            from repro.circuits.suite import profile
+            res = analyze_xinit(profile(name).build())
+            assert res.status == "synchronizable", name
+
+
+def _xor_trap() -> Netlist:
+    """One FF with d = XOR(q, pi): X-strict, so q never leaves X."""
+    net = Netlist("trap")
+    net.add_input("a")
+    net.add_gate("d", "XOR", ["q", "a"])
+    net.add_dff("q", "d")
+    net.add_gate("o", "BUF", ["d"])
+    net.add_output("o")
+    return net.compile()
+
+
+class TestNotSynchronizable:
+    def test_xor_trap_never_binary(self):
+        res = analyze_xinit(_xor_trap())
+        assert res.status == "not-synchronizable"
+        assert res.method == "exact"
+        assert res.flagged == (0,)
+        assert res.never_binary == (0,)
+        assert "X on every reachable transition" in res.ff_witness(0)
+
+    def test_diagnostics_carry_witness_data(self):
+        diags = analyze_xinit(_xor_trap()).to_diagnostics()
+        assert len(diags) == 1
+        d = diags[0]
+        assert d.rule == "xinit.not-synchronizable"
+        assert d.severity == "warning"
+        assert d.data["flagged"] == [0]
+        assert "q" in d.data["ff_witness"]
+
+    def test_seed_4941_flags_transient_ffs_statically(self):
+        """The acceptance case: 4 PI / 3 PO / 5 FF / 40 gates, seed
+        4941.  The analyzer must report FFs {0, 2, 4} among the
+        never-leaving-X set purely statically (exact ternary search +
+        the sustainability fixed point -- no random simulation)."""
+        net = synth.generate("synth-4941", 4, 3, 5, 40, seed=4941)
+        res = analyze_xinit(net)
+        assert res.status == "not-synchronizable"
+        assert {0, 2, 4} <= set(res.flagged)
+        assert res.states_explored > 0
+        # The sustainability fixed point explains the transient FFs:
+        # every flagged FF that *can* go binary has a below-majority
+        # vote count and a human-readable witness.
+        for f in res.flagged:
+            if f in res.never_binary:
+                continue
+            nbin, total = res.may_binary[f]
+            assert 2 * nbin <= total
+            assert "decay to X" in res.ff_witness(f)
+        # Non-flagged FFs are exactly the persistently initializable.
+        assert set(res.persistent) == \
+            set(range(len(res.ff_names))) - set(res.flagged)
+
+
+class TestUnknown:
+    def test_pi_cap_gives_unknown(self):
+        res = analyze_xinit(_xor_trap(), pi_cap=0)
+        assert res.status == "unknown"
+        diags = res.to_diagnostics()
+        assert diags[0].rule == "xinit.unresolved"
+        assert diags[0].severity == "info"

@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis import analyze_xinit
 from repro.circuits import synth, validate
 from repro.sim import values as V
 from repro.sim.logicsim import CompiledCircuit, simulate_sequence
@@ -64,6 +65,16 @@ class TestQuality:
         value (the sync wrappers guarantee reachability)."""
         import random
         net = synth.generate("i", 4, 3, 5, 40, seed=seed)
+        xres = analyze_xinit(net)
+        if xres.status == "not-synchronizable":
+            # Known generator weakness (e.g. seed 4941): cross-cone
+            # rewiring can defeat the sync wrappers, so no input
+            # sequence initializes the circuit from all-X.  The static
+            # analyzer proves it; fixing the generator is tracked
+            # separately.
+            rule = xres.to_diagnostics()[0].rule
+            pytest.xfail(f"seed {seed}: static analyzer flags {rule} "
+                         f"(flagged FFs {list(xres.flagged)})")
         cc = CompiledCircuit(net)
         rng = random.Random(0)
         # Initialization is probabilistic (the sync wrappers fire on
@@ -72,6 +83,16 @@ class TestQuality:
         vectors = [V.random_binary_vector(4, rng) for _ in range(150)]
         res = simulate_sequence(cc, vectors)
         assert all(v in (V.ZERO, V.ONE) for v in res.final_state)
+
+    def test_seed_4941_statically_flagged(self):
+        """The known-bad seed: the analyzer must prove (statically, no
+        simulation) that FFs 0, 2 and 4 never leave X."""
+        net = synth.generate("i", 4, 3, 5, 40, seed=4941)
+        xres = analyze_xinit(net)
+        assert xres.status == "not-synchronizable"
+        assert {0, 2, 4} <= set(xres.flagged)
+        for f in xres.flagged:
+            assert xres.ff_witness(f)  # every flagged FF has a witness
 
     def test_paper_like_stable_seed(self):
         a = synth.paper_like("s298", 3, 6, 14, 110)

@@ -320,6 +320,84 @@ class TestDegradedTables:
             assert table.render()
 
 
+class TestPreflightLint:
+    """Structurally broken circuits become SKIPPED rows, not crashes."""
+
+    @staticmethod
+    def _install_broken(monkeypatch, name="brokenville"):
+        from repro.circuits import suite as suite_mod
+        from repro.circuits.netlist import Netlist
+
+        class _Profile:
+            def build(self):
+                net = Netlist(name)
+                net.add_input("a")
+                net.add_gate("g1", "AND", ["a", "ghost"])
+                net.add_output("g1")
+                return net
+
+        real = suite_mod.profile
+
+        def lookup(circuit):
+            return _Profile() if circuit == name else real(circuit)
+
+        monkeypatch.setattr(suite_mod, "profile", lookup)
+
+    def test_broken_circuit_skipped_healthy_runs(self, monkeypatch,
+                                                 tmp_path):
+        self._install_broken(monkeypatch)
+        out = run_jobs([_spec("brokenville"), _spec("s27")],
+                       _cfg(isolate=False, run_dir=tmp_path))
+        by = {r.circuit: r for r in out.records}
+        record = by["brokenville"]
+        assert record.status == "skipped-lint"
+        assert record.skipped_lint and not record.failed
+        assert record.lint_rules == ("struct.undriven-net",)
+        assert record.attempts == 0
+        assert record.reason == "lint: struct.undriven-net"
+        assert by["s27"].status == "ok"
+        # Lint skips are deliberate outcomes, not failures...
+        assert out.ok
+        assert [r.name for r in out.runs] == ["s27"]
+        # ...but they still reach the table renderers.
+        assert out.failures == \
+            {"brokenville": "lint: struct.undriven-net"}
+
+    def test_skip_rendered_in_tables(self, monkeypatch):
+        self._install_broken(monkeypatch)
+        out = run_jobs([_spec("brokenville")], _cfg(isolate=False))
+        text = tables.table1(out.runs, failures=out.failures).render()
+        assert "SKIPPED(lint: struct.undriven-net)" in text
+        assert "FAILED" not in text
+        summary = out.failure_summary().render()
+        assert "skipped-lint" in summary
+        assert "struct.undriven-net" in summary
+
+    def test_journal_roundtrip_lint_rules(self, monkeypatch, tmp_path):
+        self._install_broken(monkeypatch)
+        run_jobs([_spec("brokenville")],
+                 _cfg(isolate=False, run_dir=tmp_path))
+        records = RunStore(tmp_path).load_records()
+        assert [r.status for r in records] == ["skipped-lint"]
+        # JSON round-trip re-coerces the rule list to a tuple.
+        assert records[0].lint_rules == ("struct.undriven-net",)
+
+    def test_preflight_opt_out_restores_crash(self, monkeypatch):
+        self._install_broken(monkeypatch)
+        out = run_jobs([_spec("brokenville")],
+                       _cfg(isolate=False, preflight=False))
+        record = out.records[0]
+        assert record.status == "failed"
+        assert record.lint_rules == ()
+        assert not out.ok
+
+    def test_healthy_circuit_has_no_lint_rules(self):
+        out = run_jobs([_spec("s27")], _cfg(isolate=False))
+        assert out.ok
+        assert out.records[0].lint_rules == ()
+        assert out.skipped_records == []
+
+
 class TestSuiteEntry:
     def test_run_suite_resilient_matches_run_suite(self):
         profile = suite.profile("s27")

@@ -222,6 +222,34 @@ class TestScoreboard:
         assert board.active({1, 2, 3}) == [1, 2, 3]
         assert counters.faults_dropped == 0
 
+    def test_disabled_scoreboard_ablation_identical_results(self):
+        """The full pipeline with cross-phase dropping off must produce
+        the exact result of the dropping run (the ablation claim)."""
+        from repro.atpg import comb_set as comb_set_mod
+        from repro.core import proposed
+        from repro.sim.comb_sim import CombPatternSim
+
+        net = synth.generate("abl", 4, 3, 5, 40, seed=3)
+        results = []
+        for enabled in (True, False):
+            cc = CompiledCircuit(net.copy())
+            fs = FaultSet.collapsed(net)
+            sim = FaultSimulator(cc, fs)
+            comb_sim = CombPatternSim(cc, fs)
+            comb = comb_set_mod.generate(cc, fs, seed=1)
+            t0 = random_gen.random_sequence(cc, 60, seed=1)
+            board = FaultScoreboard(len(fs), counters=sim.counters,
+                                    enabled=enabled)
+            res = proposed.run(sim, comb_sim, t0, comb.tests,
+                               scoreboard=board)
+            results.append((res, sim.counters.faults_dropped))
+        (with_drop, n_dropped), (without, n_plain) = results
+        assert n_dropped > 0 and n_plain == 0
+        assert with_drop.final_detected == without.final_detected
+        assert with_drop.seq_detected == without.seq_detected
+        assert with_drop.added_tests == without.added_tests
+        assert len(with_drop.test_set) == len(without.test_set)
+
 
 class TestCounters:
     def test_note_words_and_density(self):
@@ -239,6 +267,21 @@ class TestCounters:
         assert d["machines_per_word"] == 10.0
         back = SimCounters.from_dict(d)
         assert back == c
+
+    def test_from_dict_legacy_checkpoint(self):
+        """Checkpoints written before newer counter fields existed lack
+        their keys: missing fields default, derived and unknown keys
+        are ignored, present timer fields stay float."""
+        legacy = {"frames": 9, "words": 4, "machines": 40,
+                  "machines_per_word": 10.0,    # derived, not a field
+                  "retired_total": 3}           # a key we never had
+        back = SimCounters.from_dict(legacy)
+        assert back.frames == 9 and back.words == 4
+        assert back.faults_dropped == 0         # missing -> default
+        assert back.phase1_s == 0.0
+        assert back.machines_per_word == 10.0   # re-derived, not stored
+        half = SimCounters.from_dict({"frames": 1, "phase3_s": 0.25})
+        assert half.phase3_s == 0.25 and isinstance(half.phase3_s, float)
 
     def test_phase_timer_accumulates(self):
         c = SimCounters()

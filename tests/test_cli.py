@@ -142,3 +142,85 @@ class TestParser:
         program = testio.load(out_file)
         assert program.n_state_vars == 3
         assert "replay OK" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    _SYNTH_4941 = ["lint", "--synth", "4,3,5,40", "--seed", "4941"]
+
+    def test_suite_circuit_clean(self, capsys):
+        assert main(["lint", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "Lint: s27" in out
+        assert "linted: clean" in out
+
+    def test_bench_file_target(self, capsys, tmp_path):
+        p = tmp_path / "mini.bench"
+        p.write_text("INPUT(a)\ng1 = NOT(a)\nOUTPUT(g1)\n")
+        assert main(["lint", str(p)]) == 0
+        assert "mini" in capsys.readouterr().out
+
+    def test_missing_bench_file(self, capsys, tmp_path):
+        assert main(["lint", str(tmp_path / "nope.bench")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_target(self, capsys):
+        assert main(["lint", "definitely-not-real"]) == 2
+        err = capsys.readouterr().err
+        assert "neither a file nor a suite circuit" in err
+        assert "s27" in err  # valid names listed
+
+    def test_synth_seed_4941_expected_rule(self, capsys):
+        assert main(self._SYNTH_4941 +
+                    ["--expect", "xinit.not-synchronizable"]) == 0
+        out = capsys.readouterr().out
+        assert "as expected" in out
+        assert "ff0" in out and "ff2" in out and "ff4" in out
+
+    def test_synth_seed_4941_strict_fails(self, capsys):
+        assert main(self._SYNTH_4941 + ["--strict"]) == 1
+        err = capsys.readouterr().err
+        assert "synth-4941: xinit.not-synchronizable" in err
+
+    def test_warning_passes_without_strict(self, capsys):
+        assert main(self._SYNTH_4941) == 0
+        assert "linted: clean" in capsys.readouterr().out
+
+    def test_allow_waives_finding(self, capsys):
+        assert main(self._SYNTH_4941 + [
+            "--strict",
+            "--allow", "synth-4941:xinit.not-synchronizable"]) == 0
+
+    def test_allow_malformed(self, capsys):
+        assert main(["lint", "s27", "--allow", "nocolon"]) == 2
+        assert "CIRCUIT:RULE" in capsys.readouterr().err
+
+    def test_expect_missing_rule_fails(self, capsys):
+        assert main(["lint", "s27", "--expect",
+                     "xinit.not-synchronizable"]) == 1
+        assert "missing on: s27" in capsys.readouterr().err
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "s27", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["circuit"] == "s27"
+        assert data[0]["diagnostics"] == []
+
+    def test_sweep_multiplies_reports(self, capsys):
+        assert main(["lint", "--synth", "2,2,2,8", "--seed", "7",
+                     "--sweep", "3", "--no-xinit", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [r["circuit"] for r in data] == \
+            ["synth-7", "synth-8", "synth-9"]
+
+    def test_synth_malformed(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--synth", "4,3"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--synth", "a,b,c,d"])
+
+    def test_sanitize_flag_arms_env(self, capsys, monkeypatch):
+        import os
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert main(["circuit", "s27", "--sanitize"]) == 0
+        assert os.environ["REPRO_SANITIZE"] == "1"
+        assert "Table 1" in capsys.readouterr().out
