@@ -23,6 +23,17 @@ it and records the check in the JSON.  The emitted file carries
 circuit stats, per-arm wall clock and engine counters, and the
 speedup ratio.
 
+``--power`` sweeps every X-fill strategy (:data:`repro.sim.values.
+FILL_STRATEGIES`) over the quick suite: one proposed-procedure run per
+(circuit, strategy), measuring the final test set's peak/average shift
+WTM and capture toggles with :class:`repro.power.activity.
+ActivityEngine`.  The emitted ``BENCH_power.json`` records an
+``identical_detection`` flag (the explicit ``random`` strategy must be
+byte-identical -- detection sets, cycles and test vectors -- to a run
+with default parameters) and, under ``--gate``, asserts per circuit
+that ``adjacent`` fill's peak shift WTM never exceeds ``RATIO`` times
+``random`` fill's.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py            # full (~3 min)
@@ -30,11 +41,14 @@ Usage::
     PYTHONPATH=src python benchmarks/emit_bench.py --quick --gate 1.5
     PYTHONPATH=src python benchmarks/emit_bench.py --phase1   # lanes bench
     PYTHONPATH=src python benchmarks/emit_bench.py --phase1 --quick --gate 1.0
+    PYTHONPATH=src python benchmarks/emit_bench.py --power --gate 1.0
 
 ``--gate RATIO`` turns the script into a perf gate: exit code 1 when
 the after/lanes arm is slower than ``RATIO`` times the before/scalar
 arm (the CI perf-smoke job runs ``--quick --gate 1.5`` and
-``--phase1 --quick --gate 1.0``).
+``--phase1 --quick --gate 1.0``).  In ``--power`` mode the gate is a
+quality gate instead: adjacent peak shift WTM vs random, per circuit
+(the CI job runs ``--power --gate 1.0``).
 """
 
 from __future__ import annotations
@@ -55,6 +69,7 @@ from repro.circuits import synth
 from repro.core.phase1 import detect_no_scan, select_scan_in
 from repro.core.proposed import run as run_proposed
 from repro.experiments.reporting import atomic_write_text
+from repro.power.activity import ActivityEngine
 from repro.sim.comb_sim import CombPatternSim
 from repro.sim.counters import SimCounters
 from repro.sim.fault_sim import (DEFAULT_WIDTH, FaultSimulator,
@@ -292,6 +307,86 @@ def build_phase1_payload(quick: bool, seed: int = 1,
     }
 
 
+def _power_run(profile, strategy: Optional[str], seed: int):
+    """One proposed-procedure run (random ``T0`` arm) on a suite
+    circuit; ``strategy=None`` means *default parameters* -- the
+    baseline the explicit ``random`` run must reproduce exactly."""
+    from repro import api
+    netlist = profile.build()
+    wb = api.Workbench.for_netlist(netlist)
+    kwargs = {} if strategy is None else {"x_fill": strategy}
+    result = api.compact_tests(netlist, seed=seed, t0_source="random",
+                               t0_length=min(profile.t0_length, 300),
+                               workbench=wb, **kwargs)
+    final = result.compacted_set or result.test_set
+    engine = ActivityEngine(wb.circuit, wb.counters)
+    summary = engine.set_power(final).summary()
+    fingerprint = (frozenset(result.final_detected),
+                   final.clock_cycles(), tuple(final.tests))
+    return summary, fingerprint, len(result.final_detected)
+
+
+def build_power_payload(quick: bool, seed: int = 1) -> Dict[str, Any]:
+    """The ``--power`` payload: X-fill strategies over the quick suite.
+
+    ``quick`` is accepted for CLI symmetry but the sweep always runs
+    the quick suite -- it is already CI-sized.
+    """
+    from repro.circuits import suite as suite_mod
+    from repro.sim.values import FILL_STRATEGIES
+
+    profiles = suite_mod.quick_suite()
+    circuits: Dict[str, Dict[str, Any]] = {}
+    identical_detection = True
+    for profile in profiles:
+        print(f"{profile.name}: default-parameter baseline ...",
+              flush=True)
+        _, default_fp, _ = _power_run(profile, None, seed)
+        per_strategy: Dict[str, Any] = {}
+        for strategy in FILL_STRATEGIES:
+            print(f"{profile.name}: x-fill {strategy} ...", flush=True)
+            summary, fp, detected = _power_run(profile, strategy, seed)
+            if strategy == "random" and fp != default_fp:
+                identical_detection = False
+                print(f"ERROR: {profile.name}: explicit random fill "
+                      f"differs from the default-parameter run",
+                      file=sys.stderr)
+            entry = summary.as_dict()
+            entry["detected"] = detected
+            per_strategy[strategy] = entry
+        circuits[profile.name] = per_strategy
+    return {
+        "bench": "power: X-fill strategies' shift WTM / capture "
+                 "toggles on the quick suite",
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "strategies": list(FILL_STRATEGIES),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "circuits": circuits,
+        "identical_detection": identical_detection,
+    }
+
+
+def _power_gate(payload: Dict[str, Any], ratio: float) -> bool:
+    """Per circuit: adjacent peak shift WTM <= ratio x random's."""
+    ok = True
+    for name, per_strategy in sorted(payload["circuits"].items()):
+        random_peak = per_strategy["random"]["peak_shift_wtm"]
+        adjacent_peak = per_strategy["adjacent"]["peak_shift_wtm"]
+        if adjacent_peak > ratio * random_peak:
+            print(f"POWER GATE FAILED: {name}: adjacent peak WTM "
+                  f"{adjacent_peak} > {ratio:g} x random "
+                  f"{random_peak}", file=sys.stderr)
+            ok = False
+        else:
+            print(f"power gate ok: {name}: adjacent {adjacent_peak} "
+                  f"<= {ratio:g} x random {random_peak}")
+    return ok
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -299,12 +394,29 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--phase1", action="store_true",
                         help="benchmark the Phase-1 candidate scan "
                              "(lanes vs scalar) instead of the engine")
+    parser.add_argument("--power", action="store_true",
+                        help="sweep the X-fill strategies' power on "
+                             "the quick suite instead of the engine")
     parser.add_argument("--gate", type=float, metavar="RATIO",
                         help="fail (exit 1) when the after/lanes wall "
                              "clock exceeds RATIO x before/scalar")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("-o", "--out", default=None)
     args = parser.parse_args(argv)
+
+    if args.power:
+        out = args.out or "BENCH_power.json"
+        payload = build_power_payload(quick=args.quick, seed=args.seed)
+        atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}: {len(payload['circuits'])} circuit(s), "
+              f"{len(payload['config']['strategies'])} strategies "
+              f"(identical detection: "
+              f"{payload['identical_detection']})")
+        if not payload["identical_detection"]:
+            return 1
+        if args.gate is not None and not _power_gate(payload, args.gate):
+            return 1
+        return 0
 
     if args.phase1:
         out = args.out or "BENCH_phase1.json"

@@ -115,6 +115,8 @@ def compact_tests(
     run_phase4: bool = True,
     workbench: Optional[Workbench] = None,
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
+    x_fill: str = "random",
+    power_budget: Optional[float] = None,
 ) -> ProposedResult:
     """Run the paper's proposed procedure on a circuit.
 
@@ -139,22 +141,34 @@ def compact_tests(
     candidate_scan:
         Phase-1 Step-2 engine mode, ``"lanes"`` or ``"scalar"``; see
         :func:`repro.core.proposed.run`.
+    x_fill:
+        Don't-care fill strategy for the ATPG stages (see
+        :func:`repro.sim.values.fill_x`); ``"random"`` (the default)
+        keeps every output byte-identical to the plain reproduction.
+        Ignored for the parts the caller supplies explicitly
+        (``t0=``, ``comb_tests=``).
+    power_budget:
+        Optional peak shift-WTM cap.  When set, Phase 4 refuses
+        merges over the budget and Phase 3 breaks ties toward
+        lower-power tests (see :mod:`repro.power.constrain`); fault
+        coverage is never sacrificed.
 
     Raises
     ------
     ValueError
-        On an unknown ``t0_source``.
+        On an unknown ``t0_source`` or X-fill strategy.
     """
     wb = workbench or Workbench.for_netlist(netlist)
     if comb_tests is None:
         comb_tests = generate_comb_set(netlist, seed=seed,
-                                       workbench=wb).tests
+                                       workbench=wb,
+                                       x_fill=x_fill).tests
     if t0 is None:
         if t0_source == "seqgen":
             hints = [t.pi for t in comb_tests]
             t0 = seqgen.generate_sequence(
                 wb.circuit, wb.faults, max_length=t0_length, seed=seed,
-                hints=hints, targeted=True).sequence
+                hints=hints, targeted=True, x_fill=x_fill).sequence
         elif t0_source == "random":
             t0 = random_gen.random_sequence(wb.circuit, t0_length,
                                             seed=seed)
@@ -162,9 +176,19 @@ def compact_tests(
             raise ValueError(
                 f"unknown t0_source {t0_source!r}; "
                 f"use 'seqgen', 'random' or pass t0=")
+    merge_filter = None
+    power_key = None
+    if power_budget is not None:
+        from .power import constrain
+        from .power.activity import ActivityEngine
+        engine = ActivityEngine(wb.circuit, wb.counters)
+        merge_filter = constrain.wtm_budget_filter(engine, power_budget)
+        power_key = constrain.topoff_power_key(engine, comb_tests)
     return run_proposed(wb.sim, wb.comb_sim, t0, comb_tests,
                         run_phase4=run_phase4,
-                        candidate_scan=candidate_scan)
+                        candidate_scan=candidate_scan,
+                        merge_filter=merge_filter,
+                        topoff_power_key=power_key)
 
 
 def baseline_static(
@@ -172,6 +196,8 @@ def baseline_static(
     seed: int = 0,
     comb_tests: Optional[Sequence[CombTest]] = None,
     workbench: Optional[Workbench] = None,
+    x_fill: str = "random",
+    power_budget: Optional[float] = None,
 ) -> CombineResult:
     """The [4] baseline: combine a single-vector-per-test initial set.
 
@@ -180,15 +206,27 @@ def baseline_static(
     [4] used.  The returned
     :attr:`~repro.core.combine.CombineStats.initial_cycles` /
     ``final_cycles`` are the paper's Table-3 ``[4] init`` / ``comp``.
+
+    ``x_fill`` / ``power_budget`` mirror :func:`compact_tests`: the
+    fill strategy shapes the generated combinational set (ignored
+    when ``comb_tests`` is given) and the budget caps the peak shift
+    WTM of every merged test.
     """
     wb = workbench or Workbench.for_netlist(netlist)
     if comb_tests is None:
         comb_tests = generate_comb_set(netlist, seed=seed,
-                                       workbench=wb).tests
+                                       workbench=wb,
+                                       x_fill=x_fill).tests
     initial = ScanTestSet(
         len(wb.circuit.ff_ids),
         [single_vector_test(t.state, t.pi) for t in comb_tests])
-    return static_compact(wb.sim, initial)
+    merge_filter = None
+    if power_budget is not None:
+        from .power import constrain
+        from .power.activity import ActivityEngine
+        engine = ActivityEngine(wb.circuit, wb.counters)
+        merge_filter = constrain.wtm_budget_filter(engine, power_budget)
+    return static_compact(wb.sim, initial, merge_filter=merge_filter)
 
 
 def baseline_dynamic(

@@ -141,6 +141,7 @@ def generate(
     backtrack_limit: int = 256,
     compaction_passes: int = 2,
     scan_positions=None,
+    x_fill: str = "random",
 ) -> CombSetResult:
     """Full generation of a compact complete test set (the [9] stand-in).
 
@@ -149,6 +150,11 @@ def generate(
     ``scan_positions`` the set targets a partial-scan chain: state
     parts cover only scanned flip-flops, and "redundant" means
     untestable by any single-frame partial-scan test.
+
+    ``x_fill`` selects how PODEM's don't-cares are filled (see
+    :func:`repro.sim.values.fill_x`); the detection guarantee holds
+    under any strategy because X-fill only ever adds detections.  The
+    default ``"random"`` keeps the historical output byte-identical.
     """
     rng = random.Random(seed)
     result = random_selected(circuit, faults, seed=seed,
@@ -166,7 +172,8 @@ def generate(
             state, pi = outcome.pattern
             if scan_positions is not None:
                 state = tuple(state[p] for p in sorted(scan_positions))
-            test = CombTest(V.fill_x(state, rng), V.fill_x(pi, rng))
+            test = CombTest(V.fill_x(state, rng, strategy=x_fill),
+                            V.fill_x(pi, rng, strategy=x_fill))
             full = sim.detect_single(
                 test.as_pattern(),
                 sorted(set(range(len(faults))) - result.detected))

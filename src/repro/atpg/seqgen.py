@@ -61,6 +61,7 @@ def generate_sequence(
     targeted: bool = False,
     unroll_depth: int = 4,
     target_attempts: int = 48,
+    x_fill: str = "random",
 ) -> SeqGenResult:
     """Generate a test sequence ``T0`` for the no-scan circuit.
 
@@ -98,6 +99,10 @@ def generate_sequence(
         Time-frame window for the targeted phase.
     target_attempts:
         Maximum number of faults the targeted phase tries.
+    x_fill:
+        How the targeted phase fills PODEM don't-cares (see
+        :func:`repro.sim.values.fill_x`); the greedy phase draws only
+        fully-specified vectors and is unaffected.
 
     Raises
     ------
@@ -159,7 +164,7 @@ def generate_sequence(
     if targeted and len(sequence) < max_length:
         steps_evaluated += _targeted_phase(
             circuit, faults, inc, sequence, max_length, unroll_depth,
-            target_attempts, seed)
+            target_attempts, seed, x_fill)
     if not sequence:
         # Degenerate target set: still return a usable length-1 sequence.
         sequence.append(V.random_binary_vector(n_pi, rng))
@@ -167,7 +172,8 @@ def generate_sequence(
 
 
 def _targeted_phase(circuit, faults, inc, sequence, max_length,
-                    unroll_depth, target_attempts, seed) -> int:
+                    unroll_depth, target_attempts, seed,
+                    x_fill="random") -> int:
     """Append tfx subsequences for still-undetected faults in place."""
     from .tfx import TargetedExtender  # deferred: optional heavy setup
 
@@ -175,7 +181,7 @@ def _targeted_phase(circuit, faults, inc, sequence, max_length,
     if not V.is_binary(state):
         return 0  # not initialized: nothing deterministic to do
     extender = TargetedExtender(circuit.netlist, depth=unroll_depth,
-                                seed=seed)
+                                seed=seed, x_fill=x_fill)
     all_target = {fid for chunk in inc.chunks for fid in chunk.indices}
     attempts = 0
     for fid in sorted(all_target - inc.detected):

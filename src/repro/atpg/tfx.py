@@ -84,9 +84,14 @@ class TargetedExtender:
     """Per-circuit engine for targeted sequence extensions."""
 
     def __init__(self, netlist: Netlist, depth: int = 4,
-                 backtrack_limit: int = 192, seed: int = 0) -> None:
+                 backtrack_limit: int = 192, seed: int = 0,
+                 x_fill: str = "random") -> None:
         self.netlist = netlist
         self.depth = depth
+        # How extracted vectors' don't-cares are filled (see
+        # repro.sim.values.fill_x); "random" keeps the historical
+        # rng-consumption and output byte-identical.
+        self.x_fill = x_fill
         self.unrolled = unroll(netlist, depth)
         self.circuit = CompiledCircuit(self.unrolled)
         # PODEM needs only the circuit; specs are supplied per query.
@@ -168,5 +173,6 @@ class TargetedExtender:
         vectors = []
         for frame_ids in self._pi_ids:
             vec = tuple(ids.get(nid, V.X) for nid in frame_ids)
-            vectors.append(V.fill_x(vec, self._rng))
+            vectors.append(V.fill_x(vec, self._rng,
+                                    strategy=self.x_fill))
         return vectors

@@ -5,6 +5,7 @@ Subcommands::
     repro-compact list                         # suite circuits
     repro-compact circuit s298 [--seed N]      # one circuit, all methods
     repro-compact tables [--full] [--transition] [--json OUT]
+    repro-compact power s298 [--seed N]        # X-fill power sweep
     repro-compact lint [targets ...]           # static netlist analysis
     repro-compact bench-info                   # how to run the benches
 
@@ -24,6 +25,13 @@ subprocesses inherit; see :mod:`repro.analysis.sanitizer`.
 ``tables`` regenerates the paper's Tables 1-5 (quick suite by default;
 ``--full`` runs every reproduced circuit and takes correspondingly
 longer).
+
+``circuit`` and ``tables`` also take ``--x-fill`` (don't-care fill
+strategy for the ATPG stages; the default ``random`` reproduces the
+paper runs byte-identically) and ``--power-budget`` (peak shift-WTM
+cap enforced during Phase-4 combining; see :mod:`repro.power`).
+``power`` runs every X-fill strategy on one circuit in process and
+prints the comparative power table.
 
 ``circuit`` and ``tables`` run through the resilient harness
 (:mod:`repro.experiments.harness`): each circuit job runs in an
@@ -49,6 +57,7 @@ from .circuits import suite as suite_mod
 from .experiments import (HarnessConfig, all_tables, dump_json,
                           engine_counters_table, paper_comparison,
                           render_all, run_suite_resilient)
+from .sim.values import FILL_STRATEGIES
 
 
 def _resolve_profiles(names: List[str]):
@@ -118,6 +127,8 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
                                   with_transition=args.transition,
                                   engine=args.engine, width=args.width,
                                   candidate_scan=args.candidate_scan,
+                                  x_fill=args.x_fill,
+                                  power_budget=args.power_budget,
                                   config=_harness_config(args))
     print(render_all(all_tables(outcome.runs,
                                 with_transition=args.transition,
@@ -141,6 +152,8 @@ def _cmd_tables(args: argparse.Namespace) -> int:
                                   with_transition=args.transition,
                                   engine=args.engine, width=args.width,
                                   candidate_scan=args.candidate_scan,
+                                  x_fill=args.x_fill,
+                                  power_budget=args.power_budget,
                                   config=_harness_config(args),
                                   verbose=True)
     tables = all_tables(outcome.runs, with_transition=args.transition,
@@ -153,6 +166,53 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         dump_json(tables, args.json)
         print(f"\n(wrote {args.json})")
     return _finish_outcome(outcome)
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    """Compare the X-fill strategies' power on one circuit.
+
+    Runs the proposed procedure (random ``T0`` arm) once per fill
+    strategy, in process, and prints one comparison row each: set
+    size, clock cycles, faults detected, peak/average shift WTM, peak
+    capture toggles, and whether the detection set matches the
+    ``random``-fill run (the paper-reproducing default).
+    """
+    from . import api
+    from .experiments import Table
+    from .power.activity import ActivityEngine
+    profiles = _resolve_profiles([args.name])
+    if profiles is None:
+        return 2
+    profile = profiles[0]
+    title = f"X-fill power sweep: {args.name} (seed {args.seed}"
+    if args.power_budget is not None:
+        title += f", budget <= {args.power_budget:g}"
+    title += ")"
+    table = Table(title,
+                  ["x-fill", "tests", "cycles", "detected", "peak WTM",
+                   "avg WTM", "peak capt", "det=random"])
+    random_detected = None
+    for strategy in FILL_STRATEGIES:
+        netlist = profile.build()
+        wb = api.Workbench.for_netlist(netlist)
+        result = api.compact_tests(
+            netlist, seed=args.seed, t0_source="random",
+            t0_length=min(profile.t0_length, 300), workbench=wb,
+            x_fill=strategy, power_budget=args.power_budget)
+        final = result.compacted_set or result.test_set
+        summary = ActivityEngine(wb.circuit,
+                                 wb.counters).set_power(final).summary()
+        if strategy == "random":
+            random_detected = result.final_detected
+        same = (None if random_detected is None
+                else "yes" if result.final_detected == random_detected
+                else "no")
+        table.add_row(strategy, len(final), final.clock_cycles(),
+                      len(result.final_detected),
+                      summary.peak_shift_wtm, summary.avg_shift_wtm,
+                      summary.peak_capture, same)
+    print(table.render())
+    return 0
 
 
 def _cmd_partial(args: argparse.Namespace) -> int:
@@ -340,6 +400,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "(exports REPRO_SANITIZE=1; worker "
                              "subprocesses inherit it)")
 
+    power_opts = argparse.ArgumentParser(add_help=False)
+    pgroup = power_opts.add_argument_group("power")
+    pgroup.add_argument("--x-fill", choices=FILL_STRATEGIES,
+                        default="random", dest="x_fill",
+                        help="don't-care fill strategy for ATPG "
+                             "patterns (default: random, which "
+                             "reproduces the paper runs exactly)")
+    pgroup.add_argument("--power-budget", type=float, default=None,
+                        dest="power_budget", metavar="WTM",
+                        help="peak shift-WTM cap enforced during "
+                             "Phase-4 combining (default: none)")
+
     resilience = argparse.ArgumentParser(add_help=False)
     group = resilience.add_argument_group("resilience")
     group.add_argument("--timeout", type=float, default=None,
@@ -358,7 +430,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.set_defaults(func=_cmd_list)
 
     p_circuit = sub.add_parser("circuit", parents=[resilience,
-                                                   engine_opts],
+                                                   engine_opts,
+                                                   power_opts],
                                help="run one suite circuit")
     p_circuit.add_argument("name")
     p_circuit.add_argument("--seed", type=int, default=1)
@@ -366,7 +439,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also compute transition-fault coverage")
     p_circuit.set_defaults(func=_cmd_circuit)
 
-    p_tables = sub.add_parser("tables", parents=[resilience, engine_opts],
+    p_tables = sub.add_parser("tables", parents=[resilience, engine_opts,
+                                                 power_opts],
                               help="regenerate the paper's tables")
     p_tables.add_argument("--full", action="store_true",
                           help="run the full suite (slow)")
@@ -376,6 +450,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--circuits", nargs="*",
                           help="explicit circuit names")
     p_tables.set_defaults(func=_cmd_tables)
+
+    p_power = sub.add_parser(
+        "power", help="compare X-fill strategies' power on one circuit")
+    p_power.add_argument("name")
+    p_power.add_argument("--seed", type=int, default=1)
+    p_power.add_argument("--power-budget", type=float, default=None,
+                         dest="power_budget", metavar="WTM",
+                         help="peak shift-WTM cap enforced during "
+                              "Phase-4 combining (default: none)")
+    p_power.set_defaults(func=_cmd_power)
 
     p_partial = sub.add_parser(
         "partial", help="full-vs-partial scan trade-off on a circuit")

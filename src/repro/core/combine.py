@@ -50,7 +50,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (Callable, Dict, List, Optional, Sequence, Set,
+                    Tuple)
 
 from ..sim import values as V
 from ..sim.fault_sim import FaultSimulator
@@ -63,6 +64,7 @@ class CombineStats:
 
     combinations_accepted: int = 0
     combinations_tried: int = 0
+    combinations_rejected: int = 0
     transfers_used: int = 0
     transfer_vectors_added: int = 0
     initial_tests: int = 0
@@ -144,6 +146,7 @@ def static_compact(
     seed: int = 0,
     known_detections: Optional[Dict[ScanTest, Set[int]]] = None,
     retire_to=None,
+    merge_filter: Optional[Callable[[ScanTest], bool]] = None,
 ) -> CombineResult:
     """Compact ``test_set`` by combining test pairs ([4]).
 
@@ -181,6 +184,16 @@ def static_compact(
     retire_to:
         Optional :class:`~repro.sim.scoreboard.FaultScoreboard`; the
         compacted set's coverage is retired into it.
+    merge_filter:
+        Optional predicate over a candidate *merged* test; a merge is
+        only attempted when the predicate accepts the combined test
+        (rejections are counted in ``combinations_rejected`` and
+        cost no simulation).  Power-constrained compaction passes a
+        peak-WTM budget check here
+        (:func:`repro.power.constrain.wtm_budget_filter`); ``None``
+        (the default) keeps the procedure of [4] byte-identical.
+        The predicate must be deterministic: rejected pairs are
+        remembered and never retried.
     """
     if target is None:
         target = set(range(len(sim.faults)))
@@ -215,6 +228,12 @@ def static_compact(
                     j += 1
                     continue
                 combined = first.combined_with(second)
+                if merge_filter is not None and \
+                        not merge_filter(combined):
+                    stats.combinations_rejected += 1
+                    failed.add((first, second))
+                    j += 1
+                    continue
                 must = _pair_essentials(count, detects[i], detects[j])
                 stats.combinations_tried += 1
                 sim.counters.combine_trials += 1
@@ -227,17 +246,24 @@ def static_compact(
                         sim, first, second, must, max_transfer,
                         transfer_pool, transfer_attempts, rng, n_pi)
                     if transfer is not None:
-                        combined = ScanTest(
+                        with_transfer = ScanTest(
                             first.scan_in,
                             first.vectors + tuple(transfer) +
                             second.vectors)
-                        det_must = sim.detect(list(combined.vectors),
-                                              combined.scan_in,
-                                              target=sorted(must),
-                                              early_exit=True)
-                        if must <= det_must:
-                            stats.transfers_used += 1
-                            stats.transfer_vectors_added += len(transfer)
+                        if merge_filter is not None and \
+                                not merge_filter(with_transfer):
+                            stats.combinations_rejected += 1
+                        else:
+                            combined = with_transfer
+                            det_must = sim.detect(
+                                list(combined.vectors),
+                                combined.scan_in,
+                                target=sorted(must),
+                                early_exit=True)
+                            if must <= det_must:
+                                stats.transfers_used += 1
+                                stats.transfer_vectors_added += \
+                                    len(transfer)
                 if must <= det_must:
                     det_full = cache.get(combined)
                     if det_full is None:

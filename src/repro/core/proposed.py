@@ -20,7 +20,7 @@ and the clock-cycle counts before and after Phase 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set
+from typing import Callable, List, Optional, Sequence, Set
 
 from ..analysis import sanitizer
 from ..atpg.comb_set import CombTest
@@ -93,6 +93,8 @@ def run(
     scan_out_rule: str = "earliest",
     scoreboard: Optional[FaultScoreboard] = None,
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
+    merge_filter: Optional[Callable[[ScanTest], bool]] = None,
+    topoff_power_key: Optional[Callable[[int], float]] = None,
 ) -> ProposedResult:
     """Run the proposed procedure end to end.
 
@@ -134,6 +136,16 @@ def run(
         transposed packing, the default) or ``"scalar"`` (one detect
         pass per unique candidate state).  Both produce identical
         results; see :data:`repro.core.phase1.CANDIDATE_SCAN_MODES`.
+    merge_filter:
+        Optional predicate over candidate Phase-4 merges, forwarded to
+        :func:`repro.core.combine.static_compact` (e.g. a peak-WTM
+        budget from :func:`repro.power.constrain.wtm_budget_filter`).
+    topoff_power_key:
+        Optional Phase-3 power tie-break, forwarded to
+        :func:`repro.core.topoff.top_off` (e.g. from
+        :func:`repro.power.constrain.topoff_power_key`).  Both hooks
+        default to ``None``, keeping the pipeline byte-identical to
+        the paper reproduction.
 
     Raises
     ------
@@ -205,7 +217,8 @@ def run(
 
         undetected = target - seq_detected
         topoff = top_off(comb_sim, comb_tests, undetected,
-                         retire_to=scoreboard)
+                         retire_to=scoreboard,
+                         power_key=topoff_power_key)
     n_sv = sim.n_state_vars
     test_set = ScanTestSet(n_sv, [tau] + list(topoff.tests))
     final_detected = seq_detected | topoff.covered
@@ -219,7 +232,8 @@ def run(
         with timers.phase_timer("phase4"):
             outcome = static_compact(sim, test_set, target=target,
                                      known_detections={tau: seq_detected},
-                                     retire_to=scoreboard)
+                                     retire_to=scoreboard,
+                                     merge_filter=merge_filter)
         compacted = outcome.test_set
         combine_stats = outcome.stats
 

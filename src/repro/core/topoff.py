@@ -20,7 +20,7 @@ detectable set).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..atpg.comb_set import CombTest
 from ..sim.comb_sim import CombPatternSim
@@ -54,6 +54,7 @@ def top_off(
     comb_tests: Sequence[CombTest],
     undetected: Set[int],
     retire_to=None,
+    power_key: Optional[Callable[[int], float]] = None,
 ) -> TopOffResult:
     """Select single-vector tests covering ``undetected`` faults.
 
@@ -63,6 +64,13 @@ def top_off(
     already runs on the smallest possible fault list.  With
     ``retire_to`` set, the newly covered faults are retired into that
     :class:`~repro.sim.scoreboard.FaultScoreboard` on return.
+
+    ``power_key`` (index of a candidate test ``j`` -> its power cost,
+    e.g. the peak shift WTM of ``tau_j``) inserts power as a tie-break
+    after the paper's ``min n(f)`` rule: among equally-hard faults,
+    the one whose ``last(f)`` test is cheapest wins, so the low-power
+    test enters the set first and may cover its rivals' faults.
+    ``None`` (the default) keeps the paper's selection byte-identical.
     """
     remaining = set(undetected)
     if not remaining:
@@ -86,8 +94,14 @@ def top_off(
     covered: Set[int] = set()
     while remaining:
         # The fault hardest to cover (fewest detecting tests) first;
-        # ties broken deterministically by fault index.
-        fault = min(remaining, key=lambda f: (n_of[f], f))
+        # ties broken deterministically by fault index (with an
+        # optional power tie-break in between).
+        if power_key is None:
+            fault = min(remaining, key=lambda f: (n_of[f], f))
+        else:
+            fault = min(remaining,
+                        key=lambda f: (n_of[f],
+                                       power_key(last_of[f]), f))
         j = last_of[fault]
         chosen.append(j)
         test = comb_tests[j]

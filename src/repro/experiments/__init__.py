@@ -15,7 +15,7 @@ from .reporting import (Table, atomic_write_text, dump_json,
 from .runner import (ArmResult, CircuitRun, resolve_profiles, run_circuit,
                      run_circuit_by_name, run_suite)
 from .tables import (all_tables, paper_comparison, table1, table2, table3,
-                     table4, table5, table_atspeed_coverage)
+                     table4, table5, table_atspeed_coverage, table_power)
 
 __all__ = [
     "Table", "atomic_write_text", "dump_json", "engine_counters_table",
@@ -25,5 +25,5 @@ __all__ = [
     "HarnessConfig", "JobRecord", "JobSpec", "RunStore", "SuiteOutcome",
     "run_jobs", "run_suite_resilient",
     "all_tables", "paper_comparison", "table1", "table2", "table3",
-    "table4", "table5", "table_atspeed_coverage",
+    "table4", "table5", "table_atspeed_coverage", "table_power",
 ]

@@ -86,10 +86,13 @@ class JobSpec:
 
     ``engine``/``width`` select the simulation backend and fault-
     packing policy (see :meth:`repro.api.Workbench.for_netlist`);
-    ``candidate_scan`` the Phase-1 Step-2 mode ("lanes" or "scalar").
-    All travel across the ``spawn`` boundary as plain values
-    (``width`` is an int or the string ``"auto"``); workers read
-    missing keys with defaults, so old callers stay compatible.
+    ``candidate_scan`` the Phase-1 Step-2 mode ("lanes" or "scalar");
+    ``x_fill``/``power_budget`` the don't-care fill strategy and the
+    optional peak shift-WTM cap (see :mod:`repro.power`).  All travel
+    across the ``spawn`` boundary as plain values (``width`` is an int
+    or the string ``"auto"``); workers read missing keys with
+    defaults, so old callers and legacy spec dicts stay compatible
+    (they default to ``random`` fill with no budget).
     """
 
     circuit: str
@@ -100,6 +103,8 @@ class JobSpec:
     engine: str = "codegen"
     width: Union[int, str] = "auto"
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN
+    x_fill: str = "random"
+    power_budget: Optional[float] = None
 
     @property
     def key(self) -> Tuple[str, int]:
@@ -344,7 +349,9 @@ def _worker_main(conn, spec_dict: Dict[str, Any], seed: int,
             engine=spec_dict.get("engine", "codegen"),
             width=spec_dict.get("width", "auto"),
             candidate_scan=spec_dict.get("candidate_scan",
-                                         DEFAULT_CANDIDATE_SCAN))
+                                         DEFAULT_CANDIDATE_SCAN),
+            x_fill=spec_dict.get("x_fill", "random"),
+            power_budget=spec_dict.get("power_budget"))
         conn.send(("ok", reporting.run_to_dict(run)))
     except BaseException:
         try:
@@ -369,7 +376,8 @@ def _run_attempt_inline(spec: JobSpec, seed: int,
             with_baselines=spec.with_baselines,
             with_transition=spec.with_transition,
             engine=spec.engine, width=spec.width,
-            candidate_scan=spec.candidate_scan)
+            candidate_scan=spec.candidate_scan,
+            x_fill=spec.x_fill, power_budget=spec.power_budget)
         return "ok", run
     except Exception:
         return "error", traceback.format_exc()
@@ -511,12 +519,24 @@ def run_jobs(specs: Sequence[JobSpec],
 
 
 def _checkpoint_usable(run: CircuitRun, spec: JobSpec) -> bool:
-    """A cached run satisfies the request (arms/baselines/transition)."""
+    """A cached run satisfies the request
+    (arms/baselines/transition/power knobs)."""
     if not all(a in run.arms for a in spec.arms):
         return False
     if spec.with_baselines and run.baseline4 is None:
         return False
     if spec.with_transition and not run.transition:
+        return False
+    # The power knobs change the produced test sets, so a checkpoint
+    # only matches when it recorded the same knobs.  A pre-power
+    # checkpoint (run.power is None) recorded no knobs and can only
+    # satisfy the defaults it was produced under.
+    if run.power is not None:
+        if run.power.x_fill != spec.x_fill:
+            return False
+        if run.power.budget != spec.power_budget:
+            return False
+    elif spec.x_fill != "random" or spec.power_budget is not None:
         return False
     return True
 
@@ -683,6 +703,8 @@ def run_suite_resilient(
     engine: str = "codegen",
     width: Union[int, str] = "auto",
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
+    x_fill: str = "random",
+    power_budget: Optional[float] = None,
     config: Optional[HarnessConfig] = None,
     verbose: bool = False,
 ) -> SuiteOutcome:
@@ -697,6 +719,7 @@ def run_suite_resilient(
                      with_baselines=with_baselines,
                      with_transition=with_transition,
                      engine=engine, width=width,
-                     candidate_scan=candidate_scan)
+                     candidate_scan=candidate_scan,
+                     x_fill=x_fill, power_budget=power_budget)
              for p in resolve_profiles(profiles, quick=quick)]
     return run_jobs(specs, config=config, verbose=verbose)

@@ -22,6 +22,7 @@ from ..core.combine import CombineResult, CombineStats
 from ..core.dynamic import DynamicResult
 from ..core.proposed import IterationLog, ProposedResult
 from ..core.scan_test import ScanTest, ScanTestSet
+from ..power.activity import PowerReport
 from ..sim import values as V
 
 
@@ -230,6 +231,8 @@ def run_to_dict(run: "CircuitRun") -> Dict[str, Any]:
         "seconds": run.seconds,
         "counters": dict(run.counters),
         "diagnostics": [dict(d) for d in run.diagnostics],
+        "power": (run.power.as_dict()
+                  if run.power is not None else None),
     }
 
 
@@ -270,6 +273,8 @@ def run_from_dict(data: Dict[str, Any]) -> "CircuitRun":
         seconds=data.get("seconds", 0.0),
         counters=dict(data.get("counters", {})),
         diagnostics=[dict(d) for d in data.get("diagnostics", [])],
+        power=(PowerReport.from_dict(data["power"])
+               if data.get("power") is not None else None),
     )
 
 
@@ -279,14 +284,15 @@ def engine_counters_table(runs: Sequence["CircuitRun"]) -> Table:
     Columns come from :class:`repro.sim.counters.SimCounters`:
     logical frames simulated, word evaluations, average faulty
     machines packed per word, faults dropped by the cross-phase
-    scoreboard, in-pass repacks, and the per-phase wall-clock timers
-    (``p1_s`` .. ``p4_s``).  Runs restored from old checkpoints render
-    as ``-`` for whichever counters they lack.
+    scoreboard, in-pass repacks, the per-phase wall-clock timers
+    (``p1_s`` .. ``p4_s``), and the power engine's words and wall
+    clock (``pw_words`` / ``pw_s``).  Runs restored from old
+    checkpoints render as ``-`` for whichever counters they lack.
     """
     table = Table("Engine counters",
                   ["circuit", "frames", "words", "mach/word",
                    "dropped", "repacks", "p1_s", "p2_s", "p3_s",
-                   "p4_s", "seconds"])
+                   "p4_s", "pw_words", "pw_s", "seconds"])
     for run in runs:
         c = run.counters
         if c:
@@ -295,8 +301,10 @@ def engine_counters_table(runs: Sequence["CircuitRun"]) -> Table:
                           c.get("faults_dropped"), c.get("repacks"),
                           c.get("phase1_s"), c.get("phase2_s"),
                           c.get("phase3_s"), c.get("phase4_s"),
+                          c.get("power_words"), c.get("power_s"),
                           run.seconds)
         else:
             table.add_row(run.name, None, None, None, None, None,
-                          None, None, None, None, run.seconds)
+                          None, None, None, None, None, None,
+                          run.seconds)
     return table

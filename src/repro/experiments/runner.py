@@ -24,6 +24,7 @@ from ..core.dynamic import DynamicResult
 from ..core.phase1 import DEFAULT_CANDIDATE_SCAN
 from ..core.proposed import ProposedResult
 from ..delay.transition import TransitionSim
+from ..power.activity import ActivityEngine, PowerReport
 
 
 @dataclass
@@ -59,6 +60,10 @@ class CircuitRun:
     #: :mod:`repro.analysis.diagnostics`).  Empty for clean circuits
     #: and for runs restored from pre-analyzer checkpoints.
     diagnostics: List[Dict[str, Any]] = field(default_factory=list)
+    #: Power measurements of the final test sets (``None`` for runs
+    #: restored from pre-power checkpoints); see
+    #: :class:`repro.power.activity.PowerReport`.
+    power: Optional[PowerReport] = None
 
     @property
     def name(self) -> str:
@@ -84,6 +89,8 @@ def run_circuit(
     engine: str = "codegen",
     width="auto",
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
+    x_fill: str = "random",
+    power_budget: Optional[float] = None,
 ) -> CircuitRun:
     """Run every experiment on one circuit.
 
@@ -105,12 +112,19 @@ def run_circuit(
     candidate_scan:
         Phase-1 Step-2 mode ("lanes" or "scalar"), forwarded to
         :func:`repro.api.compact_tests`.
+    x_fill, power_budget:
+        Don't-care fill strategy and optional peak shift-WTM budget,
+        forwarded to :func:`repro.api.compact_tests` /
+        :func:`repro.api.baseline_static`.  The power of every final
+        test set is measured regardless (it is cheap) and recorded in
+        :attr:`CircuitRun.power`.
     """
     started = time.time()
     netlist = profile.build()
     wb = api.Workbench.for_netlist(netlist, engine=engine, width=width,
                                    lint=True)
-    comb = comb_set_mod.generate(wb.circuit, wb.faults, seed=seed)
+    comb = comb_set_mod.generate(wb.circuit, wb.faults, seed=seed,
+                                 x_fill=x_fill)
 
     arm_results: Dict[str, ArmResult] = {}
     for source in arms:
@@ -124,7 +138,8 @@ def run_circuit(
         result = api.compact_tests(
             netlist, seed=seed, t0_source=source, t0_length=length,
             comb_tests=comb.tests, workbench=wb,
-            candidate_scan=candidate_scan)
+            candidate_scan=candidate_scan,
+            x_fill=x_fill, power_budget=power_budget)
         arm_results[source] = ArmResult(
             t0_source=source, t0_length=length, result=result,
             seconds=time.time() - t0_started)
@@ -134,10 +149,20 @@ def run_circuit(
     if with_baselines:
         baseline4 = api.baseline_static(netlist, seed=seed,
                                         comb_tests=comb.tests,
-                                        workbench=wb)
+                                        workbench=wb,
+                                        power_budget=power_budget)
         dynamic = api.baseline_dynamic(netlist, seed=seed,
                                        comb_tests=comb.tests,
                                        workbench=wb)
+
+    power_engine = ActivityEngine(wb.circuit, wb.counters)
+    power = PowerReport(x_fill=x_fill, budget=power_budget)
+    for source, arm in arm_results.items():
+        final = arm.result.compacted_set or arm.result.test_set
+        power.sets[source] = power_engine.set_power(final).summary()
+    if baseline4 is not None:
+        power.sets["baseline4"] = power_engine.set_power(
+            baseline4.test_set).summary()
 
     transition: Dict[str, float] = {}
     if with_transition:
@@ -163,6 +188,7 @@ def run_circuit(
         seconds=time.time() - started,
         counters=wb.counters.as_dict(),
         diagnostics=[d.to_dict() for d in wb.diagnostics],
+        power=power,
     )
 
 
@@ -175,6 +201,8 @@ def run_circuit_by_name(
     engine: str = "codegen",
     width="auto",
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
+    x_fill: str = "random",
+    power_budget: Optional[float] = None,
 ) -> CircuitRun:
     """:func:`run_circuit` on a suite circuit looked up by name.
 
@@ -192,7 +220,8 @@ def run_circuit_by_name(
                        with_baselines=with_baselines,
                        with_transition=with_transition,
                        engine=engine, width=width,
-                       candidate_scan=candidate_scan)
+                       candidate_scan=candidate_scan,
+                       x_fill=x_fill, power_budget=power_budget)
 
 
 def resolve_profiles(
@@ -215,6 +244,8 @@ def run_suite(
     engine: str = "codegen",
     width="auto",
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
+    x_fill: str = "random",
+    power_budget: Optional[float] = None,
     verbose: bool = False,
 ) -> List[CircuitRun]:
     """Run the whole suite serially, in process.
@@ -233,7 +264,8 @@ def run_suite(
                           with_baselines=with_baselines,
                           with_transition=with_transition,
                           engine=engine, width=width,
-                          candidate_scan=candidate_scan)
+                          candidate_scan=candidate_scan,
+                          x_fill=x_fill, power_budget=power_budget)
         if verbose:  # pragma: no cover - console feedback only
             print(f"  {profile.name}: {run.seconds:.1f}s")
         runs.append(run)

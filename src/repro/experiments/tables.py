@@ -194,10 +194,45 @@ def table_atspeed_coverage(runs: Sequence[CircuitRun],
     return table
 
 
+def table_power(runs: Sequence[CircuitRun],
+                failures: Failures = None) -> Table:
+    """Power extension: shift WTM and capture toggles per test set.
+
+    Compares the proposed sets (both ``T0`` arms) against the
+    [4]-style baseline set under the run's X-fill strategy: peak and
+    average shift WTM (``max(WTM_in, WTM_out)`` per test, see
+    DESIGN.md section 11) and the peak capture-cycle toggle count.
+    The ``x-fill`` column tags the strategy (and budget, when one was
+    set) the run was produced with.
+    """
+    table = Table(
+        "Power: shift WTM / capture toggles of final test sets",
+        ["circuit", "x-fill", "set", "tests", "peak WTM",
+         "avg WTM", "peak capt", "avg capt"])
+    for run in runs:
+        report = run.power
+        if report is None:
+            continue
+        tag = report.x_fill
+        if report.budget is not None:
+            tag = f"{tag} (<= {report.budget:g})"
+        for name in ("seqgen", "random", "baseline4"):
+            summary = report.sets.get(name)
+            if summary is None:
+                continue
+            table.add_row(run.name, tag, name, summary.tests,
+                          summary.peak_shift_wtm,
+                          summary.avg_shift_wtm,
+                          summary.peak_capture,
+                          summary.avg_capture)
+    _add_failure_rows(table, failures)
+    return table
+
+
 def all_tables(runs: Sequence[CircuitRun],
                with_transition: bool = False,
                failures: Failures = None) -> List[Table]:
-    """Every paper table (plus the extension when data is present).
+    """Every paper table (plus the extensions when data is present).
 
     ``failures`` annotates circuits whose job produced no run; the
     tables render with the surviving subset either way.
@@ -209,6 +244,8 @@ def all_tables(runs: Sequence[CircuitRun],
               table5(runs, failures=failures)]
     if with_transition or any(run.transition for run in runs):
         tables.append(table_atspeed_coverage(runs, failures=failures))
+    if any(run.power is not None for run in runs):
+        tables.append(table_power(runs, failures=failures))
     return tables
 
 

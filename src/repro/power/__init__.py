@@ -1,0 +1,42 @@
+"""Scan test power analysis and power-constrained compaction.
+
+This package quantifies what a compacted test set *costs* in switching
+activity and lets the compaction pipeline trade cycles against power:
+
+* :mod:`~repro.power.activity` -- a bit-parallel switching-activity
+  engine computing the weighted transition metric (WTM) of every scan
+  shift and the capture-cycle toggle counts of every functional frame,
+  per test and per test set;
+* :mod:`~repro.power.xfill` -- the registry of pluggable don't-care
+  fill strategies (``random``, ``fill0``, ``fill1``, ``adjacent``)
+  implemented by :func:`repro.sim.values.fill_x`;
+* :mod:`~repro.power.constrain` -- power-constrained hooks for the
+  compaction pipeline: a peak-WTM merge filter for Phase 4
+  (:func:`repro.core.combine.static_compact`) and a power tie-break
+  key for Phase 3 (:func:`repro.core.topoff.top_off`).
+
+The core pipeline never imports this package; it exposes generic
+callables (``merge_filter``, ``power_key``) that the API layer fills
+in from here, so the default (no-budget, random-fill) flow stays
+byte-identical to the paper reproduction.
+
+See DESIGN.md section 11 for the WTM definitions and the launch/capture
+accounting conventions.
+"""
+
+from .activity import (ActivityEngine, PowerReport, SetPower,
+                       SetPowerSummary, TestPower)
+from .constrain import topoff_power_key, wtm_budget_filter
+from .xfill import FILL_STRATEGIES, validate_strategy
+
+__all__ = [
+    "ActivityEngine",
+    "TestPower",
+    "SetPower",
+    "SetPowerSummary",
+    "PowerReport",
+    "FILL_STRATEGIES",
+    "validate_strategy",
+    "wtm_budget_filter",
+    "topoff_power_key",
+]

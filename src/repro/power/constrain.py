@@ -1,0 +1,62 @@
+"""Power-constrained hooks for the compaction pipeline.
+
+The core pipeline stays power-agnostic: Phase 4
+(:func:`repro.core.combine.static_compact`) takes a generic
+``merge_filter`` predicate and Phase 3
+(:func:`repro.core.topoff.top_off`) a generic ``power_key``; this
+module builds both from an
+:class:`~repro.power.activity.ActivityEngine`, so the dependency
+points power -> core and never the other way.
+
+Budget semantics: the budget is a cap on a test's *peak shift WTM*
+(``max(WTM_in, WTM_out)``, see :mod:`repro.power.activity`).  Phase 4
+then refuses any merge whose merged test would exceed the cap.
+Because merging never touches the surviving tests, a run whose
+initial tests all fit the budget emits only tests that fit the
+budget; an infinite budget (``None`` -> no filter) reproduces [4]
+byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..core.scan_test import ScanTest, single_vector_test
+from .activity import ActivityEngine
+
+
+def wtm_budget_filter(engine: ActivityEngine,
+                      budget: float) -> Callable[[ScanTest], bool]:
+    """A Phase-4 ``merge_filter``: accept a candidate merged test iff
+    its peak shift WTM is within ``budget``.
+
+    Measuring a candidate runs only the good machine (one packed
+    frame word per vector, cached per test), so a rejection costs no
+    fault simulation.  The predicate is deterministic, as
+    ``static_compact`` requires.
+    """
+    def accept(test: ScanTest) -> bool:
+        return engine.test_power(test).peak_shift_wtm <= budget
+    return accept
+
+
+def topoff_power_key(engine: ActivityEngine,
+                     comb_tests: Sequence) -> Callable[[int], float]:
+    """A Phase-3 ``power_key``: candidate index ``j`` -> peak shift
+    WTM of the single-vector scan test built from ``comb_tests[j]``.
+
+    Lazily evaluated and cached: Phase 3 only ever scores the
+    ``last(f)`` candidates of still-uncovered faults, typically a
+    small fraction of the candidate pool.
+    """
+    cache: Dict[int, float] = {}
+
+    def key(j: int) -> float:
+        cost = cache.get(j)
+        if cost is None:
+            test = comb_tests[j]
+            scan = single_vector_test(test.state, test.pi)
+            cost = float(engine.test_power(scan).peak_shift_wtm)
+            cache[j] = cost
+        return cost
+    return key

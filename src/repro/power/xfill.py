@@ -1,0 +1,51 @@
+"""Registry of don't-care (X) fill strategies.
+
+The actual fills live in :func:`repro.sim.values.fill_x` (the sim
+layer owns vector semantics and every ATPG call site already imports
+it); this module is the power subsystem's front door: the canonical
+strategy list, validation for CLI/harness inputs, and a delegating
+helper.
+
+Strategy semantics (DESIGN.md section 11):
+
+``random``
+    Independent uniform bits per X -- the historical behavior and the
+    default everywhere; with it, the whole pipeline is byte-identical
+    to the plain reproduction.
+``fill0`` / ``fill1``
+    Constant fills.  They minimize transitions *within* the filled
+    runs but can create transitions at run boundaries.
+``adjacent``
+    Each X copies the nearest preceding specified value (repeat-last
+    fill), the classic minimum-transition fill for shift power: a run
+    of X between two specified values contributes at most one
+    transition.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from ..sim import values as V
+
+#: Canonical strategy names, in CLI display order.
+FILL_STRATEGIES = V.FILL_STRATEGIES
+
+
+def validate_strategy(strategy: str) -> str:
+    """Return ``strategy`` unchanged, or raise ``ValueError``."""
+    if strategy not in FILL_STRATEGIES:
+        raise ValueError(f"unknown X-fill strategy {strategy!r}; "
+                         f"use one of {FILL_STRATEGIES}")
+    return strategy
+
+
+def fill(vector: Iterable[int], rng: random.Random,
+         strategy: str = "random") -> V.Vector:
+    """Fill X positions of ``vector`` per ``strategy`` (validated).
+
+    Delegates to :func:`repro.sim.values.fill_x`; see its docstring
+    for the determinism and rng-consumption contract.
+    """
+    return V.fill_x(vector, rng, strategy=validate_strategy(strategy))

@@ -47,6 +47,14 @@ re-simulation, Phase 4 static compaction).  They are bumped by the
 :func:`repro.core.proposed.run` and surfaced in the CLI "Engine
 counters" table and ``CircuitRun`` JSON; checkpoints written before
 these fields existed simply lack the keys and render as dashes.
+
+Power-engine counters
+---------------------
+``power_passes`` counts test-set power measurements (one per
+:meth:`~repro.power.activity.ActivityEngine.set_power` call),
+``power_words`` the packed frame words the activity engine evaluated,
+and ``power_s`` its wall clock (via ``phase_timer("power")``).  Like
+the phase timers, these render as dashes for legacy checkpoints.
 """
 
 from __future__ import annotations
@@ -57,7 +65,7 @@ from dataclasses import dataclass, fields
 from typing import Dict
 
 #: Phases :meth:`SimCounters.phase_timer` accepts.
-PHASE_NAMES = ("phase1", "phase2", "phase3", "phase4")
+PHASE_NAMES = ("phase1", "phase2", "phase3", "phase4", "power")
 
 
 @dataclass
@@ -78,6 +86,9 @@ class SimCounters:
     phase2_s: float = 0.0
     phase3_s: float = 0.0
     phase4_s: float = 0.0
+    power_passes: int = 0
+    power_words: int = 0
+    power_s: float = 0.0
 
     # ------------------------------------------------------------------
     def note_words(self, n_words: int, n_machines: int) -> None:

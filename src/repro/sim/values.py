@@ -20,6 +20,7 @@ word.
 
 from __future__ import annotations
 
+import random
 from typing import Iterable, Sequence, Tuple
 
 ZERO = 0
@@ -113,7 +114,7 @@ def pack_lanes(values: Sequence[int]) -> Tuple[int, int]:
     return zero, one
 
 
-def random_binary_vector(width: int, rng) -> Vector:
+def random_binary_vector(width: int, rng: random.Random) -> Vector:
     """A uniformly random fully-specified vector of length ``width``."""
     return tuple(rng.randint(0, 1) for _ in range(width))
 
@@ -123,7 +124,59 @@ def all_x(width: int) -> Vector:
     return (X,) * width
 
 
-def fill_x(vector: Iterable[int], rng) -> Vector:
-    """Replace every X in ``vector`` with a random binary value."""
-    return tuple(v if v in (ZERO, ONE) else rng.randint(0, 1)
-                 for v in vector)
+#: Don't-care fill strategies accepted by :func:`fill_x`.
+FILL_STRATEGIES = ("random", "fill0", "fill1", "adjacent")
+
+
+def fill_x(vector: Iterable[int], rng: random.Random,
+           strategy: str = "random") -> Vector:
+    """Replace every X in ``vector`` with a binary value.
+
+    Contract (relied on by every ATPG call site and by the power
+    subsystem's pluggable fills):
+
+    * only X positions change -- every specified (0/1) position is
+      returned untouched;
+    * the result is fully binary (:func:`is_binary` holds);
+    * the fill is deterministic given ``rng``'s state: ``"random"``
+      draws exactly one ``rng.randint(0, 1)`` per X position, in
+      vector order, and the other strategies never touch ``rng`` --
+      so two equal-seeded generators produce identical fills and end
+      in identical states.
+
+    Strategies (see DESIGN.md section 11 for power semantics):
+
+    * ``"random"`` -- independent uniform bits (the historical
+      behavior and the default);
+    * ``"fill0"`` / ``"fill1"`` -- every X becomes 0 / 1;
+    * ``"adjacent"`` -- every X copies the nearest *preceding*
+      specified value (minimum-transition fill); a leading X run
+      copies the first specified value, and an all-X vector fills
+      with 0.
+
+    Raises
+    ------
+    ValueError
+        On an unknown ``strategy``.
+    """
+    if strategy == "random":
+        return tuple(v if v in (ZERO, ONE) else rng.randint(0, 1)
+                     for v in vector)
+    values = tuple(vector)
+    if strategy == "fill0":
+        return tuple(v if v in (ZERO, ONE) else ZERO for v in values)
+    if strategy == "fill1":
+        return tuple(v if v in (ZERO, ONE) else ONE for v in values)
+    if strategy == "adjacent":
+        first = next((v for v in values if v in (ZERO, ONE)), ZERO)
+        out = []
+        previous = first
+        for v in values:
+            if v in (ZERO, ONE):
+                previous = v
+                out.append(v)
+            else:
+                out.append(previous)
+        return tuple(out)
+    raise ValueError(f"unknown X-fill strategy {strategy!r}; "
+                     f"use one of {FILL_STRATEGIES}")

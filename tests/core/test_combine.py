@@ -1,6 +1,7 @@
 """Tests for Phase 4 / [4]: static compaction by combining tests."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.combine import static_compact
 from repro.core.scan_test import ScanTestSet, single_vector_test
@@ -94,3 +95,117 @@ class TestStaticCompact:
         result = static_compact(wb.sim, initial)
         assert before <= union_coverage(wb, result.test_set)
         assert result.test_set.clock_cycles() <= initial.clock_cycles()
+
+
+class TestMergeFilter:
+    def test_none_filter_is_byte_identical(self, s27_bench, s27_comb):
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        plain = static_compact(wb.sim, initial)
+        filtered = static_compact(wb.sim, initial, merge_filter=None)
+        assert filtered.test_set.tests == plain.test_set.tests
+        assert filtered.detected == plain.detected
+        assert filtered.stats == plain.stats
+
+    def test_permissive_filter_is_byte_identical(self, s27_bench,
+                                                 s27_comb):
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        plain = static_compact(wb.sim, initial)
+        filtered = static_compact(wb.sim, initial,
+                                  merge_filter=lambda test: True)
+        assert filtered.test_set.tests == plain.test_set.tests
+        assert filtered.stats.combinations_rejected == 0
+
+    def test_always_false_filter_blocks_all_merges(self, s27_bench,
+                                                   s27_comb):
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        result = static_compact(wb.sim, initial,
+                                merge_filter=lambda test: False)
+        assert list(result.test_set.tests) == list(initial.tests)
+        assert result.stats.combinations_accepted == 0
+        # Every merge the unfiltered run accepted was vetoed here.
+        plain = static_compact(wb.sim, initial)
+        assert result.stats.combinations_rejected >= \
+            plain.stats.combinations_accepted > 0
+
+    def test_budget_filter_caps_every_emitted_test(self, s27_bench,
+                                                   s27_comb):
+        from repro.power.activity import ActivityEngine
+        from repro.power.constrain import wtm_budget_filter
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        engine = ActivityEngine(wb.circuit)
+        # Budget = the largest initial per-test peak: every input test
+        # fits, so every emitted test must fit too.
+        budget = max(engine.test_power(t).peak_shift_wtm
+                     for t in initial)
+        result = static_compact(
+            wb.sim, initial,
+            merge_filter=wtm_budget_filter(engine, budget))
+        for test in result.test_set:
+            assert engine.test_power(test).peak_shift_wtm <= budget
+        # Coverage still never drops.
+        assert union_coverage(wb, initial) <= result.detected
+
+    def test_infinite_budget_is_byte_identical(self, s27_bench,
+                                               s27_comb):
+        from repro.power.activity import ActivityEngine
+        from repro.power.constrain import wtm_budget_filter
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        engine = ActivityEngine(wb.circuit)
+        plain = static_compact(wb.sim, initial)
+        capped = static_compact(
+            wb.sim, initial,
+            merge_filter=wtm_budget_filter(engine, float("inf")))
+        assert capped.test_set.tests == plain.test_set.tests
+        assert capped.detected == plain.detected
+
+    def test_rejected_pairs_not_retried(self, s27_bench, s27_comb):
+        """The filter is called at most once per candidate merge: a
+        vetoed pair lands in the failed set and never comes back."""
+        wb = s27_bench
+        initial = initial_set(wb, s27_comb)
+        seen = []
+
+        def veto_all(test):
+            seen.append(test)
+            return False
+
+        static_compact(wb.sim, initial, merge_filter=veto_all)
+        assert len(seen) == len(set(id(t) for t in seen))
+
+
+class TestMergeFilterProperties:
+    """Budget-filter properties over random synthetic circuits."""
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(0, 200))
+    def test_infinite_budget_byte_identical_and_cap_holds(self, seed):
+        from repro import api
+        from repro.atpg import comb_set
+        from repro.circuits import synth
+        from repro.power.activity import ActivityEngine
+        from repro.power.constrain import wtm_budget_filter
+        netlist = synth.generate(f"cmb{seed}", 4, 3, 4, 35, seed=seed)
+        wb = api.Workbench.for_netlist(netlist)
+        comb = comb_set.generate(wb.circuit, wb.faults, seed=1)
+        initial = initial_set(wb, comb)
+        engine = ActivityEngine(wb.circuit)
+        plain = static_compact(wb.sim, initial)
+        infinite = static_compact(
+            wb.sim, initial,
+            merge_filter=wtm_budget_filter(engine, float("inf")))
+        assert infinite.test_set.tests == plain.test_set.tests
+        assert infinite.detected == plain.detected
+        assert infinite.stats == plain.stats
+        budget = max(engine.test_power(t).peak_shift_wtm
+                     for t in initial)
+        capped = static_compact(
+            wb.sim, initial,
+            merge_filter=wtm_budget_filter(engine, budget))
+        assert all(engine.test_power(t).peak_shift_wtm <= budget
+                   for t in capped.test_set)
+        assert union_coverage(wb, initial) <= capped.detected

@@ -71,3 +71,68 @@ class TestValidation:
         text = testio.dumps(program).replace("SHIFT", "SPIN", 1)
         with pytest.raises(testio.TestProgramFormatError, match="line 3"):
             testio.loads(text)
+
+
+def _tests_from_program(program):
+    """Reconstruct the scheduled scan tests from a parsed program.
+
+    Each test is ``n_sv`` shift cycles (scan-in fed last-flip-flop
+    first) followed by its functional cycles; the trailing ``n_sv``
+    shift cycles are the final scan-out only and carry no test.
+    """
+    n_sv = program.n_state_vars
+    cycles = list(program.cycles)
+    tests = []
+    i = 0
+    while i + n_sv < len(cycles):
+        shift = cycles[i:i + n_sv]
+        assert all(c.kind == tester.SHIFT for c in shift)
+        i += n_sv
+        vectors = []
+        while i < len(cycles) and cycles[i].kind == tester.FUNCTIONAL:
+            vectors.append(tuple(cycles[i].pi_vector))
+            i += 1
+        scan_in = tuple(reversed([c.scan_in_bit for c in shift]))
+        tests.append(ScanTest(scan_in, tuple(vectors)))
+    return tests
+
+
+class TestXLadenRoundTrip:
+    """X in scan-in states and PI vectors survives serialization."""
+
+    @pytest.fixture()
+    def x_set(self):
+        return ScanTestSet(3, [
+            ScanTest(V.vec("x1x"), (V.vec("1x00"), V.vec("x011"))),
+            ScanTest(V.vec("0xx"), (V.vec("xx1x"),)),
+            ScanTest(V.vec("111"), (V.vec("10x0"), V.vec("0000"))),
+        ])
+
+    def test_x_bits_survive_the_text_format(self, x_set, s27_bench):
+        program = tester.schedule(x_set, s27_bench.circuit)
+        text = testio.dumps(program)
+        assert "x" in text
+        again = testio.loads(text)
+        assert again.cycles == program.cycles
+
+    def test_detection_sets_identical(self, x_set, s27_bench):
+        """serialize -> parse -> rebuilt tests detect the same faults."""
+        wb = s27_bench
+        program = tester.schedule(x_set, wb.circuit)
+        again = testio.loads(testio.dumps(program))
+        rebuilt = _tests_from_program(again)
+        assert len(rebuilt) == len(x_set)
+        for original, parsed in zip(x_set, rebuilt):
+            assert parsed.scan_in == original.scan_in
+            assert parsed.vectors == original.vectors
+            before = wb.sim.detect(list(original.vectors),
+                                   original.scan_in, early_exit=False)
+            after = wb.sim.detect(list(parsed.vectors),
+                                  parsed.scan_in, early_exit=False)
+            assert before == after
+
+    def test_file_roundtrip_with_x(self, x_set, s27_bench, tmp_path):
+        program = tester.schedule(x_set, s27_bench.circuit)
+        path = tmp_path / "xladen.rtp"
+        testio.dump(program, path)
+        assert testio.load(path).cycles == program.cycles

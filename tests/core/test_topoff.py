@@ -66,3 +66,36 @@ class TestTopOff:
         assert len(result.chosen_indices) == len(set(result.chosen_indices))
         # Each chosen test contributed new coverage when picked.
         assert len(result.tests) <= len(C.tests)
+
+
+class TestPowerKey:
+    def test_none_key_is_byte_identical(self, s27_bench, s27_comb):
+        wb, C = s27_bench, s27_comb
+        undetected = set(range(len(wb.faults)))
+        plain = top_off(wb.comb_sim, C.tests, undetected)
+        keyed = top_off(wb.comb_sim, C.tests, undetected,
+                        power_key=None)
+        assert keyed.chosen_indices == plain.chosen_indices
+        assert keyed.covered == plain.covered
+
+    def test_constant_key_is_byte_identical(self, s27_bench, s27_comb):
+        """A constant power key never changes the min over (n(f),
+        power, f): index order still breaks the ties."""
+        wb, C = s27_bench, s27_comb
+        undetected = set(range(len(wb.faults)))
+        plain = top_off(wb.comb_sim, C.tests, undetected)
+        keyed = top_off(wb.comb_sim, C.tests, undetected,
+                        power_key=lambda j: 0.0)
+        assert keyed.chosen_indices == plain.chosen_indices
+
+    def test_power_key_preserves_coverage(self, s27_bench, s27_comb):
+        from repro.power.activity import ActivityEngine
+        from repro.power.constrain import topoff_power_key
+        wb, C = s27_bench, s27_comb
+        undetected = set(range(len(wb.faults)))
+        plain = top_off(wb.comb_sim, C.tests, undetected)
+        engine = ActivityEngine(wb.circuit)
+        keyed = top_off(wb.comb_sim, C.tests, undetected,
+                        power_key=topoff_power_key(engine, C.tests))
+        assert keyed.covered == plain.covered
+        assert keyed.uncovered == plain.uncovered

@@ -415,3 +415,93 @@ class TestSuiteEntry:
                        _cfg(isolate=False, chaos=lambda s, a: "crash"))
         text = out.failure_summary().render()
         assert "s27" in text and "failed" in text
+
+
+class TestPowerSerialization:
+    """The PowerReport travels through checkpoints and JobSpecs."""
+
+    def test_run_carries_power_report(self, s27_full_run):
+        report = s27_full_run.power
+        assert report is not None
+        assert report.x_fill == "random"
+        assert report.budget is None
+        assert set(report.sets) == {"seqgen", "random", "baseline4"}
+
+    def test_power_roundtrip_through_json(self, s27_full_run):
+        blob = json.dumps(reporting.run_to_dict(s27_full_run))
+        back = reporting.run_from_dict(json.loads(blob))
+        assert back.power is not None
+        assert back.power.x_fill == s27_full_run.power.x_fill
+        assert back.power.budget == s27_full_run.power.budget
+        assert back.power.sets == s27_full_run.power.sets
+        assert tables.table_power([back]).rows == \
+            tables.table_power([s27_full_run]).rows
+
+    def test_legacy_checkpoint_without_power(self, s27_full_run):
+        """Checkpoints written before the power subsystem load with
+        power=None and the power table silently drops them."""
+        data = reporting.run_to_dict(s27_full_run)
+        del data["power"]
+        back = reporting.run_from_dict(data)
+        assert back.power is None
+        assert tables.table_power([back]).rows == []
+        titles = [t.title for t in tables.all_tables([back])]
+        assert not any("Power" in t for t in titles)
+
+    def test_legacy_counters_render_power_dashes(self, s27_full_run):
+        data = reporting.run_to_dict(s27_full_run)
+        for key in ("power_passes", "power_words", "power_s"):
+            del data["counters"][key]
+        back = reporting.run_from_dict(data)
+        text = reporting.engine_counters_table([back]).render()
+        assert "pw_words" in text and "pw_s" in text
+        assert "-" in text
+
+    def test_jobspec_defaults_from_legacy_dict(self):
+        """A spec dict from before the power fields still loads with
+        the paper-reproducing defaults."""
+        from dataclasses import asdict
+        legacy = asdict(_spec())
+        del legacy["x_fill"]
+        del legacy["power_budget"]
+        spec = JobSpec(**legacy)
+        assert spec.x_fill == "random"
+        assert spec.power_budget is None
+
+    def test_checkpoint_usable_power_knobs(self, s27_full_run):
+        from repro.experiments.harness import _checkpoint_usable
+        base = _spec(arms=("seqgen", "random"), with_baselines=True,
+                     with_transition=True)
+        assert _checkpoint_usable(s27_full_run, base)
+        # Non-default knobs reject a default checkpoint ...
+        assert not _checkpoint_usable(
+            s27_full_run, _spec(arms=("random",), x_fill="adjacent"))
+        assert not _checkpoint_usable(
+            s27_full_run, _spec(arms=("random",), power_budget=9.0))
+        # ... and a pre-power checkpoint (power=None) too.
+        data = reporting.run_to_dict(s27_full_run)
+        del data["power"]
+        old = reporting.run_from_dict(data)
+        assert _checkpoint_usable(old, base)
+        assert not _checkpoint_usable(
+            old, _spec(arms=("random",), x_fill="adjacent"))
+        # A default spec must not reuse a non-default checkpoint.
+        data = reporting.run_to_dict(s27_full_run)
+        data["power"]["x_fill"] = "adjacent"
+        assert not _checkpoint_usable(reporting.run_from_dict(data),
+                                      base)
+        data["power"]["x_fill"] = "random"
+        data["power"]["budget"] = 9.0
+        assert not _checkpoint_usable(reporting.run_from_dict(data),
+                                      base)
+
+    def test_power_knobs_travel_through_jobspec(self):
+        """x_fill/power_budget cross the spawn boundary and land in
+        the produced run's PowerReport."""
+        spec = _spec(x_fill="fill1", power_budget=100.0)
+        outcome = run_jobs([spec], config=_cfg(isolate=True))
+        assert outcome.ok
+        report = outcome.runs[0].power
+        assert report is not None
+        assert report.x_fill == "fill1"
+        assert report.budget == 100.0

@@ -1,0 +1,38 @@
+"""Tests for power-constrained compaction hooks."""
+
+from repro.core.scan_test import single_vector_test
+from repro.power.activity import ActivityEngine
+from repro.power.constrain import topoff_power_key, wtm_budget_filter
+
+
+class TestBudgetFilter:
+    def test_thresholds(self, s27_bench, s27_comb):
+        engine = ActivityEngine(s27_bench.circuit)
+        test = single_vector_test(s27_comb.tests[0].state,
+                                  s27_comb.tests[0].pi)
+        peak = engine.test_power(test).peak_shift_wtm
+        assert wtm_budget_filter(engine, peak)(test)
+        assert wtm_budget_filter(engine, peak + 1)(test)
+        if peak > 0:
+            assert not wtm_budget_filter(engine, peak - 1)(test)
+
+    def test_infinite_budget_accepts_everything(self, s27_bench,
+                                                s27_comb):
+        engine = ActivityEngine(s27_bench.circuit)
+        accept = wtm_budget_filter(engine, float("inf"))
+        for comb in s27_comb.tests:
+            assert accept(single_vector_test(comb.state, comb.pi))
+
+
+class TestTopoffPowerKey:
+    def test_scores_match_engine(self, s27_bench, s27_comb):
+        engine = ActivityEngine(s27_bench.circuit)
+        key = topoff_power_key(engine, s27_comb.tests)
+        for j, comb in enumerate(s27_comb.tests):
+            test = single_vector_test(comb.state, comb.pi)
+            assert key(j) == engine.test_power(test).peak_shift_wtm
+
+    def test_lazy_and_stable(self, s27_bench, s27_comb):
+        engine = ActivityEngine(s27_bench.circuit)
+        key = topoff_power_key(engine, s27_comb.tests)
+        assert key(0) == key(0)

@@ -1,0 +1,66 @@
+"""Default-path equivalence: the power subsystem must be invisible.
+
+The acceptance contract for the power work: with ``x_fill="random"``
+(the default) and no budget, every run is byte-identical to the
+pre-power pipeline -- detection sets, ``N_cyc``, the chosen scan-in
+indices and the final test vectors.  Explicitly passing the default
+knobs must therefore reproduce a default-parameter run exactly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import api
+from repro.circuits import synth
+
+
+def _fingerprint(result):
+    final = result.compacted_set or result.test_set
+    return (frozenset(result.final_detected),
+            frozenset(result.seq_detected),
+            final.clock_cycles(),
+            tuple(i.scan_in_index for i in result.iterations),
+            tuple(final.tests))
+
+
+class TestDefaultEquivalence:
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(0, 50))
+    def test_random_arm_over_random_circuits(self, seed):
+        netlist = synth.generate(f"eq{seed}", 4, 3, 4, 35, seed=seed)
+        default = api.compact_tests(netlist, seed=1,
+                                    t0_source="random", t0_length=60)
+        explicit = api.compact_tests(netlist, seed=1,
+                                     t0_source="random", t0_length=60,
+                                     x_fill="random",
+                                     power_budget=None)
+        assert _fingerprint(explicit) == _fingerprint(default)
+
+    def test_seqgen_arm(self, s27):
+        """The seqgen ``T0`` arm threads x_fill through tfx; explicit
+        random must still match the default path exactly."""
+        default = api.compact_tests(s27, seed=1, t0_source="seqgen",
+                                    t0_length=120)
+        explicit = api.compact_tests(s27, seed=1, t0_source="seqgen",
+                                     t0_length=120, x_fill="random")
+        assert _fingerprint(explicit) == _fingerprint(default)
+
+    def test_baseline_static(self, small_synth):
+        default = api.baseline_static(small_synth, seed=1)
+        explicit = api.baseline_static(small_synth, seed=1,
+                                       x_fill="random",
+                                       power_budget=None)
+        assert list(explicit.test_set.tests) == \
+            list(default.test_set.tests)
+        assert explicit.detected == default.detected
+        assert explicit.stats == default.stats
+
+    def test_nondefault_fill_still_covers(self, small_synth):
+        """Any strategy keeps the detection guarantee (X-fill only
+        ever adds detections) even when outputs differ."""
+        default = api.compact_tests(small_synth, seed=1,
+                                    t0_source="random", t0_length=60)
+        for strategy in ("fill0", "fill1", "adjacent"):
+            other = api.compact_tests(small_synth, seed=1,
+                                      t0_source="random",
+                                      t0_length=60, x_fill=strategy)
+            assert other.final_detected >= default.final_detected

@@ -1,0 +1,31 @@
+"""Tests for the pluggable X-fill facade."""
+
+import random
+
+import pytest
+
+from repro.power import xfill
+from repro.sim import values as V
+
+
+class TestFacade:
+    def test_registry_mirrors_values(self):
+        assert xfill.FILL_STRATEGIES == V.FILL_STRATEGIES
+
+    def test_validate_accepts_known(self):
+        for strategy in xfill.FILL_STRATEGIES:
+            xfill.validate_strategy(strategy)
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ValueError, match="bogus"):
+            xfill.validate_strategy("bogus")
+
+    def test_fill_delegates_to_values(self):
+        vec = V.vec("x1x0xx")
+        for strategy in xfill.FILL_STRATEGIES:
+            assert xfill.fill(vec, random.Random(3), strategy) == \
+                V.fill_x(vec, random.Random(3), strategy=strategy)
+
+    def test_fill_validates_first(self):
+        with pytest.raises(ValueError):
+            xfill.fill(V.vec("x"), random.Random(0), "nope")

@@ -85,3 +85,90 @@ class TestVectors:
     def test_fill_x_always_binary(self, vec):
         rng = random.Random(2)
         assert V.is_binary(V.fill_x(tuple(vec), rng))
+
+
+class TestFillStrategies:
+    """The :func:`V.fill_x` contract, per strategy."""
+
+    vectors = st.lists(st.sampled_from([V.ZERO, V.ONE, V.X]),
+                       max_size=30).map(tuple)
+
+    @given(vectors, st.sampled_from(V.FILL_STRATEGIES),
+           st.integers(0, 1000))
+    def test_fills_only_x_positions(self, vec, strategy, seed):
+        filled = V.fill_x(vec, random.Random(seed), strategy=strategy)
+        assert len(filled) == len(vec)
+        assert V.is_binary(filled)
+        for before, after in zip(vec, filled):
+            if before in (V.ZERO, V.ONE):
+                assert after == before
+
+    @given(vectors, st.sampled_from(V.FILL_STRATEGIES),
+           st.integers(0, 1000))
+    def test_deterministic_under_seeded_rng(self, vec, strategy, seed):
+        first = V.fill_x(vec, random.Random(seed), strategy=strategy)
+        second = V.fill_x(vec, random.Random(seed), strategy=strategy)
+        assert first == second
+
+    @given(vectors, st.integers(0, 1000))
+    def test_random_consumes_one_draw_per_x(self, vec, seed):
+        """The random strategy's rng consumption is exactly one
+        ``randint(0, 1)`` per X, in vector order -- the invariant
+        that keeps historical runs byte-identical."""
+        filled = V.fill_x(vec, random.Random(seed), strategy="random")
+        rng = random.Random(seed)
+        expected = tuple(v if v in (V.ZERO, V.ONE)
+                         else rng.randint(0, 1) for v in vec)
+        assert filled == expected
+
+    @given(vectors, st.sampled_from(("fill0", "fill1", "adjacent")),
+           st.integers(0, 1000))
+    def test_deterministic_strategies_never_touch_rng(self, vec,
+                                                      strategy, seed):
+        rng = random.Random(seed)
+        state = rng.getstate()
+        V.fill_x(vec, rng, strategy=strategy)
+        assert rng.getstate() == state
+
+    def test_fill0_fill1(self):
+        vec = V.vec("x1x0xx")
+        rng = random.Random(0)
+        assert V.vec_str(V.fill_x(vec, rng, strategy="fill0")) == \
+            "010000"
+        assert V.vec_str(V.fill_x(vec, rng, strategy="fill1")) == \
+            "111011"
+
+    def test_adjacent_copies_preceding_value(self):
+        rng = random.Random(0)
+        assert V.vec_str(V.fill_x(V.vec("x1x0xx"), rng,
+                                  strategy="adjacent")) == "111000"
+
+    def test_adjacent_leading_run_copies_first_specified(self):
+        rng = random.Random(0)
+        assert V.vec_str(V.fill_x(V.vec("xx1x"), rng,
+                                  strategy="adjacent")) == "1111"
+
+    def test_adjacent_all_x_fills_zero(self):
+        rng = random.Random(0)
+        assert V.vec_str(V.fill_x(V.vec("xxx"), rng,
+                                  strategy="adjacent")) == "000"
+
+    @given(vectors)
+    def test_adjacent_never_adds_transitions(self, vec):
+        """Adjacent fill yields the minimum-transition completion: no
+        0->1/1->0 boundary exists that was not already forced by two
+        specified bits."""
+        filled = V.fill_x(vec, random.Random(0), strategy="adjacent")
+        specified = [v for v in vec if v in (V.ZERO, V.ONE)]
+        forced = sum(1 for a, b in zip(specified, specified[1:])
+                     if a != b)
+        actual = sum(1 for a, b in zip(filled, filled[1:]) if a != b)
+        assert actual == forced
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown X-fill"):
+            V.fill_x(V.vec("x"), random.Random(0), strategy="bogus")
+
+    def test_strategy_registry(self):
+        assert V.FILL_STRATEGIES == ("random", "fill0", "fill1",
+                                     "adjacent")

@@ -224,3 +224,37 @@ class TestLintCommand:
         assert main(["circuit", "s27", "--sanitize"]) == 0
         assert os.environ["REPRO_SANITIZE"] == "1"
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestPowerCommand:
+    def test_power_sweep_s27(self, capsys):
+        assert main(["power", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "X-fill power sweep: s27" in out
+        for strategy in ("random", "fill0", "fill1", "adjacent"):
+            assert strategy in out
+        # The random row is its own baseline.
+        assert "yes" in out
+
+    def test_power_unknown_circuit(self, capsys):
+        assert main(["power", "nope"]) == 2
+        assert "unknown circuit" in capsys.readouterr().err
+
+    def test_power_rejects_bad_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["circuit", "s27",
+                                       "--x-fill", "bogus"])
+
+    def test_circuit_power_flags(self, capsys):
+        assert main(["circuit", "s27", "--x-fill", "adjacent",
+                     "--power-budget", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Power: shift WTM" in out
+        assert "adjacent (<= 50)" in out
+        assert "pw_words" in out
+
+    def test_circuit_default_prints_power_table(self, capsys):
+        assert main(["circuit", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "Power: shift WTM" in out
+        assert "baseline4" in out
