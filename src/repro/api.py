@@ -10,7 +10,7 @@ in one call.  Power users compose the pieces from :mod:`repro.core`,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from .analysis.diagnostics import Diagnostic
 from .atpg import comb_set as comb_set_mod
@@ -20,7 +20,8 @@ from .circuits.netlist import Netlist
 from .core.combine import CombineResult, static_compact
 from .core.dynamic import DynamicResult, dynamic_compact
 from .core.phase1 import DEFAULT_CANDIDATE_SCAN
-from .core.proposed import ProposedResult, run as run_proposed
+from .core.proposed import (PhaseObserver, ProposedResult,
+                            run as run_proposed)
 from .core.scan_test import ScanTestSet, single_vector_test
 from .sim import values as V
 from .sim.comb_sim import CombPatternSim
@@ -117,6 +118,8 @@ def compact_tests(
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
     x_fill: str = "random",
     power_budget: Optional[float] = None,
+    observer: Optional[PhaseObserver] = None,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> ProposedResult:
     """Run the paper's proposed procedure on a circuit.
 
@@ -152,6 +155,11 @@ def compact_tests(
         merges over the budget and Phase 3 breaks ties toward
         lower-power tests (see :mod:`repro.power.constrain`); fault
         coverage is never sacrificed.
+    observer, resume:
+        Phase-boundary hooks and salvaged resume state, forwarded to
+        :func:`repro.core.proposed.run`.  When ``resume`` names a
+        completed Phase 2 (or later), ``T0`` generation is skipped
+        entirely -- the salvaged state already embodies it.
 
     Raises
     ------
@@ -159,12 +167,15 @@ def compact_tests(
         On an unknown ``t0_source`` or X-fill strategy.
     """
     wb = workbench or Workbench.for_netlist(netlist)
+    resume_phase = int(resume["phase"]) if resume else 0
     if comb_tests is None:
         comb_tests = generate_comb_set(netlist, seed=seed,
                                        workbench=wb,
                                        x_fill=x_fill).tests
     if t0 is None:
-        if t0_source == "seqgen":
+        if resume_phase >= 2:
+            t0 = ()
+        elif t0_source == "seqgen":
             hints = [t.pi for t in comb_tests]
             t0 = seqgen.generate_sequence(
                 wb.circuit, wb.faults, max_length=t0_length, seed=seed,
@@ -188,7 +199,8 @@ def compact_tests(
                         run_phase4=run_phase4,
                         candidate_scan=candidate_scan,
                         merge_filter=merge_filter,
-                        topoff_power_key=power_key)
+                        topoff_power_key=power_key,
+                        observer=observer, resume=resume)
 
 
 def baseline_static(

@@ -7,6 +7,7 @@ Subcommands::
     repro-compact tables [--full] [--transition] [--json OUT]
     repro-compact power s298 [--seed N]        # X-fill power sweep
     repro-compact lint [targets ...]           # static netlist analysis
+    repro-compact doctor DIR [--strict]        # verify/repair a run dir
     repro-compact bench-info                   # how to run the benches
 
 ``lint`` runs the static analyzer (:mod:`repro.analysis`) over suite
@@ -36,12 +37,22 @@ prints the comparative power table.
 ``circuit`` and ``tables`` run through the resilient harness
 (:mod:`repro.experiments.harness`): each circuit job runs in an
 isolated worker subprocess, ``--timeout`` bounds a job's wall clock,
+``--stall-timeout`` kills a worker whose heartbeat goes quiet,
 ``--retries`` re-runs failures with backoff, ``--jobs`` runs workers in
 parallel, and ``--run-dir``/``--resume`` checkpoint completed circuits
 so an interrupted campaign picks up where it left off.  When jobs
 ultimately fail, the tables still render for the surviving circuits
-(failed rows are annotated), a job-summary table is printed, and the
-exit code is 1.
+(failed rows are annotated; jobs that left phase-boundary salvage
+behind render as ``PARTIAL(phase k/4)`` with the coverage columns the
+salvage can answer), a job-summary table is printed, and the exit code
+is 1.
+
+``doctor`` verifies a ``--run-dir``: every CRC-enveloped line of
+``runs.jsonl``/``journal.jsonl`` is checked, corrupt lines are moved
+to ``quarantine/`` and the files repaired in place, salvage files are
+verified the same way, and salvage orphaned by a completed checkpoint
+is removed.  ``--strict`` exits non-zero when anything was quarantined
+(the CI posture); ``--json`` prints the report machine-readably.
 """
 
 from __future__ import annotations
@@ -91,7 +102,9 @@ def _parse_width(text: str):
 
 
 def _harness_config(args: argparse.Namespace) -> HarnessConfig:
-    return HarnessConfig(timeout=args.timeout, retries=args.retries,
+    return HarnessConfig(timeout=args.timeout,
+                         stall_timeout=args.stall_timeout,
+                         retries=args.retries,
                          jobs=args.jobs, run_dir=args.run_dir,
                          resume=args.resume)
 
@@ -132,10 +145,11 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
                                   config=_harness_config(args))
     print(render_all(all_tables(outcome.runs,
                                 with_transition=args.transition,
-                                failures=outcome.failures)))
+                                failures=outcome.failures,
+                                partials=outcome.partials)))
     print()
-    print(paper_comparison(outcome.runs,
-                           failures=outcome.failures).render())
+    print(paper_comparison(outcome.runs, failures=outcome.failures,
+                           partials=outcome.partials).render())
     print()
     print(engine_counters_table(outcome.runs).render())
     return _finish_outcome(outcome)
@@ -157,9 +171,11 @@ def _cmd_tables(args: argparse.Namespace) -> int:
                                   config=_harness_config(args),
                                   verbose=True)
     tables = all_tables(outcome.runs, with_transition=args.transition,
-                        failures=outcome.failures)
+                        failures=outcome.failures,
+                        partials=outcome.partials)
     tables.append(paper_comparison(outcome.runs,
-                                   failures=outcome.failures))
+                                   failures=outcome.failures,
+                                   partials=outcome.partials))
     tables.append(engine_counters_table(outcome.runs))
     print(render_all(tables))
     if args.json:
@@ -363,6 +379,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from .experiments.salvage import doctor
+    run_dir = Path(args.run_dir)
+    if not run_dir.is_dir():
+        print(f"error: no such run dir {args.run_dir!r}", file=sys.stderr)
+        return 2
+    report = doctor(run_dir)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    if args.strict and not report.clean:
+        print(f"{report.n_quarantined} corrupt record(s) quarantined",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench_info(_args: argparse.Namespace) -> int:
     print("Benchmarks live under benchmarks/ -- run them with:\n"
           "  pytest benchmarks/ --benchmark-only\n"
@@ -417,6 +451,10 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--timeout", type=float, default=None,
                        metavar="SECONDS",
                        help="per-job wall-clock limit (default: none)")
+    group.add_argument("--stall-timeout", type=float, default=None,
+                       dest="stall_timeout", metavar="SECONDS",
+                       help="kill a worker whose heartbeat goes quiet "
+                            "for this long (default: none)")
     group.add_argument("--retries", type=int, default=0,
                        help="extra attempts per failed job (default: 0)")
     group.add_argument("--jobs", type=int, default=1,
@@ -506,6 +544,18 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="CIRCUIT:RULE",
                         help="waive RULE on CIRCUIT for the exit code")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_doctor = sub.add_parser(
+        "doctor", help="verify and repair a --run-dir (quarantine "
+                       "corrupt records, drop orphaned salvage)")
+    p_doctor.add_argument("run_dir", metavar="DIR",
+                          help="the campaign's --run-dir")
+    p_doctor.add_argument("--strict", action="store_true",
+                          help="exit non-zero when anything was "
+                               "quarantined")
+    p_doctor.add_argument("--json", action="store_true",
+                          help="print the report as JSON")
+    p_doctor.set_defaults(func=_cmd_doctor)
 
     p_bench = sub.add_parser("bench-info", help="benchmark pointers")
     p_bench.set_defaults(func=_cmd_bench_info)

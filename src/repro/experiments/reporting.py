@@ -233,6 +233,7 @@ def run_to_dict(run: "CircuitRun") -> Dict[str, Any]:
         "diagnostics": [dict(d) for d in run.diagnostics],
         "power": (run.power.as_dict()
                   if run.power is not None else None),
+        "knobs": dict(run.knobs),
     }
 
 
@@ -275,6 +276,7 @@ def run_from_dict(data: Dict[str, Any]) -> "CircuitRun":
         diagnostics=[dict(d) for d in data.get("diagnostics", [])],
         power=(PowerReport.from_dict(data["power"])
                if data.get("power") is not None else None),
+        knobs=dict(data.get("knobs", {})),
     )
 
 

@@ -64,6 +64,12 @@ class CircuitRun:
     #: restored from pre-power checkpoints); see
     #: :class:`repro.power.activity.PowerReport`.
     power: Optional[PowerReport] = None
+    #: The result-shaping knobs this run was produced under (engine,
+    #: width, candidate_scan, x_fill, power_budget).  The harness
+    #: compares these against a resumed job's spec so a checkpoint
+    #: written under different knobs is recomputed, not reused.
+    #: Empty for runs restored from pre-knob checkpoints.
+    knobs: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -91,6 +97,7 @@ def run_circuit(
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
     x_fill: str = "random",
     power_budget: Optional[float] = None,
+    hooks: Optional[Any] = None,
 ) -> CircuitRun:
     """Run every experiment on one circuit.
 
@@ -118,6 +125,12 @@ def run_circuit(
         :func:`repro.api.baseline_static`.  The power of every final
         test set is measured regardless (it is cheap) and recorded in
         :attr:`CircuitRun.power`.
+    hooks:
+        Optional :class:`repro.experiments.supervision.WorkerHooks`:
+        heartbeat updates, phase-boundary salvage flushes, and -- on a
+        retry -- salvaged state to resume each arm from (a completed
+        arm is reused outright; a mid-pipeline arm resumes past its
+        completed phases).
     """
     started = time.time()
     netlist = profile.build()
@@ -125,24 +138,46 @@ def run_circuit(
                                    lint=True)
     comb = comb_set_mod.generate(wb.circuit, wb.faults, seed=seed,
                                  x_fill=x_fill)
+    if hooks is not None:
+        hooks.bind_counters(wb.counters, len(wb.faults))
+        hooks.job_meta({
+            "n_ffs": netlist.num_ffs,
+            "n_gates": netlist.num_gates,
+            "n_faults": len(wb.faults),
+            "n_detectable": len(comb.detectable),
+            "comb_tests": len(comb.tests),
+        })
 
     arm_results: Dict[str, ArmResult] = {}
     for source in arms:
         t0_started = time.time()
+        if hooks is not None:
+            salvaged = hooks.completed_arm(source)
+            if salvaged is not None:
+                arm_results[source] = salvaged
+                continue
         if source == "seqgen":
             length = profile.seq_budget
         elif source == "random":
             length = profile.t0_length
         else:
             raise ValueError(f"unknown arm {source!r}")
+        observer = resume = None
+        if hooks is not None:
+            observer = hooks.arm_observer(source)
+            resume = hooks.arm_resume(source)
         result = api.compact_tests(
             netlist, seed=seed, t0_source=source, t0_length=length,
             comb_tests=comb.tests, workbench=wb,
             candidate_scan=candidate_scan,
-            x_fill=x_fill, power_budget=power_budget)
-        arm_results[source] = ArmResult(
+            x_fill=x_fill, power_budget=power_budget,
+            observer=observer, resume=resume)
+        arm_result = ArmResult(
             t0_source=source, t0_length=length, result=result,
             seconds=time.time() - t0_started)
+        arm_results[source] = arm_result
+        if hooks is not None:
+            hooks.arm_completed(source, arm_result)
 
     baseline4 = None
     dynamic = None
@@ -189,6 +224,13 @@ def run_circuit(
         counters=wb.counters.as_dict(),
         diagnostics=[d.to_dict() for d in wb.diagnostics],
         power=power,
+        knobs={
+            "engine": engine,
+            "width": width,
+            "candidate_scan": candidate_scan,
+            "x_fill": x_fill,
+            "power_budget": power_budget,
+        },
     )
 
 
@@ -203,6 +245,7 @@ def run_circuit_by_name(
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
     x_fill: str = "random",
     power_budget: Optional[float] = None,
+    hooks: Optional[Any] = None,
 ) -> CircuitRun:
     """:func:`run_circuit` on a suite circuit looked up by name.
 
@@ -221,7 +264,8 @@ def run_circuit_by_name(
                        with_transition=with_transition,
                        engine=engine, width=width,
                        candidate_scan=candidate_scan,
-                       x_fill=x_fill, power_budget=power_budget)
+                       x_fill=x_fill, power_budget=power_budget,
+                       hooks=hooks)
 
 
 def resolve_profiles(

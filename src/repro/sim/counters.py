@@ -144,6 +144,21 @@ class SimCounters:
             f.name: getattr(self, f.name) - getattr(since, f.name)
             for f in fields(self)})
 
+    def brief(self) -> Dict[str, float]:
+        """Compact progress snapshot for heartbeat messages.
+
+        Heartbeats fire every second or so over the worker pipe; the
+        full :meth:`as_dict` dump would be mostly noise there, so this
+        carries only the counters a supervisor (or a human watching the
+        job summary) can read progress from.
+        """
+        return {
+            "frames": self.frames,
+            "words": self.words,
+            "faults_dropped": self.faults_dropped,
+            "detect_passes": self.detect_passes,
+        }
+
     # ------------------------------------------------------------------
     def as_dict(self) -> Dict[str, float]:
         """JSON-ready view, including the derived packing density.

@@ -78,6 +78,27 @@ class FaultScoreboard:
             self.counters.faults_dropped += len(fresh)
         return len(fresh)
 
+    def restore(self, fault_ids: Iterable[int]) -> None:
+        """Reinstate a persisted ledger (phase-boundary salvage).
+
+        Unlike :meth:`retire` this performs no counter accounting --
+        the dropped-fault credit was earned (and counted) by the
+        original attempt, and the resuming attempt never simulated
+        these faults at all.  A disabled scoreboard restores nothing,
+        mirroring :meth:`retire`.
+        """
+        if not self.enabled:
+            return
+        fresh = set(fault_ids)
+        for fid in fresh:
+            if not 0 <= fid < self.n_faults:
+                raise ValueError(f"fault index {fid} out of range")
+        self._retired |= fresh
+
+    def retired_snapshot(self) -> Set[int]:
+        """An independent copy of the full ledger, for serialization."""
+        return set(self._retired)
+
     # ------------------------------------------------------------------
     def is_retired(self, fault_id: int) -> bool:
         return fault_id in self._retired

@@ -487,6 +487,16 @@ class TestPowerSerialization:
             old, _spec(arms=("random",), x_fill="adjacent"))
         # A default spec must not reuse a non-default checkpoint.
         data = reporting.run_to_dict(s27_full_run)
+        data["knobs"]["x_fill"] = "adjacent"
+        assert not _checkpoint_usable(reporting.run_from_dict(data),
+                                      base)
+        data["knobs"]["x_fill"] = "random"
+        data["knobs"]["power_budget"] = 9.0
+        assert not _checkpoint_usable(reporting.run_from_dict(data),
+                                      base)
+        # Pre-knob checkpoints fall back to the PowerReport fields.
+        data = reporting.run_to_dict(s27_full_run)
+        del data["knobs"]
         data["power"]["x_fill"] = "adjacent"
         assert not _checkpoint_usable(reporting.run_from_dict(data),
                                       base)
@@ -494,6 +504,31 @@ class TestPowerSerialization:
         data["power"]["budget"] = 9.0
         assert not _checkpoint_usable(reporting.run_from_dict(data),
                                       base)
+
+    def test_checkpoint_usable_rejects_every_knob(self, s27_full_run):
+        """Every JobSpec result-shaping knob participates in the
+        checkpoint compatibility check, including on legacy spec
+        dicts rebuilt without the newer fields."""
+        from dataclasses import asdict
+        from repro.experiments.harness import (CHECKPOINT_KNOBS,
+                                               _checkpoint_usable)
+        base = _spec(arms=("seqgen", "random"), with_baselines=True,
+                     with_transition=True)
+        different = {"engine": "interp", "width": 4,
+                     "candidate_scan": "scalar", "x_fill": "adjacent",
+                     "power_budget": 9.0}
+        assert set(different) == set(CHECKPOINT_KNOBS)
+        for name, value in different.items():
+            spec = _spec(arms=("seqgen", "random"), with_baselines=True,
+                         with_transition=True, **{name: value})
+            assert not _checkpoint_usable(s27_full_run, spec), name
+        # A legacy spec dict (pre-knob fields stripped) resolves to the
+        # defaults and must still accept the matching checkpoint.
+        legacy = asdict(base)
+        for name in ("engine", "width", "candidate_scan", "x_fill",
+                     "power_budget"):
+            legacy.pop(name, None)
+        assert _checkpoint_usable(s27_full_run, JobSpec(**legacy))
 
     def test_power_knobs_travel_through_jobspec(self):
         """x_fill/power_budget cross the spawn boundary and land in

@@ -103,7 +103,8 @@ class TestParser:
                      "--run-dir", str(run_dir), "--resume"]) == 0
         assert "resumed from checkpoint" in capsys.readouterr().out
         journal = (run_dir / "journal.jsonl").read_text().splitlines()
-        statuses = [json.loads(line)["status"] for line in journal]
+        statuses = [json.loads(line)["data"]["status"]
+                    for line in journal]
         assert statuses == ["ok", "skipped-resume"]
 
     def test_failed_job_exits_nonzero(self, capsys, monkeypatch):
@@ -129,6 +130,13 @@ class TestParser:
     def test_bench_info(self, capsys):
         assert main(["bench-info"]) == 0
         assert "pytest" in capsys.readouterr().out
+
+    def test_stall_timeout_flag(self):
+        args = build_parser().parse_args(["circuit", "s27"])
+        assert args.stall_timeout is None
+        args = build_parser().parse_args(
+            ["tables", "--stall-timeout", "30"])
+        assert args.stall_timeout == 30.0
 
     def test_partial_command(self, capsys):
         assert main(["partial", "s27"]) == 0
@@ -224,6 +232,62 @@ class TestLintCommand:
         assert main(["circuit", "s27", "--sanitize"]) == 0
         assert os.environ["REPRO_SANITIZE"] == "1"
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestDoctorCommand:
+    def _campaign(self, run_dir, monkeypatch):
+        """A cheap one-circuit campaign into ``run_dir`` (inline --
+        subprocess spawns are wasted on a CLI test)."""
+        from repro.experiments import harness
+        original = harness.HarnessConfig
+
+        def patched(*args, **kwargs):
+            config = original(*args, **kwargs)
+            config.isolate = False
+            return config
+
+        monkeypatch.setattr("repro.cli.HarnessConfig", patched)
+        assert main(["circuit", "s27", "--run-dir", str(run_dir)]) == 0
+
+    def test_clean_run_dir(self, capsys, tmp_path, monkeypatch):
+        self._campaign(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["doctor", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "runs.jsonl: 1 record(s)" in out
+        assert "verdict: clean" in out
+
+    def test_strict_fails_on_corruption(self, capsys, tmp_path,
+                                        monkeypatch):
+        self._campaign(tmp_path, monkeypatch)
+        runs_path = tmp_path / "runs.jsonl"
+        line = runs_path.read_text().splitlines()[0]
+        runs_path.write_text(
+            line.replace('"seed":1', '"seed":7', 1) + "\n")
+        capsys.readouterr()
+        # Non-strict repairs and reports, exit 0 ...
+        assert main(["doctor", str(tmp_path)]) == 0
+        assert "quarantined" in capsys.readouterr().out
+        # ... the repair already moved the rot aside, so a second
+        # strict pass is clean; corrupt it again for the strict run.
+        runs_path.write_text(
+            line.replace('"seed":1', '"seed":7', 1) + "\n")
+        assert main(["doctor", str(tmp_path), "--strict"]) == 1
+        captured = capsys.readouterr()
+        assert "corrupt record(s) quarantined" in captured.err
+
+    def test_json_output(self, capsys, tmp_path, monkeypatch):
+        self._campaign(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["doctor", str(tmp_path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["clean"] is True
+        assert {f["name"] for f in data["files"]} == \
+            {"runs.jsonl", "journal.jsonl"}
+
+    def test_missing_dir(self, capsys, tmp_path):
+        assert main(["doctor", str(tmp_path / "nope")]) == 2
+        assert "no such run dir" in capsys.readouterr().err
 
 
 class TestPowerCommand:
