@@ -9,7 +9,8 @@ Engine knobs (mirroring the CLI's ``--engine/--width/--candidate-scan``)
 apply to the shared suite run, so every table bench can be timed under
 any backend combination:
 
-* ``--repro-engine {codegen,interp}`` / ``REPRO_BENCH_ENGINE``
+* ``--repro-engine {codegen,interp,numpy,auto}`` /
+  ``REPRO_BENCH_ENGINE``
 * ``--repro-width {N,auto}`` / ``REPRO_BENCH_WIDTH``
 * ``--repro-candidate-scan {scalar,lanes}`` /
   ``REPRO_BENCH_CANDIDATE_SCAN``
@@ -32,7 +33,8 @@ from repro.experiments import run_suite
 def pytest_addoption(parser):
     parser.addoption("--repro-full", action="store_true", default=False,
                      help="run the full circuit suite in benches")
-    parser.addoption("--repro-engine", choices=("codegen", "interp"),
+    parser.addoption("--repro-engine",
+                     choices=("codegen", "interp", "numpy", "auto"),
                      default=None,
                      help="evaluation backend for the suite run")
     parser.addoption("--repro-width", default=None, metavar="{N,auto}",

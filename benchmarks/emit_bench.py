@@ -7,7 +7,16 @@ Default mode runs the paper's full proposed procedure
   word (many chunks per pass) and a *disabled* scoreboard, so no
   cross-phase fault dropping;
 * **after** -- the wide-word configuration: ``width="auto"`` (every
-  target fused into one word) with cross-phase dropping on.
+  target fused into one word) with cross-phase dropping on;
+* **numpy** -- the same fused configuration executed by the uint64
+  array backend (``engine="numpy"``, C pass kernel when a compiler is
+  present).  The arm is skipped -- recorded as ``null`` with a visible
+  notice -- when numpy is not installed.
+
+``--engine-matrix`` times one whole-fault-set ``detect`` pass per
+engine (interp, codegen, numpy) on the same circuit, best of several
+repeats, asserting identical detected sets, and emits
+``BENCH_engine_matrix.json``.
 
 ``--phase1`` instead benchmarks the Phase-1 candidate scan: the scalar
 per-candidate :meth:`~repro.sim.fault_sim.FaultSimulator.detect` loop
@@ -39,6 +48,8 @@ Usage::
     PYTHONPATH=src python benchmarks/emit_bench.py            # full (~3 min)
     PYTHONPATH=src python benchmarks/emit_bench.py --quick    # CI-sized
     PYTHONPATH=src python benchmarks/emit_bench.py --quick --gate 1.5
+    PYTHONPATH=src python benchmarks/emit_bench.py --quick --gate-numpy 3.0
+    PYTHONPATH=src python benchmarks/emit_bench.py --engine-matrix --quick
     PYTHONPATH=src python benchmarks/emit_bench.py --phase1   # lanes bench
     PYTHONPATH=src python benchmarks/emit_bench.py --phase1 --quick --gate 1.0
     PYTHONPATH=src python benchmarks/emit_bench.py --power --gate 1.0
@@ -46,9 +57,12 @@ Usage::
 ``--gate RATIO`` turns the script into a perf gate: exit code 1 when
 the after/lanes arm is slower than ``RATIO`` times the before/scalar
 arm (the CI perf-smoke job runs ``--quick --gate 1.5`` and
-``--phase1 --quick --gate 1.0``).  In ``--power`` mode the gate is a
-quality gate instead: adjacent peak shift WTM vs random, per circuit
-(the CI job runs ``--power --gate 1.0``).
+``--phase1 --quick --gate 1.0``).  ``--gate-numpy RATIO`` additionally
+requires the numpy arm to be at least ``RATIO`` times faster than the
+fused big-int arm; it is skipped with a visible notice when numpy or a
+C compiler is unavailable.  In ``--power`` mode the gate is a quality
+gate instead: adjacent peak shift WTM vs random, per circuit (the CI
+job runs ``--power --gate 1.0``).
 """
 
 from __future__ import annotations
@@ -72,11 +86,20 @@ from repro.experiments.reporting import atomic_write_text
 from repro.power.activity import ActivityEngine
 from repro.sim.comb_sim import CombPatternSim
 from repro.sim.counters import SimCounters
+from repro.sim import npsim
 from repro.sim.fault_sim import (DEFAULT_WIDTH, FaultSimulator,
                                  benchmark_packing)
 from repro.sim.faults import FaultSet
 from repro.sim.logicsim import CompiledCircuit
 from repro.sim.scoreboard import FaultScoreboard
+from repro.sim import values as V
+
+
+def _numpy_version() -> Optional[str]:
+    """The installed numpy version, or ``None`` when absent."""
+    if not npsim.numpy_available():
+        return None
+    return npsim.require_numpy().__version__
 
 #: The full-size benchmark circuit: >= 1000 collapsed faults.
 FULL_PROFILE = dict(name="bench1k", n_pi=12, n_po=10, n_ff=28,
@@ -86,10 +109,10 @@ QUICK_PROFILE = dict(name="benchq", n_pi=8, n_po=6, n_ff=12,
                      n_gates=90, seed=7, t0_length=40)
 
 
-def _run_arm(netlist, comb_tests, t0, width, dropping: bool
-             ) -> Dict[str, Any]:
+def _run_arm(netlist, comb_tests, t0, width, dropping: bool,
+             engine: str = "codegen") -> Dict[str, Any]:
     """One full proposed-procedure pass under a packing/drop policy."""
-    circuit = CompiledCircuit(netlist, engine="codegen")
+    circuit = CompiledCircuit(netlist, engine=engine)
     faults = FaultSet.collapsed(netlist)
     counters = SimCounters()
     sim = FaultSimulator(circuit, faults, width=width, counters=counters)
@@ -102,6 +125,7 @@ def _run_arm(netlist, comb_tests, t0, width, dropping: bool
     seconds = time.perf_counter() - started
     final = result.compacted_set or result.test_set
     return {
+        "engine": engine,
         "width": width,
         "dropping": dropping,
         "seconds": round(seconds, 3),
@@ -142,13 +166,31 @@ def build_payload(quick: bool, seed: int = 1) -> Dict[str, Any]:
     after = _run_arm(netlist, comb.tests, t0, "auto", dropping=True)
     print(f"  {after['seconds']}s")
 
-    identical = before.pop("_sets") == after.pop("_sets")
+    numpy_arm: Optional[Dict[str, Any]] = None
+    if npsim.numpy_available():
+        print('numpy: width="auto" fused, uint64-array backend ...',
+              flush=True)
+        numpy_arm = _run_arm(netlist, comb.tests, t0, "auto",
+                             dropping=True, engine="numpy")
+        print(f"  {numpy_arm['seconds']}s")
+    else:
+        print("numpy arm SKIPPED: numpy is not installed "
+              "(pip install repro[fast])")
+
+    after_sets = after.pop("_sets")
+    identical = before.pop("_sets") == after_sets
+    if numpy_arm is not None:
+        identical = identical and numpy_arm.pop("_sets") == after_sets
     if not identical:
-        print("ERROR: the two arms disagree on results", file=sys.stderr)
+        print("ERROR: the arms disagree on results", file=sys.stderr)
 
     winner, fused_s, chunked_s = benchmark_packing(circuit, faults,
                                                    seed=seed)
     speedup = before["seconds"] / max(after["seconds"], 1e-9)
+    numpy_speedup = None
+    if numpy_arm is not None:
+        numpy_speedup = round(
+            after["seconds"] / max(numpy_arm["seconds"], 1e-9), 2)
     return {
         "bench": "engine: fused wide-word + fault dropping vs chunked",
         "circuit": {
@@ -166,16 +208,111 @@ def build_payload(quick: bool, seed: int = 1) -> Dict[str, Any]:
             "seed": seed,
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "numpy": _numpy_version(),
+            "np_kernel": (npsim.kernel_unavailable_reason() is None
+                          if npsim.numpy_available() else False),
         },
         "before": before,
         "after": after,
+        "numpy": numpy_arm,
         "speedup": round(speedup, 2),
+        "numpy_speedup": numpy_speedup,
         "identical_results": identical,
         "packing_probe": {
             "winner": winner,
             "fused_s": round(fused_s, 4),
             "chunked_s": round(chunked_s, 4),
         },
+    }
+
+
+def build_engine_matrix_payload(quick: bool, seed: int = 1,
+                                repeats: int = 3) -> Dict[str, Any]:
+    """The ``--engine-matrix`` payload: one ``detect`` pass per engine.
+
+    Times a whole-fault-set, no-early-exit ``detect`` pass over a
+    random binary sequence under each evaluation engine (interp,
+    codegen, numpy), best of ``repeats``, on the same circuit and
+    stimuli.  The numpy row is ``null`` when numpy is missing.  All
+    engines must return the identical detected set.
+    """
+    import random as _random
+
+    profile = QUICK_PROFILE if quick else FULL_PROFILE
+    netlist = synth.generate(profile["name"], profile["n_pi"],
+                             profile["n_po"], profile["n_ff"],
+                             profile["n_gates"], seed=profile["seed"])
+    faults = FaultSet.collapsed(netlist)
+    rng = _random.Random(seed)
+    # Long enough to amortize the per-call plan build; the per-frame
+    # engine cost is what the matrix is meant to compare.
+    frames = 128
+    vectors = [V.random_binary_vector(netlist.num_inputs, rng)
+               for _ in range(frames)]
+    init = V.random_binary_vector(netlist.num_ffs, rng)
+
+    print(f"circuit {profile['name']}: {netlist.num_gates} gates, "
+          f"{netlist.num_ffs} FFs, {len(faults)} collapsed faults, "
+          f"{frames} frames")
+
+    engines = {}
+    detected_sets = {}
+    for engine in ("interp", "codegen", "numpy"):
+        if engine == "numpy" and not npsim.numpy_available():
+            print("numpy: SKIPPED (numpy is not installed)")
+            engines[engine] = None
+            continue
+        circuit = CompiledCircuit(netlist, engine=engine)
+        sim = FaultSimulator(circuit, faults, width="auto")
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            detected = sim.detect(vectors, init, early_exit=False)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        engines[engine] = {"seconds": round(best, 4),
+                           "detected": len(detected)}
+        detected_sets[engine] = frozenset(detected)
+        print(f"{engine}: best {engines[engine]['seconds']}s "
+              f"({len(detected)} detected)")
+
+    identical = len(set(detected_sets.values())) == 1
+    if not identical:
+        print("ERROR: the engines disagree on the detected set",
+              file=sys.stderr)
+    codegen_s = engines["codegen"]["seconds"]
+
+    def _ratio(engine: str) -> Optional[float]:
+        row = engines[engine]
+        if row is None:
+            return None
+        return round(codegen_s / max(row["seconds"], 1e-9), 2)
+
+    return {
+        "bench": "engine matrix: one detect pass per evaluation engine",
+        "circuit": {
+            "name": profile["name"],
+            "pi": netlist.num_inputs,
+            "po": netlist.num_outputs,
+            "ff": netlist.num_ffs,
+            "gates": netlist.num_gates,
+            "faults": len(faults),
+            "frames": frames,
+        },
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": _numpy_version(),
+            "np_kernel": (npsim.kernel_unavailable_reason() is None
+                          if npsim.numpy_available() else False),
+        },
+        "engines": engines,
+        "speedup_vs_codegen": {e: _ratio(e)
+                               for e in ("interp", "codegen", "numpy")},
+        "identical_results": identical,
     }
 
 
@@ -387,6 +524,34 @@ def _power_gate(payload: Dict[str, Any], ratio: float) -> bool:
     return ok
 
 
+def _numpy_gate(bigint_row: Dict[str, Any],
+                numpy_row: Optional[Dict[str, Any]],
+                ratio: float, config: Dict[str, Any]) -> bool:
+    """The numpy arm must be at least ``ratio`` x faster than big-int.
+
+    Returns True (with a visible notice) instead of failing when the
+    numpy arm could not run at full speed: numpy missing, or no C
+    compiler for the pass kernel (the pure-numpy fallback is a
+    portability path, not a fast path).
+    """
+    if numpy_row is None:
+        print("NUMPY GATE SKIPPED: numpy is not installed "
+              "(pip install repro[fast])")
+        return True
+    if not config.get("np_kernel"):
+        print("NUMPY GATE SKIPPED: no C compiler for the pass kernel; "
+              "only the pure-numpy fallback ran")
+        return True
+    achieved = bigint_row["seconds"] / max(numpy_row["seconds"], 1e-9)
+    if achieved < ratio:
+        print(f"NUMPY GATE FAILED: numpy is x{achieved:.2f} faster "
+              f"than the fused big-int engine, need x{ratio:g}",
+              file=sys.stderr)
+        return False
+    print(f"numpy gate ok: x{achieved:.2f} >= x{ratio:g}")
+    return True
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -394,12 +559,21 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--phase1", action="store_true",
                         help="benchmark the Phase-1 candidate scan "
                              "(lanes vs scalar) instead of the engine")
+    parser.add_argument("--engine-matrix", action="store_true",
+                        help="time one detect pass per engine "
+                             "(interp/codegen/numpy) on the same "
+                             "circuit instead of the full pipeline")
     parser.add_argument("--power", action="store_true",
                         help="sweep the X-fill strategies' power on "
                              "the quick suite instead of the engine")
     parser.add_argument("--gate", type=float, metavar="RATIO",
                         help="fail (exit 1) when the after/lanes wall "
                              "clock exceeds RATIO x before/scalar")
+    parser.add_argument("--gate-numpy", type=float, metavar="RATIO",
+                        help="fail (exit 1) when the numpy arm is "
+                             "less than RATIO x faster than the fused "
+                             "big-int arm (skipped, with a notice, "
+                             "when numpy or a C compiler is missing)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("-o", "--out", default=None)
     args = parser.parse_args(argv)
@@ -416,6 +590,22 @@ def main(argv: Optional[list] = None) -> int:
             return 1
         if args.gate is not None and not _power_gate(payload, args.gate):
             return 1
+        return 0
+
+    if args.engine_matrix:
+        out = args.out or "BENCH_engine_matrix.json"
+        payload = build_engine_matrix_payload(quick=args.quick,
+                                              seed=args.seed)
+        atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out} (identical results: "
+              f"{payload['identical_results']})")
+        if not payload["identical_results"]:
+            return 1
+        if args.gate_numpy is not None:
+            return 0 if _numpy_gate(payload["engines"]["codegen"],
+                                    payload["engines"]["numpy"],
+                                    args.gate_numpy,
+                                    payload["config"]) else 1
         return 0
 
     if args.phase1:
@@ -445,6 +635,10 @@ def main(argv: Optional[list] = None) -> int:
             return 1
         print(f"perf gate ok: {gate_label} = {ratio:.2f} "
               f"<= {args.gate}")
+    if args.gate_numpy is not None and not args.phase1:
+        if not _numpy_gate(payload["after"], payload.get("numpy"),
+                           args.gate_numpy, payload["config"]):
+            return 1
     return 0
 
 

@@ -61,9 +61,14 @@ class Workbench:
             The circuit.
         engine:
             Evaluation backend: ``"codegen"`` (compiled per-circuit
-            source, the default) or ``"interp"``/``"generic"`` (the
+            source, the default), ``"interp"``/``"generic"`` (the
             table-driven interpreter; ``"interp"`` is the CLI spelling
-            of ``"generic"``).
+            of ``"generic"``), ``"numpy"`` (the uint64-array backend
+            of :mod:`repro.sim.npsim`; requires the optional numpy
+            dependency and raises an actionable error without it), or
+            ``"auto"`` (numpy for large passes when available, fused
+            big-int otherwise).  All backends produce byte-identical
+            results.
         width:
             Fault-packing policy for the sequential simulator:
             ``"auto"`` (fuse every target into one wide word, chunk

@@ -413,11 +413,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     engine_opts = argparse.ArgumentParser(add_help=False)
     egroup = engine_opts.add_argument_group("simulation engine")
-    egroup.add_argument("--engine", choices=("interp", "codegen"),
+    egroup.add_argument("--engine",
+                        choices=("interp", "codegen", "numpy", "auto"),
                         default="codegen",
                         help="evaluation backend: generated per-circuit "
-                             "code (codegen, default) or the table-"
-                             "driven interpreter (interp)")
+                             "code (codegen, default), the table-"
+                             "driven interpreter (interp), the uint64-"
+                             "array backend (numpy; needs the optional "
+                             "numpy extra), or auto (numpy for large "
+                             "passes when available, else codegen)")
     egroup.add_argument("--width", type=_parse_width, default="auto",
                         metavar="{N,auto}",
                         help="fault machines per simulation word: an "

@@ -100,6 +100,18 @@ class _CheckpointedRun:
         circuit = self.circuit
         chunk = self.chunks[chunk_index]
         ff_zero, ff_one, caught = self.states[start_frame][chunk_index]
+        if not record and vectors:
+            backend = sim._array_backend_for(len(chunk.indices))
+            if backend is not None and backend.kernel_available:
+                # Array fast path: same loop inside the C kernel, with
+                # the last-frame scan-out diff folded into the caught
+                # mask (the caller ORs the two anyway).
+                mask, frames_run = backend.run_suffix_chunk(
+                    sim, chunk, vectors, ff_zero, ff_one, caught,
+                    sim.scan_positions)
+                if chunk_index == 0:
+                    sim.counters.frames += frames_run
+                return mask, 0, []
         zero = [0] * circuit.n_nets
         one = [0] * circuit.n_nets
         for nid, z, o in zip(circuit.ff_ids, ff_zero, ff_one):

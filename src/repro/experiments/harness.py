@@ -130,8 +130,12 @@ CHECKPOINT_KNOBS = ("engine", "width", "candidate_scan", "x_fill",
 class JobSpec:
     """One unit of work: a circuit run under one seed / arm config.
 
-    ``engine``/``width`` select the simulation backend and fault-
-    packing policy (see :meth:`repro.api.Workbench.for_netlist`);
+    ``engine``/``width`` select the simulation backend
+    (``"codegen"``, ``"interp"``, ``"numpy"`` or ``"auto"``, see
+    :meth:`repro.api.Workbench.for_netlist`) and fault-packing
+    policy; legacy spec dicts without an ``engine`` key default to
+    ``"codegen"`` and ``_checkpoint_usable`` rejects rows whose
+    engine differs from the requested one;
     ``candidate_scan`` the Phase-1 Step-2 mode ("lanes" or "scalar");
     ``x_fill``/``power_budget`` the don't-care fill strategy and the
     optional peak shift-WTM cap (see :mod:`repro.power`).  All travel

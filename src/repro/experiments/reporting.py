@@ -287,26 +287,31 @@ def engine_counters_table(runs: Sequence["CircuitRun"]) -> Table:
     logical frames simulated, word evaluations, average faulty
     machines packed per word, faults dropped by the cross-phase
     scoreboard, in-pass repacks, the per-phase wall-clock timers
-    (``p1_s`` .. ``p4_s``), and the power engine's words and wall
-    clock (``pw_words`` / ``pw_s``).  Runs restored from old
-    checkpoints render as ``-`` for whichever counters they lack.
+    (``p1_s`` .. ``p4_s``), the power engine's words and wall clock
+    (``pw_words`` / ``pw_s``), and the numpy backend's pass count
+    (``np``) -- plus the engine knob the run executed under
+    (``eng``, from :attr:`CircuitRun.knobs`).  Runs restored from old
+    checkpoints render as ``-`` for whichever counters or knobs they
+    lack.
     """
     table = Table("Engine counters",
-                  ["circuit", "frames", "words", "mach/word",
-                   "dropped", "repacks", "p1_s", "p2_s", "p3_s",
-                   "p4_s", "pw_words", "pw_s", "seconds"])
+                  ["circuit", "eng", "frames", "words", "mach/word",
+                   "dropped", "repacks", "np", "p1_s", "p2_s",
+                   "p3_s", "p4_s", "pw_words", "pw_s", "seconds"])
     for run in runs:
         c = run.counters
+        engine = run.knobs.get("engine")
         if c:
-            table.add_row(run.name, c.get("frames"), c.get("words"),
-                          c.get("machines_per_word"),
+            table.add_row(run.name, engine, c.get("frames"),
+                          c.get("words"), c.get("machines_per_word"),
                           c.get("faults_dropped"), c.get("repacks"),
+                          c.get("np_passes"),
                           c.get("phase1_s"), c.get("phase2_s"),
                           c.get("phase3_s"), c.get("phase4_s"),
                           c.get("power_words"), c.get("power_s"),
                           run.seconds)
         else:
-            table.add_row(run.name, None, None, None, None, None,
-                          None, None, None, None, None, None,
-                          run.seconds)
+            table.add_row(run.name, engine, None, None, None, None,
+                          None, None, None, None, None, None, None,
+                          None, run.seconds)
     return table

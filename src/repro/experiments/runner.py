@@ -114,7 +114,8 @@ def run_circuit(
     with_transition:
         Also compute transition-fault coverage of the final test sets.
     engine, width:
-        Simulation backend and fault-packing policy, forwarded to
+        Simulation backend (``"codegen"``, ``"interp"``, ``"numpy"``
+        or ``"auto"``) and fault-packing policy, forwarded to
         :meth:`repro.api.Workbench.for_netlist`.
     candidate_scan:
         Phase-1 Step-2 mode ("lanes" or "scalar"), forwarded to

@@ -55,6 +55,14 @@ Power-engine counters
 ``power_words`` the packed frame words the activity engine evaluated,
 and ``power_s`` its wall clock (via ``phase_timer("power")``).  Like
 the phase timers, these render as dashes for legacy checkpoints.
+
+Backend counters
+----------------
+``np_passes`` counts pass *chunks* executed by the numpy array
+backend (:mod:`repro.sim.npsim`) -- zero under the big-int engines,
+so it doubles as a cheap "did the numpy engine actually run?" probe
+for tests and benchmarks.  Legacy checkpoints lack the key and
+render as dashes.
 """
 
 from __future__ import annotations
@@ -89,6 +97,7 @@ class SimCounters:
     power_passes: int = 0
     power_words: int = 0
     power_s: float = 0.0
+    np_passes: int = 0
 
     # ------------------------------------------------------------------
     def note_words(self, n_words: int, n_machines: int) -> None:

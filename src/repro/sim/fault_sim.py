@@ -16,10 +16,28 @@ Packing policy (``width=``):
   fault sets (beyond a few thousand machine bits the per-digit cost
   of big-int arithmetic starts to win over the per-pass interpreter
   overhead; :func:`benchmark_packing` measures the crossover for a
-  concrete circuit).
+  concrete circuit).  The cap honors the ``REPRO_FUSED_CAP``
+  environment variable, read at :class:`FaultSimulator`
+  *construction* (not at module import -- each simulator snapshots
+  the value, so tests and benchmarks can override it per instance;
+  an explicit ``fused_cap=`` argument beats the environment).
 * an integer ``N`` -- classic fixed-width chunking with ``N - 1``
   faulty machines per word (the pre-fusion engine; ``N = 128`` is the
   historical default, kept as :data:`DEFAULT_WIDTH`).
+
+Execution backend (``CompiledCircuit(engine=...)``): the packed words
+are evaluated either as Python big-ints (engines ``"generic"`` /
+``"codegen"``) or as ``uint64`` arrays driven by the
+:mod:`repro.sim.npsim` backend (engine ``"numpy"``, optional
+dependency).  ``engine="auto"`` routes each :meth:`FaultSimulator.
+detect` / :meth:`FaultSimulator.run_with_records` pass to the array
+backend when its compiled C kernel is available and the pass packs
+at least :data:`NUMPY_AUTO_MIN_MACHINES` machines, and stays on the
+fused big-int path otherwise (:func:`benchmark_engines` measures the
+crossover for a concrete circuit).  Backends are result-identical:
+per-machine logic values do not depend on how words are stored, and
+the cross-backend equivalence suite plus the ``REPRO_SANITIZE``
+shadow checks enforce it.
 
 Fault dropping: :meth:`FaultSimulator.detect` retires
 already-detected machines *mid-pass* (``early_exit=True``) by
@@ -89,6 +107,23 @@ FUSED_CAP = 4096
 def _resolve_fused_cap() -> int:
     """The effective fused cap: ``REPRO_FUSED_CAP`` or the default."""
     return int(os.environ.get("REPRO_FUSED_CAP", FUSED_CAP))
+
+
+#: Minimum machines (faulty + good) a pass must pack before
+#: ``engine="auto"`` routes it through the numpy array backend.  Small
+#: passes lose: the C kernel call plus plan-array construction cost a
+#: few hundred microseconds, which only amortizes once the big-int
+#: loop would evaluate a wide-ish word over enough gates.  Override
+#: with the ``REPRO_NP_AUTO_MIN`` environment variable (read at
+#: :class:`FaultSimulator` construction, like ``REPRO_FUSED_CAP``);
+#: measure a concrete circuit with :func:`benchmark_engines`.
+NUMPY_AUTO_MIN_MACHINES = 64
+
+
+def _resolve_np_auto_min() -> int:
+    """The effective auto threshold: ``REPRO_NP_AUTO_MIN`` or default."""
+    return int(os.environ.get("REPRO_NP_AUTO_MIN",
+                              NUMPY_AUTO_MIN_MACHINES))
 
 #: In-pass retirement fires only when a word still has at least this
 #: many machines (repacking tiny words saves nothing) ...
@@ -281,6 +316,11 @@ class FaultSimulator:
         self.faults = faults
         self.width = width
         self.fused_cap = fused_cap
+        self.np_auto_min = _resolve_np_auto_min()
+        #: Sanitizer shadows set this to pin the big-int path, so a
+        #: cross-check of an array-backend pass is cross-*backend* as
+        #: well as cross-packing.
+        self._force_bigint = False
         self.counters = counters if counters is not None else SimCounters()
         if scan_positions is None:
             self.scan_positions: Optional[List[int]] = None
@@ -311,6 +351,30 @@ class FaultSimulator:
                     self._spec.append(("ff", self._ff_pos[gate_name]))
                 else:
                     self._spec.append(("branch", ids[gate_name], pin))
+
+    # ------------------------------------------------------------------
+    def _array_backend_for(self, n_machines: int) -> Optional[Any]:
+        """The array backend to run a pass chunk with, or ``None``.
+
+        ``engine="numpy"`` always routes to the backend (C kernel or
+        pure-numpy fallback).  ``engine="auto"`` routes only when the
+        kernel compiled and the chunk packs at least
+        ``np_auto_min`` machines -- otherwise the fused big-int path
+        is faster.  Big-int engines (and sanitizer shadows) get
+        ``None``.
+        """
+        if self._force_bigint:
+            return None
+        engine = self.circuit.engine
+        if engine == "numpy":
+            return self.circuit.array_backend
+        if engine == "auto":
+            backend = self.circuit.array_backend
+            if (backend is None or not backend.kernel_available or
+                    n_machines + 1 < self.np_auto_min):
+                return None
+            return backend
+        return None
 
     # ------------------------------------------------------------------
     def resolve_width(self, n_targets: int) -> int:
@@ -553,6 +617,12 @@ class FaultSimulator:
         last = len(vectors) - 1
         longest = 0
         for chunk in chunks:
+            backend = self._array_backend_for(len(chunk.indices))
+            if backend is not None:
+                longest = max(longest, backend.run_detect_chunk(
+                    self, chunk, vectors, init_state, scan_out,
+                    observe_po, early_exit, scan_observe, detected))
+                continue
             zero, one = self._init_words(chunk, init_state)
             caught = 0  # machine bits already detected in this chunk
             frame = 0
@@ -624,8 +694,12 @@ class FaultSimulator:
     ) -> None:
         """Spot-check one finished ``detect`` pass against a shadow
         simulator using the *opposite* packing policy (fused vs
-        chunked), with early exit and retirement off.  Budgeted per
-        simulator and capped in target size; see the sanitizer module.
+        chunked), with early exit and retirement off.  The shadow
+        always runs the big-int path (``_force_bigint``), so when the
+        primary pass went through the numpy array backend this is a
+        cross-backend check as well as a cross-packing one.  Budgeted
+        per simulator and capped in target size; see the sanitizer
+        module.
         """
         if not 0 < len(target_list) <= _SANITIZE_SPOT_TARGET_CAP:
             return
@@ -639,6 +713,7 @@ class FaultSimulator:
                                 width=shadow_width,
                                 counters=SimCounters())
         shadow._sanitize_shadow = True
+        shadow._force_bigint = True
         other = shadow.detect(vectors, init_state=full_state,
                               target=target_list, scan_out=scan_out,
                               observe_po=observe_po, early_exit=False,
@@ -679,6 +754,12 @@ class FaultSimulator:
         po_first: Dict[int, int] = {}
         scan_diff: List[Set[int]] = [set() for _ in range(n_frames)]
         for chunk in chunks:
+            backend = self._array_backend_for(len(chunk.indices))
+            if backend is not None:
+                backend.run_records_chunk(self, chunk, vectors,
+                                          init_state, scan_observe,
+                                          po_first, scan_diff)
+                continue
             zero, one = self._init_words(chunk, init_state)
             po_seen = 0
             for frame, vector in enumerate(vectors):
@@ -1046,6 +1127,47 @@ def benchmark_packing(
     fused_s, chunked_s = timings
     return ("auto" if fused_s <= chunked_s else "chunked",
             fused_s, chunked_s)
+
+
+def benchmark_engines(
+    circuit: CompiledCircuit,
+    faults: FaultSet,
+    frames: int = 8,
+    seed: int = 0,
+) -> Tuple[str, float, Optional[float]]:
+    """Measure the fused big-int engine vs the numpy backend.
+
+    The backend-selection counterpart of :func:`benchmark_packing`:
+    one short random-sequence ``detect`` pass over the whole fault
+    set per engine, on fresh ``CompiledCircuit`` instances over the
+    same netlist.  Returns ``(winner, bigint_seconds,
+    numpy_seconds)`` where ``winner`` is ``"numpy"`` or ``"codegen"``
+    and ``numpy_seconds`` is ``None`` when numpy is unavailable (the
+    big-int engine wins by default).  This is the measurement behind
+    :data:`NUMPY_AUTO_MIN_MACHINES`; ``emit_bench.py
+    --engine-matrix`` records per-engine timings in the benchmark
+    artifact.
+    """
+    import random as _random
+    from .npsim import numpy_available
+    rng = _random.Random(seed)
+    vectors = [V.random_binary_vector(len(circuit.pi_ids), rng)
+               for _ in range(frames)]
+    init = V.random_binary_vector(len(circuit.ff_ids), rng)
+
+    def _time(engine: str) -> float:
+        compiled = CompiledCircuit(circuit.netlist, engine=engine)
+        sim = FaultSimulator(compiled, faults, width="auto")
+        start = time.perf_counter()
+        sim.detect(vectors, init, early_exit=False)
+        return time.perf_counter() - start
+
+    bigint_s = _time("codegen")
+    if not numpy_available():
+        return "codegen", bigint_s, None
+    numpy_s = _time("numpy")
+    return (("numpy" if numpy_s <= bigint_s else "codegen"),
+            bigint_s, numpy_s)
 
 
 @dataclass

@@ -47,6 +47,13 @@ _OPCODES = {
 #: Opcodes whose output is the complement of the underlying function.
 _INVERTING = {OP_NAND, OP_NOR, OP_XNOR, OP_NOT}
 
+#: Engine names :class:`CompiledCircuit` accepts.  ``"interp"`` is the
+#: CLI-facing alias of ``"generic"``; ``"numpy"`` routes fault-sim
+#: passes through :mod:`repro.sim.npsim` (requires the optional numpy
+#: dependency); ``"auto"`` uses numpy for large passes when available
+#: and falls back to the fused big-int path otherwise.
+ENGINES = ("generic", "interp", "codegen", "numpy", "auto")
+
 
 class CompiledCircuit:
     """A netlist compiled for fast frame evaluation.
@@ -69,23 +76,45 @@ class CompiledCircuit:
     def __init__(self, netlist: Netlist, engine: str = "codegen") -> None:
         """Compile ``netlist`` for simulation.
 
-        ``engine`` selects the evaluation backend: ``"codegen"``
-        (default) generates and compiles a circuit-specialized
-        function (see :mod:`repro.sim.codegen`, 1.5-2.5x faster);
-        ``"generic"`` uses the interpreting loop below.  Both are
-        exactly equivalent (enforced by the test suite).
+        ``engine`` selects the evaluation backend (:data:`ENGINES`):
+
+        * ``"codegen"`` (default) generates and compiles a
+          circuit-specialized function (see :mod:`repro.sim.codegen`,
+          1.5-2.5x faster);
+        * ``"generic"`` (alias ``"interp"``) uses the interpreting
+          loop below;
+        * ``"numpy"`` keeps the codegen evaluator for scalar work but
+          routes whole fault-simulation passes through the
+          :mod:`repro.sim.npsim` array backend (requires numpy --
+          raises here, eagerly and actionably, without it);
+        * ``"auto"`` is ``"numpy"`` when numpy is available and its
+          executor beats big-int for the pass at hand, silently
+          ``"codegen"`` otherwise.
+
+        All engines are exactly equivalent result-wise (enforced by
+        the equivalence suite and the ``REPRO_SANITIZE`` shadow
+        checks).
 
         Raises
         ------
         ValueError
             On an unknown engine name.
+        ImportError
+            On ``engine="numpy"`` without numpy installed.
         """
         if not netlist.is_compiled():
             netlist.compile()
         self.netlist = netlist
-        if engine not in ("codegen", "generic"):
-            raise ValueError(f"unknown engine {engine!r}")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"use one of {ENGINES}")
+        if engine == "interp":
+            engine = "generic"
         self.engine = engine
+        self._array_backend: Optional[object] = None
+        if engine == "numpy":
+            from .npsim import require_numpy
+            require_numpy()
         ids = netlist.net_ids
         self.n_nets = netlist.num_nets
         self.pi_ids: List[int] = [ids[n] for n in netlist.inputs]
@@ -101,11 +130,32 @@ class CompiledCircuit:
                 ids[gname],
                 tuple(ids[f] for f in gate.fanins),
             ))
-        if engine == "codegen":
+        if engine != "generic":
             from .codegen import build_evaluator
             # Instance attribute shadows the method: all simulators
-            # transparently use the specialized evaluator.
+            # transparently use the specialized evaluator.  The numpy
+            # and auto engines keep this big-int evaluator too -- the
+            # good-machine / combinational simulators and the
+            # lane-transposed candidate scan stay on big-int words.
             self.eval_frame = build_evaluator(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def array_backend(self) -> Optional[object]:
+        """The :class:`~repro.sim.npsim.ArrayBackend` for this circuit.
+
+        Built lazily on first use.  ``None`` unless the engine is
+        ``"numpy"`` or ``"auto"``, or (for ``"auto"``) when numpy is
+        unavailable -- callers fall back to the big-int path.
+        """
+        if self.engine not in ("numpy", "auto"):
+            return None
+        if self._array_backend is None:
+            from .npsim import ArrayBackend, numpy_available
+            if self.engine == "auto" and not numpy_available():
+                return None
+            self._array_backend = ArrayBackend(self)
+        return self._array_backend
 
     # ------------------------------------------------------------------
     def eval_frame(

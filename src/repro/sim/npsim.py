@@ -1,0 +1,1004 @@
+"""numpy word-array simulation backend (the ``--engine numpy`` path).
+
+The big-int engine keeps every net's packed machines in a pair of
+Python integers and pays interpreter overhead per gate *and* per
+frame: one arbitrary-precision bitwise op is cheap, but a 330-gate
+frame costs hundreds of microseconds of bytecode dispatch, dict
+probes for injection sites, and list traffic on the branch-fault
+slow path.  This module re-hosts a pass in numpy: per-net words
+become a pair of ``(n_nets, n_words)`` ``uint64`` arrays (net-major
+-- see DESIGN.md section 13 for the layout rationale) and the whole
+pass loop runs through one of two executors:
+
+* **C kernel** (the fast path): a *circuit-independent* pass loop
+  compiled once per process with cffi and the system C compiler.
+  The circuit (opcode/fanin tables) and the chunk's injection sites
+  (stem / fanout-branch / flip-flop-branch forcing masks) are handed
+  over as dense plan arrays, so a frame costs a few microseconds
+  with zero per-frame Python work; Python regains control only at
+  pass boundaries and at in-pass repack points.
+* **pure-numpy fallback**: a per-frame loop over the numpy-flavored
+  specialized evaluator emitted by :mod:`repro.sim.codegen`
+  (column-sliced array expressions, same injection semantics).  It
+  exists so ``--engine numpy`` works without a C toolchain; it is
+  *slower* than the fused big-int engine at typical widths, which is
+  why ``engine="auto"`` only routes here when the kernel is
+  available.
+
+Both executors mirror :meth:`repro.sim.fault_sim.FaultSimulator`'s
+big-int pass loops operation for operation -- load, source stems,
+topological gate evaluation with branch overrides and post-gate stem
+forcing, next-state capture with flip-flop branch blends, PO / scan
+observation, the ``caught`` bookkeeping, the saturation break and
+the in-pass repack trigger -- so detection sets are byte-identical
+under every backend (enforced by ``tests/sim/test_engine_equivalence
+.py`` and the sanitizer's cross-backend spot checks).
+
+numpy (and cffi) are optional dependencies: install the ``fast``
+extra (``pip install repro[fast]``).  Importing this module without
+numpy raises :class:`MissingNumpyError` with that instruction.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+from collections import OrderedDict
+from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence,
+                    Set, Tuple)
+
+from . import values as V
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .fault_sim import FaultSimulator, _Chunk
+    from .logicsim import CompiledCircuit
+
+
+class MissingNumpyError(ImportError):
+    """numpy is not installed (the backend cannot be built)."""
+
+
+def require_numpy() -> Any:
+    """Import and return numpy, or raise an actionable error."""
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - numpy present in CI
+        raise MissingNumpyError(
+            "the numpy simulation backend requires numpy; install the "
+            "optional extra with `pip install repro[fast]` (or use "
+            "--engine codegen / --engine auto, which fall back to the "
+            "fused big-int engine)") from exc
+    return numpy
+
+
+def numpy_available() -> bool:
+    """True when numpy can be imported."""
+    try:
+        require_numpy()
+    except MissingNumpyError:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# The circuit-independent C kernel
+# ----------------------------------------------------------------------
+# One C function runs a whole pass (many frames) over the array state.
+# It is generated once -- the circuit travels in plan arrays, not in
+# the source -- so the process pays a single sub-second compile no
+# matter how many circuits it simulates.  Opcode values mirror
+# logicsim's OP_* constants (asserted at backend build time).
+
+_KERNEL_SOURCE = r"""
+typedef unsigned long long u64;
+
+static void repro_blend(u64* z, u64* o, const u64* f0, const u64* f1,
+                        const u64* keep, long W) {
+    long w;
+    for (w = 0; w < W; w++) {
+        z[w] = (z[w] & keep[w]) | f0[w];
+        o[w] = (o[w] & keep[w]) | f1[w];
+    }
+}
+
+static void repro_diff_acc(const u64* z, const u64* o, u64* acc,
+                           long W) {
+    long w;
+    if (o[0] & 1ULL) {
+        for (w = 0; w < W; w++) acc[w] |= z[w];
+    } else if (z[0] & 1ULL) {
+        for (w = 0; w < W; w++) acc[w] |= o[w];
+    }
+}
+
+int repro_run_pass(
+    u64* zero, u64* one, const u64* mask, long W,
+    long n_gates, const int* g_op, const int* g_out,
+    const long* g_foff, const int* g_fan,
+    long n_pi, const int* pi_ids,
+    long n_po, const int* po_ids,
+    long n_ff, const int* ff_ids, const int* ffd_ids,
+    const int* stem_site,
+    const u64* st_f0, const u64* st_f1, const u64* st_keep,
+    long n_src_stem, const int* src_stem_ids, const int* src_stem_site,
+    const int* br_start, const int* br_count,
+    const int* br_pin, const u64* br_f0, const u64* br_f1,
+    const u64* br_keep,
+    long n_ffbr, const int* ffbr_pos,
+    const u64* ffbr_f0, const u64* ffbr_f1, const u64* ffbr_keep,
+    const unsigned char* vecs,
+    long start_frame, long last_frame,
+    int observe_po, int scan_out,
+    long n_scan_obs, const int* scan_obs,
+    int early_exit, long repack_min_machines,
+    long repack_min_frames_left, long n_machines,
+    u64* rec_po, u64* rec_scan,
+    u64* ns_zero, u64* ns_one,
+    u64* scr_z, u64* scr_o,
+    u64* caught, long* stop_frame, long* frames_done)
+{
+    long f, p, g, i, w, b;
+    for (f = start_frame; f <= last_frame; f++) {
+        /* Load primary inputs (pack_scalar semantics: 0 -> zero row,
+           1 -> one row, X -> neither). */
+        const unsigned char* vec = vecs + f * n_pi;
+        for (p = 0; p < n_pi; p++) {
+            u64* z = zero + (long)pi_ids[p] * W;
+            u64* o = one + (long)pi_ids[p] * W;
+            unsigned char v = vec[p];
+            for (w = 0; w < W; w++) {
+                z[w] = (v == 0) ? mask[w] : 0;
+                o[w] = (v == 1) ? mask[w] : 0;
+            }
+        }
+        /* Stems on source nets (PIs and FF outputs), every frame. */
+        for (i = 0; i < n_src_stem; i++) {
+            long nid = src_stem_ids[i];
+            long s = src_stem_site[i];
+            repro_blend(zero + nid * W, one + nid * W,
+                        st_f0 + s * W, st_f1 + s * W,
+                        st_keep + s * W, W);
+        }
+        /* Gates in topological order. */
+        for (g = 0; g < n_gates; g++) {
+            long out = g_out[g];
+            long s = g_foff[g], e = g_foff[g + 1];
+            long k = e - s;
+            const u64* fz[64];
+            const u64* fo[64];
+            u64* zz = zero + out * W;
+            u64* oo = one + out * W;
+            int op = g_op[g];
+            long bc = br_count[out];
+            int ssite = stem_site[out];
+            for (i = 0; i < k; i++) {
+                fz[i] = zero + (long)g_fan[s + i] * W;
+                fo[i] = one + (long)g_fan[s + i] * W;
+            }
+            if (bc) {
+                /* Fanout-branch overrides: force this gate's view of
+                   the overridden fanin pins (scratch copies). */
+                u64 copied = 0;
+                for (b = br_start[out]; b < br_start[out] + bc; b++) {
+                    long pin = br_pin[b];
+                    u64* cz = scr_z + pin * W;
+                    u64* co = scr_o + pin * W;
+                    if (!((copied >> pin) & 1ULL)) {
+                        for (w = 0; w < W; w++) {
+                            cz[w] = fz[pin][w];
+                            co[w] = fo[pin][w];
+                        }
+                        fz[pin] = cz;
+                        fo[pin] = co;
+                        copied |= 1ULL << pin;
+                    }
+                    repro_blend(cz, co, br_f0 + b * W, br_f1 + b * W,
+                                br_keep + b * W, W);
+                }
+            }
+            switch (op) {
+            case 0: case 1:                  /* AND / NAND */
+                for (w = 0; w < W; w++) { zz[w] = 0; oo[w] = mask[w]; }
+                for (i = 0; i < k; i++)
+                    for (w = 0; w < W; w++) {
+                        zz[w] |= fz[i][w];
+                        oo[w] &= fo[i][w];
+                    }
+                break;
+            case 2: case 3:                  /* OR / NOR */
+                for (w = 0; w < W; w++) { zz[w] = mask[w]; oo[w] = 0; }
+                for (i = 0; i < k; i++)
+                    for (w = 0; w < W; w++) {
+                        zz[w] &= fz[i][w];
+                        oo[w] |= fo[i][w];
+                    }
+                break;
+            case 4: case 5:                  /* XOR / XNOR pairwise */
+                for (w = 0; w < W; w++) {
+                    zz[w] = fz[0][w];
+                    oo[w] = fo[0][w];
+                }
+                for (i = 1; i < k; i++)
+                    for (w = 0; w < W; w++) {
+                        u64 nz = (zz[w] & fz[i][w]) | (oo[w] & fo[i][w]);
+                        u64 no = (zz[w] & fo[i][w]) | (oo[w] & fz[i][w]);
+                        zz[w] = nz;
+                        oo[w] = no;
+                    }
+                break;
+            case 6: case 7:                  /* NOT / BUF */
+                for (w = 0; w < W; w++) {
+                    zz[w] = fz[0][w];
+                    oo[w] = fo[0][w];
+                }
+                break;
+            case 8:                          /* CONST0 */
+                for (w = 0; w < W; w++) { zz[w] = mask[w]; oo[w] = 0; }
+                break;
+            default:                         /* CONST1 */
+                for (w = 0; w < W; w++) { zz[w] = 0; oo[w] = mask[w]; }
+            }
+            if (op == 1 || op == 3 || op == 5 || op == 6) {
+                /* Inverting gate: swap the value rails. */
+                for (w = 0; w < W; w++) {
+                    u64 t = zz[w];
+                    zz[w] = oo[w];
+                    oo[w] = t;
+                }
+            }
+            if (ssite >= 0)
+                repro_blend(zz, oo, st_f0 + (long)ssite * W,
+                            st_f1 + (long)ssite * W,
+                            st_keep + (long)ssite * W, W);
+        }
+        (*frames_done)++;
+        /* Next state: captured FF data values + FF branch blends. */
+        for (i = 0; i < n_ff; i++) {
+            const u64* dz = zero + (long)ffd_ids[i] * W;
+            const u64* dn = one + (long)ffd_ids[i] * W;
+            u64* nz = ns_zero + i * W;
+            u64* no = ns_one + i * W;
+            for (w = 0; w < W; w++) { nz[w] = dz[w]; no[w] = dn[w]; }
+        }
+        for (b = 0; b < n_ffbr; b++)
+            repro_blend(ns_zero + (long)ffbr_pos[b] * W,
+                        ns_one + (long)ffbr_pos[b] * W,
+                        ffbr_f0 + b * W, ffbr_f1 + b * W,
+                        ffbr_keep + b * W, W);
+        if (rec_po) {
+            /* Records mode: per-frame PO and scan-out diff words, no
+               early exit, flip-flops always advance. */
+            u64* rp = rec_po + f * W;
+            u64* rs = rec_scan + f * W;
+            for (w = 0; w < W; w++) { rp[w] = 0; rs[w] = 0; }
+            for (i = 0; i < n_po; i++)
+                repro_diff_acc(zero + (long)po_ids[i] * W,
+                               one + (long)po_ids[i] * W, rp, W);
+            if (n_scan_obs < 0) {
+                for (i = 0; i < n_ff; i++)
+                    repro_diff_acc(ns_zero + i * W, ns_one + i * W,
+                                   rs, W);
+            } else {
+                for (i = 0; i < n_scan_obs; i++)
+                    repro_diff_acc(ns_zero + (long)scan_obs[i] * W,
+                                   ns_one + (long)scan_obs[i] * W,
+                                   rs, W);
+            }
+            for (i = 0; i < n_ff; i++) {
+                u64* z = zero + (long)ff_ids[i] * W;
+                u64* o = one + (long)ff_ids[i] * W;
+                for (w = 0; w < W; w++) {
+                    z[w] = ns_zero[i * W + w];
+                    o[w] = ns_one[i * W + w];
+                }
+            }
+            continue;
+        }
+        /* Detect mode: accumulate caught machines. */
+        if (observe_po)
+            for (i = 0; i < n_po; i++)
+                repro_diff_acc(zero + (long)po_ids[i] * W,
+                               one + (long)po_ids[i] * W, caught, W);
+        if (scan_out && f == last_frame) {
+            if (n_scan_obs < 0) {
+                for (i = 0; i < n_ff; i++)
+                    repro_diff_acc(ns_zero + i * W, ns_one + i * W,
+                                   caught, W);
+            } else {
+                for (i = 0; i < n_scan_obs; i++)
+                    repro_diff_acc(ns_zero + (long)scan_obs[i] * W,
+                                   ns_one + (long)scan_obs[i] * W,
+                                   caught, W);
+            }
+        }
+        caught[0] &= ~1ULL;
+        {
+            int sat = 1;
+            for (w = 0; w < W; w++) {
+                u64 m = mask[w];
+                if (w == 0) m &= ~1ULL;
+                if (caught[w] != m) { sat = 0; break; }
+            }
+            if (sat) { *stop_frame = f; return 1; }
+        }
+        if (early_exit) {
+            u64 any = 0;
+            long pc = 0;
+            for (w = 0; w < W; w++) {
+                any |= caught[w];
+                pc += __builtin_popcountll(caught[w]);
+            }
+            if (any && n_machines >= repack_min_machines &&
+                    (last_frame - f) >= repack_min_frames_left &&
+                    2 * pc >= n_machines) {
+                *stop_frame = f;
+                return 2;
+            }
+        }
+        for (i = 0; i < n_ff; i++) {
+            u64* z = zero + (long)ff_ids[i] * W;
+            u64* o = one + (long)ff_ids[i] * W;
+            for (w = 0; w < W; w++) {
+                z[w] = ns_zero[i * W + w];
+                o[w] = ns_one[i * W + w];
+            }
+        }
+    }
+    *stop_frame = last_frame + 1;
+    return 0;
+}
+"""
+
+_KERNEL_CDEF = """
+typedef unsigned long long u64;
+int repro_run_pass(
+    u64* zero, u64* one, const u64* mask, long W,
+    long n_gates, const int* g_op, const int* g_out,
+    const long* g_foff, const int* g_fan,
+    long n_pi, const int* pi_ids,
+    long n_po, const int* po_ids,
+    long n_ff, const int* ff_ids, const int* ffd_ids,
+    const int* stem_site,
+    const u64* st_f0, const u64* st_f1, const u64* st_keep,
+    long n_src_stem, const int* src_stem_ids, const int* src_stem_site,
+    const int* br_start, const int* br_count,
+    const int* br_pin, const u64* br_f0, const u64* br_f1,
+    const u64* br_keep,
+    long n_ffbr, const int* ffbr_pos,
+    const u64* ffbr_f0, const u64* ffbr_f1, const u64* ffbr_keep,
+    const unsigned char* vecs,
+    long start_frame, long last_frame,
+    int observe_po, int scan_out,
+    long n_scan_obs, const int* scan_obs,
+    int early_exit, long repack_min_machines,
+    long repack_min_frames_left, long n_machines,
+    u64* rec_po, u64* rec_scan,
+    u64* ns_zero, u64* ns_one,
+    u64* scr_z, u64* scr_o,
+    u64* caught, long* stop_frame, long* frames_done);
+"""
+
+#: Kernel pass-loop return codes.
+_STATUS_DONE = 0
+_STATUS_SATURATED = 1
+_STATUS_REPACK = 2
+
+#: Process-lifetime kernel cache: (ffi, lib) or an unavailability
+#: reason string.  Compiled lazily on first backend construction.
+_KERNEL: Optional[Tuple[Any, Any]] = None
+_KERNEL_ERROR: Optional[str] = None
+_KERNEL_TRIED = False
+
+
+def _find_cc() -> Optional[str]:
+    """The C compiler to use: ``$CC``, then ``cc``, then ``gcc``."""
+    env = os.environ.get("CC")
+    if env:
+        return env if os.path.sep in env else shutil.which(env)
+    return shutil.which("cc") or shutil.which("gcc")
+
+
+def _load_kernel() -> Optional[Tuple[Any, Any]]:
+    """Compile and dlopen the pass kernel once per process.
+
+    Returns ``(ffi, lib)`` or ``None`` (reason in
+    :func:`kernel_unavailable_reason`).  Never raises: a missing
+    compiler or cffi just disables the fast path.
+    """
+    global _KERNEL, _KERNEL_ERROR, _KERNEL_TRIED
+    if _KERNEL_TRIED:
+        return _KERNEL
+    _KERNEL_TRIED = True
+    try:
+        from cffi import FFI
+    except ImportError:
+        _KERNEL_ERROR = "cffi is not installed"
+        return None
+    cc = _find_cc()
+    if cc is None:
+        _KERNEL_ERROR = "no C compiler found (set $CC)"
+        return None
+    tmpdir = tempfile.mkdtemp(prefix="repro-np-kernel-")
+    c_path = os.path.join(tmpdir, "repro_kernel.c")
+    so_path = os.path.join(tmpdir, "repro_kernel.so")
+    try:
+        with open(c_path, "w") as handle:
+            handle.write(_KERNEL_SOURCE)
+        subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", "-o", so_path, c_path],
+            check=True, capture_output=True, timeout=120)
+        ffi = FFI()
+        ffi.cdef(_KERNEL_CDEF)
+        lib = ffi.dlopen(so_path)
+    except Exception as exc:  # pragma: no cover - toolchain-specific
+        _KERNEL_ERROR = f"kernel build failed: {exc}"
+        return None
+    _KERNEL = (ffi, lib)
+    return _KERNEL
+
+
+def kernel_unavailable_reason() -> Optional[str]:
+    """Why the C kernel is unavailable (None when it loaded)."""
+    _load_kernel()
+    return _KERNEL_ERROR
+
+
+# ----------------------------------------------------------------------
+# Per-chunk injection plan
+# ----------------------------------------------------------------------
+
+
+def _rows_array(np: Any, words: Sequence[int], n_words: int) -> Any:
+    """Big-int words as a ``(max(1, len(words)), n_words)`` uint64
+    array, in one buffer conversion (a per-row
+    :func:`~repro.sim.values.word_to_array` loop is the plan-build
+    hot spot on short passes)."""
+    if not words:
+        return np.zeros((1, n_words), dtype=np.uint64)
+    size = n_words * 8
+    data = b"".join(w.to_bytes(size, "little") for w in words)
+    return np.frombuffer(data, dtype="<u8").reshape(
+        len(words), n_words).copy()
+
+
+class _ChunkPlan:
+    """Dense array form of one :class:`_Chunk`'s injection data.
+
+    Blend order mirrors the big-int engine exactly: branch entries
+    apply in their list order, flip-flop branch entries likewise, and
+    every blend uses its own ``keep = mask & ~(m0 | m1)`` -- so
+    repeated sites on one pin compose identically.
+    """
+
+    def __init__(self, backend: "ArrayBackend", chunk: "_Chunk") -> None:
+        np = backend.np
+        self.chunk = chunk
+        n_machines = len(chunk.indices) + 1
+        self.n_words = (n_machines + 63) // 64
+        W = self.n_words
+        self.mask = V.word_to_array(chunk.mask, W)
+        n_nets = backend.circuit.n_nets
+
+        stems = list(chunk.stems.items())
+        self.stem_site = np.full(n_nets, -1, dtype=np.int32)
+        for i, (nid, _) in enumerate(stems):
+            self.stem_site[nid] = i
+        self.st_f0 = _rows_array(np, [m0 for _, (m0, _) in stems], W)
+        self.st_f1 = _rows_array(np, [m1 for _, (_, m1) in stems], W)
+        self.st_keep = _rows_array(
+            np, [chunk.mask & ~(m0 | m1) for _, (m0, m1) in stems], W)
+        self.src_stem_ids = np.asarray(chunk.src_stem_ids,
+                                       dtype=np.int32)
+        self.src_stem_site = np.asarray(
+            [int(self.stem_site[nid]) for nid in chunk.src_stem_ids],
+            dtype=np.int32)
+
+        self.br_start = np.zeros(n_nets, dtype=np.int32)
+        self.br_count = np.zeros(n_nets, dtype=np.int32)
+        br_pin: List[int] = []
+        br_rows: List[Tuple[int, int]] = []
+        for out, entries in chunk.branch.items():
+            self.br_start[out] = len(br_pin)
+            self.br_count[out] = len(entries)
+            for pin, m0, m1 in entries:
+                br_pin.append(pin)
+                br_rows.append((m0, m1))
+        self.br_pin = np.asarray(br_pin or [0], dtype=np.int32)
+        self.br_f0 = _rows_array(np, [m0 for m0, _ in br_rows], W)
+        self.br_f1 = _rows_array(np, [m1 for _, m1 in br_rows], W)
+        self.br_keep = _rows_array(
+            np, [chunk.mask & ~(m0 | m1) for m0, m1 in br_rows], W)
+
+        self.n_ffbr = len(chunk.ff_branch)
+        self.ffbr_pos = np.asarray(
+            [pos for pos, _, _ in chunk.ff_branch] or [0],
+            dtype=np.int32)
+        self.ffbr_f0 = _rows_array(
+            np, [m0 for _, m0, _ in chunk.ff_branch], W)
+        self.ffbr_f1 = _rows_array(
+            np, [m1 for _, _, m1 in chunk.ff_branch], W)
+        self.ffbr_keep = _rows_array(
+            np, [chunk.mask & ~(m0 | m1)
+                 for _, m0, m1 in chunk.ff_branch], W)
+
+    # Dict-of-rows view for the pure-numpy evaluator (same shapes the
+    # big-int eval_frame contract uses, with array masks).
+    def stems_rows(self) -> Dict[int, Tuple[Any, Any]]:
+        return {nid: (self.st_f0[int(self.stem_site[nid])],
+                      self.st_f1[int(self.stem_site[nid])])
+                for nid in self.chunk.stems}
+
+    def branch_rows(self) -> Dict[int, List[Tuple[int, Any, Any]]]:
+        out: Dict[int, List[Tuple[int, Any, Any]]] = {}
+        for nid, entries in self.chunk.branch.items():
+            start = int(self.br_start[nid])
+            out[nid] = [
+                (int(self.br_pin[start + i]), self.br_f0[start + i],
+                 self.br_f1[start + i])
+                for i in range(len(entries))]
+        return out
+
+
+# ----------------------------------------------------------------------
+# The backend
+# ----------------------------------------------------------------------
+
+
+class ArrayBackend:
+    """numpy array pass executor bound to one compiled circuit.
+
+    Built lazily by :class:`~repro.sim.logicsim.CompiledCircuit` for
+    ``engine="numpy"`` / ``"auto"``.  ``use_kernel`` forces the
+    executor choice (``None`` = kernel when available, unless the
+    ``REPRO_NP_KERNEL=py`` environment override is set).
+    """
+
+    def __init__(self, circuit: "CompiledCircuit",
+                 use_kernel: Optional[bool] = None) -> None:
+        self.np = require_numpy()
+        np = self.np
+        self.circuit = circuit
+        ops = circuit.ops
+        self.n_gates = len(ops)
+        self.max_arity = max([len(f) for _, _, f in ops] or [1])
+        if self.max_arity > 64:  # pragma: no cover - absurd netlists
+            raise ValueError(
+                "numpy backend supports gates with at most 64 fanins")
+        self.g_op = np.asarray([op for op, _, _ in ops] or [0],
+                               dtype=np.int32)
+        self.g_out = np.asarray([out for _, out, _ in ops] or [0],
+                                dtype=np.int32)
+        foff = [0]
+        fan: List[int] = []
+        for _, _, fins in ops:
+            fan.extend(fins)
+            foff.append(len(fan))
+        self.g_foff = np.asarray(foff, dtype=np.int64)
+        self.g_fan = np.asarray(fan or [0], dtype=np.int32)
+        self.pi_ids = np.asarray(circuit.pi_ids or [0], dtype=np.int32)
+        self.po_ids = np.asarray(circuit.po_ids or [0], dtype=np.int32)
+        self.ff_ids = np.asarray(circuit.ff_ids or [0], dtype=np.int32)
+        self.ffd_ids = np.asarray(circuit.ff_d_ids or [0],
+                                  dtype=np.int32)
+        if use_kernel is None:
+            use_kernel = os.environ.get("REPRO_NP_KERNEL") != "py"
+        self._kernel = _load_kernel() if use_kernel else None
+        self._evaluator: Optional[Any] = None
+
+    #: Plans retained by :meth:`_plan_for`.  Small: pipeline phases
+    #: re-simulate a handful of target sets over and over (Phase-2
+    #: omission trials alone issue thousands of short passes on the
+    #: same set), and one bench1k plan is only a few hundred KB.
+    _PLAN_CACHE_SIZE = 8
+
+    def _plan_for(self, sim: "FaultSimulator",
+                  chunk: "_Chunk") -> _ChunkPlan:
+        """The injection plan for ``chunk``, LRU-cached by fault set.
+
+        A chunk's stems/branches/mask are a pure function of its
+        fault indices (in order) for a fixed circuit and fault list,
+        so an equal index tuple means an identical plan.  The cache
+        lives on the simulator (not this backend, which is shared
+        per-circuit across simulators whose fault lists may differ).
+        Repacked chunks are per-call transients and bypass the cache.
+        """
+        cache: "OrderedDict[Tuple[int, ...], _ChunkPlan]" = \
+            sim.__dict__.setdefault("_np_plan_cache", OrderedDict())
+        key = tuple(chunk.indices)
+        plan = cache.get(key)
+        if plan is None:
+            plan = _ChunkPlan(self, chunk)
+            cache[key] = plan
+            if len(cache) > self._PLAN_CACHE_SIZE:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+            plan.chunk = chunk
+        return plan
+
+    # ------------------------------------------------------------------
+    @property
+    def kernel_available(self) -> bool:
+        """True when passes run through the compiled C kernel."""
+        return self._kernel is not None
+
+    @property
+    def evaluator(self) -> Any:
+        """The codegen-emitted numpy evaluator (fallback executor)."""
+        if self._evaluator is None:
+            from .codegen import build_numpy_evaluator
+            self._evaluator = build_numpy_evaluator(self.circuit)
+        return self._evaluator
+
+    # ------------------------------------------------------------------
+    def _init_state(self, plan: _ChunkPlan,
+                    init_state: V.Vector) -> Tuple[Any, Any]:
+        """Array state with the flip-flop rows packed from a vector
+        (:func:`repro.sim.values.pack_scalar` semantics)."""
+        np = self.np
+        W = plan.n_words
+        zero = np.zeros((self.circuit.n_nets, W), dtype=np.uint64)
+        one = np.zeros((self.circuit.n_nets, W), dtype=np.uint64)
+        for nid, val in zip(self.circuit.ff_ids, init_state):
+            if val == V.ZERO:
+                zero[nid] = plan.mask
+            elif val == V.ONE:
+                one[nid] = plan.mask
+        return zero, one
+
+    def _state_from_words(self, plan: _ChunkPlan,
+                          zero_words: Sequence[int],
+                          one_words: Sequence[int]) -> Tuple[Any, Any]:
+        """Array state from full per-net big-int word lists (used to
+        resume after an in-pass repack)."""
+        np = self.np
+        W = plan.n_words
+        zero = np.zeros((self.circuit.n_nets, W), dtype=np.uint64)
+        one = np.zeros((self.circuit.n_nets, W), dtype=np.uint64)
+        for nid in self.circuit.ff_ids:
+            if zero_words[nid]:
+                zero[nid] = V.word_to_array(zero_words[nid], W)
+            if one_words[nid]:
+                one[nid] = V.word_to_array(one_words[nid], W)
+        return zero, one
+
+    def _vec_array(self, vectors: Sequence[V.Vector]) -> Any:
+        """The PI sequence as a ``(n_frames, n_pi)`` uint8 array
+        (0 / 1 / X scalars; width-independent)."""
+        np = self.np
+        arr = np.asarray(vectors, dtype=np.uint8)
+        if arr.ndim == 1:  # zero PIs
+            arr = arr.reshape(len(vectors), 0)
+        return np.ascontiguousarray(arr)
+
+    # ------------------------------------------------------------------
+    def _kernel_segment(
+        self, plan: _ChunkPlan, zero: Any, one: Any, vec_arr: Any,
+        start: int, last: int, observe_po: bool, scan_out: bool,
+        scan_observe: Optional[Sequence[int]], early_exit: bool,
+        rec_po: Optional[Any], rec_scan: Optional[Any],
+        ns_zero: Any, ns_one: Any, caught: Any,
+    ) -> Tuple[int, int, int]:
+        """One kernel call; returns ``(status, stop_frame, frames)``."""
+        from . import fault_sim as FS
+        np = self.np
+        ffi, lib = self._kernel  # type: ignore[misc]
+        W = plan.n_words
+
+        def u64p(arr: Any) -> Any:
+            return ffi.cast("u64*", arr.ctypes.data)
+
+        def i32p(arr: Any) -> Any:
+            return ffi.cast("int*", arr.ctypes.data)
+
+        if scan_observe is None:
+            n_scan_obs = -1
+            scan_obs = np.zeros(1, dtype=np.int32)
+        else:
+            n_scan_obs = len(scan_observe)
+            scan_obs = np.asarray(list(scan_observe) or [0],
+                                  dtype=np.int32)
+        scr_z = np.zeros((self.max_arity, W), dtype=np.uint64)
+        scr_o = np.zeros((self.max_arity, W), dtype=np.uint64)
+        stop = ffi.new("long*")
+        frames = ffi.new("long*")
+        status = lib.repro_run_pass(
+            u64p(zero), u64p(one), u64p(plan.mask), W,
+            self.n_gates, i32p(self.g_op), i32p(self.g_out),
+            ffi.cast("long*", self.g_foff.ctypes.data),
+            i32p(self.g_fan),
+            len(self.circuit.pi_ids), i32p(self.pi_ids),
+            len(self.circuit.po_ids), i32p(self.po_ids),
+            len(self.circuit.ff_ids), i32p(self.ff_ids),
+            i32p(self.ffd_ids),
+            i32p(plan.stem_site),
+            u64p(plan.st_f0), u64p(plan.st_f1), u64p(plan.st_keep),
+            len(plan.src_stem_ids),
+            i32p(plan.src_stem_ids), i32p(plan.src_stem_site),
+            i32p(plan.br_start), i32p(plan.br_count),
+            i32p(plan.br_pin), u64p(plan.br_f0), u64p(plan.br_f1),
+            u64p(plan.br_keep),
+            plan.n_ffbr, i32p(plan.ffbr_pos),
+            u64p(plan.ffbr_f0), u64p(plan.ffbr_f1),
+            u64p(plan.ffbr_keep),
+            ffi.cast("unsigned char*", vec_arr.ctypes.data),
+            start, last,
+            int(observe_po), int(scan_out), n_scan_obs, i32p(scan_obs),
+            int(early_exit), FS._REPACK_MIN_MACHINES,
+            FS._REPACK_MIN_FRAMES_LEFT, len(plan.chunk.indices),
+            u64p(rec_po) if rec_po is not None else ffi.NULL,
+            u64p(rec_scan) if rec_scan is not None else ffi.NULL,
+            u64p(ns_zero), u64p(ns_one), u64p(scr_z), u64p(scr_o),
+            u64p(caught), stop, frames)
+        return int(status), int(stop[0]), int(frames[0])
+
+    # ------------------------------------------------------------------
+    def _py_frame(self, plan: _ChunkPlan, zero: Any, one: Any,
+                  vector: V.Vector, stems_rows: Dict[int, Any],
+                  branch_rows: Dict[int, Any]) -> Tuple[Any, Any]:
+        """One fallback frame: load, stems, evaluate; returns the
+        next-state rows (with flip-flop branch blends applied)."""
+        np = self.np
+        for nid, val in zip(self.circuit.pi_ids, vector):
+            if val == V.ZERO:
+                zero[nid] = plan.mask
+                one[nid] = 0
+            elif val == V.ONE:
+                zero[nid] = 0
+                one[nid] = plan.mask
+            else:
+                zero[nid] = 0
+                one[nid] = 0
+        for nid in plan.chunk.src_stem_ids:
+            site = int(plan.stem_site[nid])
+            keep = plan.st_keep[site]
+            zero[nid] = (zero[nid] & keep) | plan.st_f0[site]
+            one[nid] = (one[nid] & keep) | plan.st_f1[site]
+        self.evaluator(zero, one, plan.mask, stems_rows, branch_rows)
+        ns_zero = zero[self.ffd_ids].copy()
+        ns_one = one[self.ffd_ids].copy()
+        for i in range(plan.n_ffbr):
+            pos = int(plan.ffbr_pos[i])
+            keep = plan.ffbr_keep[i]
+            ns_zero[pos] = (ns_zero[pos] & keep) | plan.ffbr_f0[i]
+            ns_one[pos] = (ns_one[pos] & keep) | plan.ffbr_f1[i]
+        return ns_zero, ns_one
+
+    def _diff_int(self, zero_row: Any, one_row: Any) -> int:
+        """:meth:`FaultSimulator._diff_word` over array rows."""
+        if int(one_row[0]) & 1:
+            return V.array_to_word(zero_row)
+        if int(zero_row[0]) & 1:
+            return V.array_to_word(one_row)
+        return 0
+
+    # ------------------------------------------------------------------
+    def run_detect_chunk(
+        self, sim: "FaultSimulator", chunk: "_Chunk",
+        vectors: Sequence[V.Vector], init_state: V.Vector,
+        scan_out: bool, observe_po: bool, early_exit: bool,
+        scan_observe: Optional[Sequence[int]], detected: Set[int],
+    ) -> int:
+        """One chunk of :meth:`FaultSimulator.detect` on arrays.
+
+        Mirrors the big-int chunk loop exactly (saturation break,
+        in-pass repack via the parent's :meth:`_repack`, counter
+        accounting) and accumulates into ``detected``.  Returns the
+        number of frames simulated.
+        """
+        from . import fault_sim as FS
+        np = self.np
+        counters = sim.counters
+        counters.np_passes += 1
+        last = len(vectors) - 1
+        if last < 0:
+            return 0
+        vec_arr = self._vec_array(vectors)
+        plan = self._plan_for(sim, chunk)
+        zero, one = self._init_state(plan, init_state)
+        caught_arr = np.zeros(plan.n_words, dtype=np.uint64)
+        ns_zero = np.zeros((max(1, len(self.circuit.ff_ids)),
+                            plan.n_words), dtype=np.uint64)
+        ns_one = np.zeros_like(ns_zero)
+        frames_total = 0
+        frame = 0
+        if self.kernel_available:
+            while frame <= last:
+                status, stop, frames = self._kernel_segment(
+                    plan, zero, one, vec_arr, frame, last, observe_po,
+                    scan_out, scan_observe, early_exit, None, None,
+                    ns_zero, ns_one, caught_arr)
+                frames_total += frames
+                counters.note_words(frames, len(chunk.indices))
+                if status != _STATUS_REPACK:
+                    break
+                caught_int = V.array_to_word(caught_arr)
+                n_dropped = 0
+                for pos, fid in enumerate(chunk.indices):
+                    if caught_int & chunk.bit_of(pos):
+                        detected.add(fid)
+                        n_dropped += 1
+                ns_z_ints = [V.array_to_word(ns_zero[i])
+                             for i in range(len(self.circuit.ff_ids))]
+                ns_o_ints = [V.array_to_word(ns_one[i])
+                             for i in range(len(self.circuit.ff_ids))]
+                chunk, zw, ow = sim._repack(chunk, caught_int,
+                                            ns_z_ints, ns_o_ints)
+                counters.repacks += 1
+                counters.faults_dropped += n_dropped
+                plan = _ChunkPlan(self, chunk)
+                zero, one = self._state_from_words(plan, zw, ow)
+                caught_arr = np.zeros(plan.n_words, dtype=np.uint64)
+                ns_zero = np.zeros((max(1, len(self.circuit.ff_ids)),
+                                    plan.n_words), dtype=np.uint64)
+                ns_one = np.zeros_like(ns_zero)
+                frame = stop + 1
+            caught = V.array_to_word(caught_arr)
+        else:
+            caught = 0
+            stems_rows = plan.stems_rows()
+            branch_rows = plan.branch_rows()
+            while frame <= last:
+                ns_z2, ns_o2 = self._py_frame(plan, zero, one,
+                                              vectors[frame],
+                                              stems_rows, branch_rows)
+                counters.note_words(1, len(chunk.indices))
+                frames_total += 1
+                if observe_po:
+                    for nid in self.circuit.po_ids:
+                        caught |= self._diff_int(zero[nid], one[nid])
+                if scan_out and frame == last:
+                    positions = (range(len(self.circuit.ff_ids))
+                                 if scan_observe is None
+                                 else scan_observe)
+                    for pos in positions:
+                        caught |= self._diff_int(ns_z2[pos],
+                                                 ns_o2[pos])
+                caught &= ~1
+                if caught == chunk.mask & ~1:
+                    break
+                if (early_exit and caught and
+                        len(chunk.indices) >= FS._REPACK_MIN_MACHINES
+                        and last - frame >= FS._REPACK_MIN_FRAMES_LEFT
+                        and 2 * bin(caught).count("1") >=
+                        len(chunk.indices)):
+                    n_dropped = 0
+                    for pos, fid in enumerate(chunk.indices):
+                        if caught & chunk.bit_of(pos):
+                            detected.add(fid)
+                            n_dropped += 1
+                    ns_z_ints = [V.array_to_word(row) for row in ns_z2]
+                    ns_o_ints = [V.array_to_word(row) for row in ns_o2]
+                    chunk, zw, ow = sim._repack(chunk, caught,
+                                                ns_z_ints, ns_o_ints)
+                    counters.repacks += 1
+                    counters.faults_dropped += n_dropped
+                    plan = _ChunkPlan(self, chunk)
+                    stems_rows = plan.stems_rows()
+                    branch_rows = plan.branch_rows()
+                    zero, one = self._state_from_words(plan, zw, ow)
+                    caught = 0
+                    frame += 1
+                    continue
+                zero[self.ff_ids] = ns_z2
+                one[self.ff_ids] = ns_o2
+                frame += 1
+        for pos, fid in enumerate(chunk.indices):
+            if caught & chunk.bit_of(pos):
+                detected.add(fid)
+        return frames_total
+
+    # ------------------------------------------------------------------
+    def run_suffix_chunk(
+        self, sim: "FaultSimulator", chunk: "_Chunk",
+        vectors: Sequence[V.Vector], ff_zero: Sequence[int],
+        ff_one: Sequence[int], caught: int,
+        scan_observe: Optional[Sequence[int]],
+    ) -> Tuple[int, int]:
+        """One chunk of a Phase-2 omission suffix trial on arrays.
+
+        Resumes from a checkpoint (per-flip-flop big-int word pairs
+        plus the cumulative PO ``caught`` mask), runs the suffix with
+        PO observation every frame and scan-out on the last frame,
+        and stops early once every machine is caught -- exactly the
+        ``record=False`` big-int loop in
+        :meth:`repro.core.omission._CheckpointedRun._run_suffix`,
+        with the scan-out diff folded into the returned mask (the
+        caller ORs them anyway).  Returns ``(mask, frames_run)``.
+
+        Kernel-only: the caller keeps the big-int path when the
+        kernel is unavailable (the pure-numpy fallback is slower
+        than the fused big-int loop on these short passes) and for
+        ``record=True`` rebuilds, which need per-frame trails.
+        """
+        np = self.np
+        counters = sim.counters
+        counters.np_passes += 1
+        last = len(vectors) - 1
+        if last < 0:
+            return caught, 0
+        plan = self._plan_for(sim, chunk)
+        W = plan.n_words
+        zero = np.zeros((self.circuit.n_nets, W), dtype=np.uint64)
+        one = np.zeros((self.circuit.n_nets, W), dtype=np.uint64)
+        if self.circuit.ff_ids:
+            zero[self.ff_ids] = _rows_array(np, list(ff_zero), W)
+            one[self.ff_ids] = _rows_array(np, list(ff_one), W)
+        caught_arr = V.word_to_array(caught, W)
+        ns_zero = np.zeros((max(1, len(self.circuit.ff_ids)), W),
+                           dtype=np.uint64)
+        ns_one = np.zeros_like(ns_zero)
+        vec_arr = self._vec_array(vectors)
+        _, _, frames = self._kernel_segment(
+            plan, zero, one, vec_arr, 0, last, True, True,
+            scan_observe, False, None, None, ns_zero, ns_one,
+            caught_arr)
+        counters.note_words(frames, len(chunk.indices))
+        return V.array_to_word(caught_arr), frames
+
+    # ------------------------------------------------------------------
+    def run_records_chunk(
+        self, sim: "FaultSimulator", chunk: "_Chunk",
+        vectors: Sequence[V.Vector], init_state: V.Vector,
+        scan_observe: Optional[Sequence[int]],
+        po_first: Dict[int, int], scan_diff: List[Set[int]],
+    ) -> None:
+        """One chunk of :meth:`FaultSimulator.run_with_records` on
+        arrays (no early exit; per-frame PO / scan-out diff words)."""
+        np = self.np
+        counters = sim.counters
+        counters.np_passes += 1
+        n_frames = len(vectors)
+        if n_frames == 0:
+            return
+        plan = self._plan_for(sim, chunk)
+        W = plan.n_words
+        zero, one = self._init_state(plan, init_state)
+        rec_po = np.zeros((n_frames, W), dtype=np.uint64)
+        rec_scan = np.zeros((n_frames, W), dtype=np.uint64)
+        if self.kernel_available:
+            vec_arr = self._vec_array(vectors)
+            ns_zero = np.zeros((max(1, len(self.circuit.ff_ids)), W),
+                               dtype=np.uint64)
+            ns_one = np.zeros_like(ns_zero)
+            caught = np.zeros(W, dtype=np.uint64)
+            self._kernel_segment(
+                plan, zero, one, vec_arr, 0, n_frames - 1, True, True,
+                scan_observe, False, rec_po, rec_scan, ns_zero, ns_one,
+                caught)
+        else:
+            stems_rows = plan.stems_rows()
+            branch_rows = plan.branch_rows()
+            for frame, vector in enumerate(vectors):
+                ns_z2, ns_o2 = self._py_frame(plan, zero, one, vector,
+                                              stems_rows, branch_rows)
+                po_now = 0
+                for nid in self.circuit.po_ids:
+                    po_now |= self._diff_int(zero[nid], one[nid])
+                rec_po[frame] = V.word_to_array(po_now, W)
+                sdiff = 0
+                positions = (range(len(self.circuit.ff_ids))
+                             if scan_observe is None else scan_observe)
+                for pos in positions:
+                    sdiff |= self._diff_int(ns_z2[pos], ns_o2[pos])
+                rec_scan[frame] = V.word_to_array(sdiff, W)
+                zero[self.ff_ids] = ns_z2
+                one[self.ff_ids] = ns_o2
+        counters.note_words(n_frames, len(chunk.indices))
+        po_seen = 0
+        for frame in range(n_frames):
+            po_now = V.array_to_word(rec_po[frame])
+            po_new = po_now & ~po_seen & ~1
+            if po_new:
+                for pos, fid in enumerate(chunk.indices):
+                    if po_new & chunk.bit_of(pos):
+                        po_first[fid] = frame
+                po_seen |= po_new
+            sdiff = V.array_to_word(rec_scan[frame]) & ~1
+            if sdiff:
+                frame_set = scan_diff[frame]
+                for pos, fid in enumerate(chunk.indices):
+                    if sdiff & chunk.bit_of(pos):
+                        frame_set.add(fid)

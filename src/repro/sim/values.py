@@ -16,12 +16,23 @@ is, by convention, the fault-free machine.
 This encoding makes 3-valued gate evaluation a handful of big-int
 bitwise operations, independent of how many machines are packed in a
 word.
+
+Array encoding
+--------------
+The numpy backend (:mod:`repro.sim.npsim`) stores the same packed
+machines as ``uint64`` arrays: big-int bit ``w`` lives in bit
+``w % 64`` of array word ``w // 64`` (little-endian word order).
+:func:`word_to_array` / :func:`array_to_word` convert losslessly in
+both directions, so scoreboard masks, detection bits and
+:class:`~repro.sim.counters.SimCounters` accounting stay
+backend-agnostic -- every cross-backend boundary goes through these
+two functions.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence, Tuple
+from typing import Any, Iterable, Sequence, Tuple
 
 ZERO = 0
 ONE = 1
@@ -112,6 +123,34 @@ def pack_lanes(values: Sequence[int]) -> Tuple[int, int]:
         elif value != X:
             raise ValueError(f"invalid scalar value {value!r}")
     return zero, one
+
+
+def word_to_array(word: int, n_words: int) -> Any:
+    """Expand a packed big-int into a ``uint64`` array of ``n_words``.
+
+    Bit ``w`` of ``word`` becomes bit ``w % 64`` of element
+    ``w // 64``.  Raises ValueError when ``word`` needs more than
+    ``n_words * 64`` bits; raises an actionable ImportError without
+    numpy (install the ``fast`` extra).
+    """
+    from .npsim import require_numpy
+    np = require_numpy()
+    try:
+        data = word.to_bytes(n_words * 8, "little")
+    except OverflowError:
+        raise ValueError(
+            f"word needs more than {n_words} uint64 words") from None
+    return np.frombuffer(data, dtype="<u8").copy()
+
+
+def array_to_word(arr: Any) -> int:
+    """Collapse a ``uint64`` array back into one packed big-int.
+
+    Exact inverse of :func:`word_to_array` for same-length arrays.
+    """
+    import numpy as np
+    return int.from_bytes(
+        np.ascontiguousarray(arr, dtype="<u8").tobytes(), "little")
 
 
 def random_binary_vector(width: int, rng: random.Random) -> Vector:

@@ -457,6 +457,24 @@ class TestPowerSerialization:
         assert "pw_words" in text and "pw_s" in text
         assert "-" in text
 
+    def test_engine_column_and_legacy_dashes(self, s27_full_run):
+        """The counters table shows the engine knob (``eng``) and the
+        numpy pass count (``np``); a checkpoint from before either
+        field renders dashes in those columns, not a KeyError."""
+        table = reporting.engine_counters_table([s27_full_run])
+        assert "eng" in table.headers and "np" in table.headers
+        row = dict(zip(table.headers, table.rows[0]))
+        assert row["eng"] == s27_full_run.knobs["engine"]
+        assert row["np"] == s27_full_run.counters["np_passes"]
+        data = reporting.run_to_dict(s27_full_run)
+        del data["knobs"]
+        del data["counters"]["np_passes"]
+        back = reporting.run_from_dict(data)
+        legacy = reporting.engine_counters_table([back])
+        row = dict(zip(legacy.headers, legacy.rows[0]))
+        assert row["eng"] is None and row["np"] is None
+        assert "-" in legacy.render()
+
     def test_jobspec_defaults_from_legacy_dict(self):
         """A spec dict from before the power fields still loads with
         the paper-reproducing defaults."""

@@ -365,3 +365,230 @@ class TestScanoutRegression:
         records = sim.run_with_records([], init_state=None)
         with pytest.raises(ValueError, match="no frames"):
             records.earliest_safe_scanout({0})
+
+
+# ----------------------------------------------------------------------
+# numpy array backend (optional dependency: repro[fast])
+# ----------------------------------------------------------------------
+
+try:
+    from repro.sim.npsim import (ArrayBackend, kernel_unavailable_reason,
+                                 numpy_available)
+    _HAS_NUMPY = numpy_available()
+    _HAS_KERNEL = _HAS_NUMPY and kernel_unavailable_reason() is None
+except ImportError:  # pragma: no cover - numpy present in CI
+    _HAS_NUMPY = _HAS_KERNEL = False
+
+needs_numpy = pytest.mark.skipif(not _HAS_NUMPY,
+                                 reason="numpy not installed")
+
+_NP_CACHE = {}
+
+
+def numpy_circuits_for(seed):
+    """One ``engine="numpy"`` circuit per executor path: the C kernel
+    (when a compiler is present) and the pure-numpy fallback."""
+    if seed not in _NP_CACHE:
+        net = synth.generate("equiv", _N_PI, 3, 5, 30, seed=seed)
+        out = []
+        if _HAS_KERNEL:
+            out.append(CompiledCircuit(net.copy(), engine="numpy"))
+        cc_py = CompiledCircuit(net.copy(), engine="numpy")
+        cc_py._array_backend = ArrayBackend(cc_py, use_kernel=False)
+        out.append(cc_py)
+        _NP_CACHE[seed] = out
+    return _NP_CACHE[seed]
+
+
+@needs_numpy
+class TestNumpyBackendEquivalence:
+    """``--engine numpy`` must be byte-identical to the big-int
+    engines under both executors (C kernel and pure-numpy fallback),
+    including X-laden stimuli, partial scan and early exit."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=circuit_seeds, data=st.data())
+    def test_detect_sets_identical(self, seed, data):
+        cc_codegen, _, fs = circuit_for(seed)
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        vectors = _vectors(data, rng, data.draw(st.integers(1, 10)))
+        init = (V.random_binary_vector(len(cc_codegen.ff_ids), rng)
+                if data.draw(st.booleans()) else None)
+        scan_out = data.draw(st.booleans())
+        early_exit = data.draw(st.booleans())
+
+        reference = FaultSimulator(cc_codegen, fs, width="auto").detect(
+            vectors, init, scan_out=scan_out, early_exit=False)
+        for cc_np in numpy_circuits_for(seed):
+            sim = FaultSimulator(cc_np, fs, width="auto")
+            got = sim.detect(vectors, init, scan_out=scan_out,
+                             early_exit=early_exit)
+            assert got == reference
+            assert sim.counters.np_passes > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=circuit_seeds, data=st.data())
+    def test_partial_scan_observation(self, seed, data):
+        cc_codegen, _, fs = circuit_for(seed)
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        n_ff = len(cc_codegen.ff_ids)
+        observe = sorted(rng.sample(range(n_ff),
+                                    data.draw(st.integers(0, n_ff))))
+        vectors = _vectors(data, rng, data.draw(st.integers(1, 6)))
+        init = V.random_binary_vector(n_ff, rng)
+
+        reference = FaultSimulator(cc_codegen, fs, width="auto").detect(
+            vectors, init, scan_observe=observe, early_exit=False)
+        for cc_np in numpy_circuits_for(seed):
+            got = FaultSimulator(cc_np, fs, width="auto").detect(
+                vectors, init, scan_observe=observe, early_exit=False)
+            assert got == reference
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=circuit_seeds, data=st.data())
+    def test_records_identical(self, seed, data):
+        cc_codegen, _, fs = circuit_for(seed)
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        vectors = _vectors(data, rng, data.draw(st.integers(1, 6)))
+        init = V.random_binary_vector(len(cc_codegen.ff_ids), rng)
+
+        ref = FaultSimulator(cc_codegen, fs, width="auto")\
+            .run_with_records(vectors, init)
+        for cc_np in numpy_circuits_for(seed):
+            alt = FaultSimulator(cc_np, fs, width="auto")\
+                .run_with_records(vectors, init)
+            for frame in range(len(vectors)):
+                assert (ref.detected_with_scanout_at(frame)
+                        == alt.detected_with_scanout_at(frame))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=circuit_seeds, data=st.data())
+    def test_omission_identical(self, seed, data):
+        """Phase-2 suffix trials route through the kernel; the
+        shortened test, its detections and the trial-by-trial search
+        path must match the big-int engine exactly."""
+        from repro.core.omission import omit_vectors
+        from repro.core.scan_test import ScanTest
+        cc_codegen, _, fs = circuit_for(seed)
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        vectors = _vectors(data, rng, data.draw(st.integers(4, 12)))
+        init = V.random_binary_vector(len(cc_codegen.ff_ids), rng)
+        required = set(FaultSimulator(cc_codegen, fs, width="auto")
+                       .detect(vectors, init, early_exit=False))
+        test = ScanTest(tuple(init), tuple(tuple(v) for v in vectors))
+        ref_sim = FaultSimulator(cc_codegen, fs, width="auto")
+        ref = omit_vectors(ref_sim, test, set(required))
+        for cc_np in numpy_circuits_for(seed):
+            sim = FaultSimulator(cc_np, fs, width="auto")
+            got = omit_vectors(sim, test, set(required))
+            assert got.test == ref.test
+            assert got.detected == ref.detected
+            assert got.trials == ref.trials
+            assert (sim.counters.frames, sim.counters.words) == \
+                (ref_sim.counters.frames, ref_sim.counters.words)
+
+
+@needs_numpy
+class TestNumpyRepack:
+    def test_forced_repacks_identical(self, monkeypatch):
+        """Aggressive in-pass retirement repacks inside the kernel's
+        pass loop (and the fallback's); sets, repack counts and word
+        accounting stay exactly the big-int engine's."""
+        monkeypatch.setattr(fault_sim_mod, "_REPACK_MIN_MACHINES", 2)
+        monkeypatch.setattr(fault_sim_mod, "_REPACK_MIN_FRAMES_LEFT", 1)
+        net = synth.generate("repack", 5, 4, 8, 80, seed=3)
+        cc = CompiledCircuit(net)
+        fs = FaultSet.collapsed(net)
+        vectors = random_gen.random_sequence(cc, 30, seed=1)
+        init = random_gen.random_state(cc, seed=2)
+
+        ref_sim = FaultSimulator(cc, fs, width="auto")
+        reference = ref_sim.detect(vectors, init, early_exit=True)
+        assert ref_sim.counters.repacks > 0
+
+        for use_kernel in ([True, False] if _HAS_KERNEL else [False]):
+            cc_np = CompiledCircuit(net.copy(), engine="numpy")
+            cc_np._array_backend = ArrayBackend(cc_np,
+                                                use_kernel=use_kernel)
+            sim = FaultSimulator(cc_np, fs, width="auto")
+            got = sim.detect(vectors, init, early_exit=True)
+            assert got == reference
+            c, r = sim.counters, ref_sim.counters
+            assert (c.repacks, c.faults_dropped) == \
+                (r.repacks, r.faults_dropped)
+            assert (c.frames, c.words, c.machines) == \
+                (r.frames, r.words, r.machines)
+            assert c.np_passes > 0
+
+
+@needs_numpy
+class TestEngineSelection:
+    def test_auto_threshold_routes_by_machine_count(self):
+        """engine="auto" uses the array backend only for chunks at or
+        above the probe threshold (and only when the kernel loaded);
+        engine="numpy" always uses it."""
+        net = synth.generate("autoeq", 4, 3, 5, 40, seed=1)
+        fs = FaultSet.collapsed(net)
+        cc = CompiledCircuit(net, engine="auto")
+        sim = FaultSimulator(cc, fs, width="auto")
+        if not _HAS_KERNEL:
+            assert sim._array_backend_for(10 ** 6) is None
+            return
+        assert sim._array_backend_for(sim.np_auto_min - 2) is None
+        assert sim._array_backend_for(sim.np_auto_min) is not None
+        sim._force_bigint = True
+        assert sim._array_backend_for(10 ** 6) is None
+
+    def test_auto_env_override(self, monkeypatch):
+        if not _HAS_KERNEL:
+            pytest.skip("no C kernel: auto never routes to numpy")
+        monkeypatch.setenv("REPRO_NP_AUTO_MIN", "3")
+        net = synth.generate("autoeq2", 4, 3, 5, 40, seed=1)
+        fs = FaultSet.collapsed(net)
+        sim = FaultSimulator(CompiledCircuit(net, engine="auto"), fs)
+        assert sim.np_auto_min == 3
+        assert sim._array_backend_for(2) is not None
+
+    def test_auto_agrees_with_codegen(self):
+        net = synth.generate("autoeq3", 4, 3, 6, 50, seed=2)
+        fs = FaultSet.collapsed(net)
+        vectors = random_gen.random_sequence(
+            CompiledCircuit(net), 12, seed=3)
+        init = random_gen.random_state(CompiledCircuit(net), seed=4)
+        ref = FaultSimulator(CompiledCircuit(net, engine="codegen"),
+                             fs, width="auto").detect(
+            vectors, init, early_exit=False)
+        got = FaultSimulator(CompiledCircuit(net, engine="auto"),
+                             fs, width="auto").detect(
+            vectors, init, early_exit=False)
+        assert got == ref
+
+    def test_missing_numpy_raises_actionable_error(self, monkeypatch):
+        """CompiledCircuit(engine="numpy") surfaces MissingNumpyError
+        eagerly at construction when numpy cannot be imported."""
+        from repro.sim import logicsim, npsim
+
+        def _raise():
+            raise npsim.MissingNumpyError("install repro[fast]")
+
+        monkeypatch.setattr(npsim, "require_numpy", _raise)
+        net = synth.generate("noeq", 3, 2, 3, 15, seed=0)
+        with pytest.raises(npsim.MissingNumpyError,
+                           match=r"repro\[fast\]"):
+            logicsim.CompiledCircuit(net, engine="numpy")
+
+    def test_sanitizer_shadow_is_cross_backend(self, monkeypatch):
+        """With the sanitizer armed, a numpy-engine detect is spot
+        checked against a big-int shadow with the opposite packing --
+        and the shadow really is big-int (_force_bigint)."""
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        net = synth.generate("sancb", 4, 3, 5, 40, seed=6)
+        fs = FaultSet.collapsed(net)
+        cc = CompiledCircuit(net, engine="numpy")
+        sim = FaultSimulator(cc, fs, width="auto")
+        vectors = random_gen.random_sequence(cc, 6, seed=1)
+        init = random_gen.random_state(cc, seed=2)
+        sim.detect(vectors, init, early_exit=False)
+        assert sim.counters.np_passes > 0
+        assert sim._sanitize_spots_left < fault_sim_mod.\
+            _SANITIZE_SPOT_BUDGET

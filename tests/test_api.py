@@ -29,6 +29,16 @@ class TestWorkbench:
         with pytest.raises(ValueError, match="engine"):
             api.Workbench.for_netlist(s27, engine="fpga")
 
+    def test_numpy_and_auto_engines(self, s27):
+        pytest.importorskip("numpy")
+        wb = api.Workbench.for_netlist(s27, engine="numpy")
+        assert wb.circuit.engine == "numpy"
+        assert wb.circuit.array_backend is not None
+        auto = api.Workbench.for_netlist(s27, engine="auto")
+        assert auto.circuit.engine == "auto"
+        # auto still detects correctly whatever executor it picked.
+        assert len(auto.faults) == len(wb.faults)
+
 
 class TestCompactTests:
     def test_seqgen_arm(self, s27):

@@ -54,6 +54,19 @@ class TestParser:
             build_parser().parse_args(
                 ["circuit", "s27", "--engine", "fpga"])
 
+    def test_engine_choices_include_numpy_and_auto(self):
+        for engine in ("interp", "codegen", "numpy", "auto"):
+            args = build_parser().parse_args(
+                ["circuit", "s27", "--engine", engine])
+            assert args.engine == engine
+
+    def test_circuit_numpy_engine(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["circuit", "s27", "--engine", "numpy"]) == 0
+        out = capsys.readouterr().out
+        assert "Engine counters" in out
+        assert "numpy" in out  # the eng column records the knob
+
     def test_candidate_scan_flag(self, capsys):
         args = build_parser().parse_args(["circuit", "s27"])
         assert args.candidate_scan == "lanes"
