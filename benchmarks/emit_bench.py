@@ -32,6 +32,22 @@ it and records the check in the JSON.  The emitted file carries
 circuit stats, per-arm wall clock and engine counters, and the
 speedup ratio.
 
+``--trials`` benchmarks the lane-batched trial engine: the full
+proposed procedure under ``trial_batch=1`` (scalar per-trial loops)
+vs the default ``trial_batch=64`` (Phase-3 candidate blocks, Phase-4
+merge-trial prefetching) on the numpy engine when available.  The
+emitted ``BENCH_trials.json`` records both arms' Phase-3+4 wall clock
+and asserts byte-identical results; ``--gate RATIO`` fails when the
+batched trial time exceeds ``RATIO`` x the scalar time (the committed
+artifact shows >= 2x, i.e. ratio <= 0.5, on the full circuit).
+
+``--adi`` compares the Accidental-Detection-Index-guided run
+(``adi=True``, census from the random phase of combinational test
+generation) against the flag-off default.  ``BENCH_adi.json`` records
+both arms' detect passes and final clock cycles; the quality gate
+(``--gate`` with any value) requires identical final fault coverage,
+fewer total detect passes, and cycles no worse than the baseline.
+
 ``--power`` sweeps every X-fill strategy (:data:`repro.sim.values.
 FILL_STRATEGIES`) over the quick suite: one proposed-procedure run per
 (circuit, strategy), measuring the final test set's peak/average shift
@@ -444,6 +460,188 @@ def build_phase1_payload(quick: bool, seed: int = 1,
     }
 
 
+def _run_trial_arm(netlist, comb_tests, t0, trial_batch: int,
+                   engine: str, adi: bool = False,
+                   adi_scores=None) -> Dict[str, Any]:
+    """One full proposed-procedure pass under a trial-batch budget."""
+    circuit = CompiledCircuit(netlist, engine=engine)
+    faults = FaultSet.collapsed(netlist)
+    counters = SimCounters()
+    sim = FaultSimulator(circuit, faults, width="auto",
+                         counters=counters)
+    comb_sim = CombPatternSim(circuit, faults)
+    started = time.perf_counter()
+    result = run_proposed(sim, comb_sim, t0, comb_tests,
+                          trial_batch=trial_batch,
+                          adi=adi, adi_scores=adi_scores)
+    seconds = time.perf_counter() - started
+    final = result.compacted_set or result.test_set
+    return {
+        "engine": engine,
+        "trial_batch": trial_batch,
+        "adi": adi,
+        "seconds": round(seconds, 3),
+        "phase3_seconds": round(counters.phase3_s, 3),
+        "phase4_seconds": round(counters.phase4_s, 3),
+        "counters": counters.as_dict(),
+        "result": {
+            "seq_detected": len(result.seq_detected),
+            "final_detected": len(result.final_detected),
+            "tests": len(final),
+            "cycles": final.clock_cycles(),
+            "tau_seq_length": result.tau_seq.length,
+        },
+        "_sets": (result.seq_detected, result.final_detected,
+                  tuple(final.tests), final.clock_cycles()),
+    }
+
+
+def _trials_circuit(quick: bool, seed: int):
+    """The profile circuit plus its comb set and ``T0`` stimuli."""
+    profile = QUICK_PROFILE if quick else FULL_PROFILE
+    netlist = synth.generate(profile["name"], profile["n_pi"],
+                             profile["n_po"], profile["n_ff"],
+                             profile["n_gates"], seed=profile["seed"])
+    circuit = CompiledCircuit(netlist)
+    faults = FaultSet.collapsed(netlist)
+    comb = comb_set_mod.generate(circuit, faults, seed=seed)
+    t0 = random_gen.random_sequence(circuit, profile["t0_length"],
+                                    seed=seed)
+    print(f"circuit {profile['name']}: {netlist.num_gates} gates, "
+          f"{netlist.num_ffs} FFs, {len(faults)} collapsed faults, "
+          f"{len(comb.tests)} comb tests, |T0|={len(t0)}")
+    return profile, netlist, faults, comb, t0
+
+
+def _circuit_block(profile, netlist, faults, comb, t0) -> Dict[str, Any]:
+    return {
+        "name": profile["name"],
+        "pi": netlist.num_inputs,
+        "po": netlist.num_outputs,
+        "ff": netlist.num_ffs,
+        "gates": netlist.num_gates,
+        "faults": len(faults),
+        "comb_tests": len(comb.tests),
+        "t0_length": len(t0),
+    }
+
+
+def build_trials_payload(quick: bool, seed: int = 1) -> Dict[str, Any]:
+    """The ``--trials`` payload: scalar vs lane-batched trial engine.
+
+    Runs the full proposed procedure twice on the profile circuit --
+    ``trial_batch=1`` (the scalar per-trial loops) and the default
+    ``trial_batch=64`` (Phase-3 candidate blocks + Phase-4 merge-trial
+    prefetching) -- on the numpy engine when available (codegen
+    otherwise), asserting byte-identical results and reporting the
+    Phase-3+4 wall-clock ratio the CI gate checks.
+    """
+    profile, netlist, faults, comb, t0 = _trials_circuit(quick, seed)
+    engine = "numpy" if npsim.numpy_available() else "codegen"
+
+    print(f"scalar: trial_batch=1, engine={engine} ...", flush=True)
+    scalar = _run_trial_arm(netlist, comb.tests, t0, 1, engine)
+    print(f"  {scalar['seconds']}s (p3 {scalar['phase3_seconds']}s, "
+          f"p4 {scalar['phase4_seconds']}s)")
+    print(f"batched: trial_batch=64, engine={engine} ...", flush=True)
+    batched = _run_trial_arm(netlist, comb.tests, t0, 64, engine)
+    print(f"  {batched['seconds']}s (p3 {batched['phase3_seconds']}s, "
+          f"p4 {batched['phase4_seconds']}s)")
+
+    identical = scalar.pop("_sets") == batched.pop("_sets")
+    if not identical:
+        print("ERROR: scalar and batched trials disagree on results",
+              file=sys.stderr)
+    scalar_trials = scalar["phase3_seconds"] + scalar["phase4_seconds"]
+    batched_trials = (batched["phase3_seconds"]
+                      + batched["phase4_seconds"])
+    speedup = scalar_trials / max(batched_trials, 1e-9)
+    return {
+        "bench": "trials: lane-batched Phase-3/4 trial simulation vs "
+                 "scalar loops",
+        "circuit": _circuit_block(profile, netlist, faults, comb, t0),
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "engine": engine,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": _numpy_version(),
+            "np_kernel": (npsim.kernel_unavailable_reason() is None
+                          if npsim.numpy_available() else False),
+        },
+        "scalar": scalar,
+        "batched": batched,
+        "trial_seconds": {"scalar": round(scalar_trials, 3),
+                          "batched": round(batched_trials, 3)},
+        "speedup": round(speedup, 2),
+        "identical_results": identical,
+    }
+
+
+def build_adi_payload(quick: bool, seed: int = 1) -> Dict[str, Any]:
+    """The ``--adi`` payload: ADI-guided ordering vs the plain run.
+
+    The baseline arm is the flag-off default; the ADI arm feeds the
+    random-phase accidental-detection census into Phase-1/3 ordering
+    and fused-word packing.  The quality gates: identical final fault
+    coverage (hard requirement), fewer total detect passes, and final
+    clock cycles no worse than the baseline.
+    """
+    profile, netlist, faults, comb, t0 = _trials_circuit(quick, seed)
+    engine = "numpy" if npsim.numpy_available() else "codegen"
+
+    print(f"baseline: adi=off, engine={engine} ...", flush=True)
+    baseline = _run_trial_arm(netlist, comb.tests, t0, 64, engine)
+    print(f"  {baseline['seconds']}s, "
+          f"{baseline['counters']['detect_passes']} detect passes, "
+          f"{baseline['result']['cycles']} cycles")
+    print(f"adi: census-guided ordering, engine={engine} ...",
+          flush=True)
+    adi_arm = _run_trial_arm(netlist, comb.tests, t0, 64, engine,
+                             adi=True, adi_scores=comb.adi)
+    print(f"  {adi_arm['seconds']}s, "
+          f"{adi_arm['counters']['detect_passes']} detect passes, "
+          f"{adi_arm['result']['cycles']} cycles, "
+          f"{adi_arm['counters']['adi_orderings']} orderings")
+
+    base_sets = baseline.pop("_sets")
+    adi_sets = adi_arm.pop("_sets")
+    identical_coverage = base_sets[1] == adi_sets[1]
+    if not identical_coverage:
+        print("ERROR: ADI ordering changed the final fault coverage",
+              file=sys.stderr)
+    fewer_passes = (adi_arm["counters"]["detect_passes"]
+                    < baseline["counters"]["detect_passes"])
+    cycles_le = (adi_arm["result"]["cycles"]
+                 <= baseline["result"]["cycles"])
+    return {
+        "bench": "adi: accidental-detection-index ordering vs the "
+                 "plain proposed procedure",
+        "circuit": _circuit_block(profile, netlist, faults, comb, t0),
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "engine": engine,
+            "adi_census_size": len(comb.adi),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": _numpy_version(),
+        },
+        "baseline": baseline,
+        "adi": adi_arm,
+        "detect_passes": {
+            "baseline": baseline["counters"]["detect_passes"],
+            "adi": adi_arm["counters"]["detect_passes"],
+        },
+        "cycles": {"baseline": baseline["result"]["cycles"],
+                   "adi": adi_arm["result"]["cycles"]},
+        "identical_coverage": identical_coverage,
+        "fewer_detect_passes": fewer_passes,
+        "cycles_le_baseline": cycles_le,
+    }
+
+
 def _power_run(profile, strategy: Optional[str], seed: int):
     """One proposed-procedure run (random ``T0`` arm) on a suite
     circuit; ``strategy=None`` means *default parameters* -- the
@@ -566,6 +764,12 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--power", action="store_true",
                         help="sweep the X-fill strategies' power on "
                              "the quick suite instead of the engine")
+    parser.add_argument("--trials", action="store_true",
+                        help="benchmark the lane-batched Phase-3/4 "
+                             "trial engine vs the scalar loops")
+    parser.add_argument("--adi", action="store_true",
+                        help="compare ADI-guided ordering against the "
+                             "plain proposed procedure (quality gate)")
     parser.add_argument("--gate", type=float, metavar="RATIO",
                         help="fail (exit 1) when the after/lanes wall "
                              "clock exceeds RATIO x before/scalar")
@@ -577,6 +781,54 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("-o", "--out", default=None)
     args = parser.parse_args(argv)
+
+    if args.trials:
+        out = args.out or "BENCH_trials.json"
+        payload = build_trials_payload(quick=args.quick, seed=args.seed)
+        atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}: phase-3/4 trial speedup "
+              f"x{payload['speedup']} (identical results: "
+              f"{payload['identical_results']})")
+        if not payload["identical_results"]:
+            return 1
+        if args.gate is not None:
+            ratio = (payload["trial_seconds"]["batched"]
+                     / max(payload["trial_seconds"]["scalar"], 1e-9))
+            if ratio > args.gate:
+                print(f"PERF GATE FAILED: batched/scalar trial time "
+                      f"= {ratio:.2f} > {args.gate}", file=sys.stderr)
+                return 1
+            print(f"perf gate ok: batched/scalar trial time "
+                  f"= {ratio:.2f} <= {args.gate}")
+        return 0
+
+    if args.adi:
+        out = args.out or "BENCH_adi.json"
+        payload = build_adi_payload(quick=args.quick, seed=args.seed)
+        atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}: detect passes "
+              f"{payload['detect_passes']['baseline']} -> "
+              f"{payload['detect_passes']['adi']}, cycles "
+              f"{payload['cycles']['baseline']} -> "
+              f"{payload['cycles']['adi']} (identical coverage: "
+              f"{payload['identical_coverage']})")
+        if not payload["identical_coverage"]:
+            return 1
+        if args.gate is not None:
+            ok = True
+            if not payload["fewer_detect_passes"]:
+                print("ADI GATE FAILED: no reduction in detect passes",
+                      file=sys.stderr)
+                ok = False
+            if not payload["cycles_le_baseline"]:
+                print("ADI GATE FAILED: final cycles exceed the "
+                      "baseline", file=sys.stderr)
+                ok = False
+            if not ok:
+                return 1
+            print("adi gate ok: fewer detect passes, cycles <= "
+                  "baseline, identical coverage")
+        return 0
 
     if args.power:
         out = args.out or "BENCH_power.json"

@@ -125,6 +125,9 @@ def compact_tests(
     power_budget: Optional[float] = None,
     observer: Optional[PhaseObserver] = None,
     resume: Optional[Dict[str, Any]] = None,
+    trial_batch: int = 64,
+    adi: bool = False,
+    adi_scores: Optional[Dict[int, int]] = None,
 ) -> ProposedResult:
     """Run the paper's proposed procedure on a circuit.
 
@@ -165,6 +168,25 @@ def compact_tests(
         :func:`repro.core.proposed.run`.  When ``resume`` names a
         completed Phase 2 (or later), ``T0`` generation is skipped
         entirely -- the salvaged state already embodies it.
+    trial_batch:
+        Lane budget for batched trial simulation (Phase-3 candidate
+        blocks, Phase-4 merge-trial prefetching); results are
+        byte-identical for every value, ``1`` forces the scalar
+        loops.  See :func:`repro.core.proposed.run`.
+    adi:
+        Enable Accidental-Detection-Index guidance: the random phase
+        of combinational test generation doubles as the ADI census
+        (arXiv:0710.4637) and its scores order Phase-1/3 choices and
+        fused-word packing.  Off (the default) keeps every output
+        byte-identical.  When this call generates the combinational
+        set itself the census comes for free; with an explicit
+        ``comb_tests=`` pass the matching ``adi_scores`` (e.g.
+        ``CombSetResult.adi``) alongside, else ADI degrades to the
+        all-zero map (orderings fall back to their plain tie-breaks).
+    adi_scores:
+        Explicit fault index -> accidental-detection count map; only
+        consulted when ``adi`` is set and overrides the census of a
+        locally generated set.
 
     Raises
     ------
@@ -174,9 +196,12 @@ def compact_tests(
     wb = workbench or Workbench.for_netlist(netlist)
     resume_phase = int(resume["phase"]) if resume else 0
     if comb_tests is None:
-        comb_tests = generate_comb_set(netlist, seed=seed,
-                                       workbench=wb,
-                                       x_fill=x_fill).tests
+        comb_result = generate_comb_set(netlist, seed=seed,
+                                        workbench=wb,
+                                        x_fill=x_fill)
+        comb_tests = comb_result.tests
+        if adi and adi_scores is None:
+            adi_scores = comb_result.adi
     if t0 is None:
         if resume_phase >= 2:
             t0 = ()
@@ -205,7 +230,9 @@ def compact_tests(
                         candidate_scan=candidate_scan,
                         merge_filter=merge_filter,
                         topoff_power_key=power_key,
-                        observer=observer, resume=resume)
+                        observer=observer, resume=resume,
+                        trial_batch=trial_batch,
+                        adi=adi, adi_scores=adi_scores)
 
 
 def baseline_static(

@@ -142,6 +142,8 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
                                   candidate_scan=args.candidate_scan,
                                   x_fill=args.x_fill,
                                   power_budget=args.power_budget,
+                                  trial_batch=args.trial_batch,
+                                  adi=args.adi,
                                   config=_harness_config(args))
     print(render_all(all_tables(outcome.runs,
                                 with_transition=args.transition,
@@ -168,6 +170,8 @@ def _cmd_tables(args: argparse.Namespace) -> int:
                                   candidate_scan=args.candidate_scan,
                                   x_fill=args.x_fill,
                                   power_budget=args.power_budget,
+                                  trial_batch=args.trial_batch,
+                                  adi=args.adi,
                                   config=_harness_config(args),
                                   verbose=True)
     tables = all_tables(outcome.runs, with_transition=args.transition,
@@ -433,6 +437,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "candidate-parallel transposed lanes "
                              "(default) or one pass per candidate "
                              "state (scalar); results are identical")
+    egroup.add_argument("--trial-batch", type=int, default=64,
+                        dest="trial_batch", metavar="N",
+                        help="trial simulations packed per lane-"
+                             "batched pass in Phases 3/4 (default: "
+                             "64; 1 disables batching; results are "
+                             "identical either way)")
+    egroup.add_argument("--adi", action="store_true",
+                        help="order work by the Accidental Detection "
+                             "Index (arXiv:0710.4637): fused-word "
+                             "packing, Phase-1 tie-breaks and Phase-3 "
+                             "target order follow the random-phase "
+                             "accidental-detection census (default: "
+                             "off, the byte-exact paper reproduction)")
     egroup.add_argument("--sanitize", action="store_true",
                         help="arm the engine-invariant sanitizer "
                              "(exports REPRO_SANITIZE=1; worker "

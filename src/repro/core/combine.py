@@ -57,6 +57,12 @@ from ..sim import values as V
 from ..sim.fault_sim import FaultSimulator
 from .scan_test import ScanTest, ScanTestSet
 
+# A lane-batched trial pass targets the union of the batch's essential
+# sets; past this many union faults the pass costs more than the lanes
+# save, so prefetching stops collecting candidates (soundness does not
+# depend on the value -- skipped pairs just prefetch later).
+_PREFETCH_FAULT_CAP = 32
+
 
 @dataclass
 class CombineStats:
@@ -116,22 +122,34 @@ def _detection_counts(detects: List[Set[int]]) -> Dict[int, int]:
     return count
 
 
-def _pair_essentials(count: Dict[int, int], det_i: Set[int],
-                     det_j: Set[int]) -> Set[int]:
-    """Faults covered *only* by tests ``i`` and/or ``j``.
+def _essential_sets(detects: List[Set[int]], count: Dict[int, int]
+                    ) -> Tuple[List[Set[int]], List[Set[int]]]:
+    """Per-test singly- and doubly-covered fault sets.
 
-    These are exactly the faults the combined test must keep: every
-    other fault of ``det_i | det_j`` stays covered by some third test.
-    Note a fault detected by both ``i`` and ``j`` (count 2) is
-    essential to the *pair* even though it is essential to neither
-    test alone.
+    ``ess[k]`` holds the faults only test ``k`` detects; ``two[k]``
+    those covered by exactly two tests, ``k`` among them.  The faults a
+    candidate merge of tests ``i`` and ``j`` must keep -- the faults no
+    *third* test covers -- are then ``ess[i] | ess[j] |
+    (two[i] & two[j])``: a fault of the pair with no outside coverage
+    is either singly covered by one of the two, or covered by exactly
+    both (essential to the pair though to neither test alone).
+    Precomputing the index once per ``count`` rebuild turns the
+    per-pair essential computation into three C-level set operations.
     """
-    essential = set()
-    for fid in det_i | det_j:
-        outside = count[fid] - (fid in det_i) - (fid in det_j)
-        if outside == 0:
-            essential.add(fid)
-    return essential
+    ess: List[Set[int]] = []
+    two: List[Set[int]] = []
+    for det in detects:
+        e: Set[int] = set()
+        t: Set[int] = set()
+        for fid in det:
+            c = count[fid]
+            if c == 1:
+                e.add(fid)
+            elif c == 2:
+                t.add(fid)
+        ess.append(e)
+        two.append(t)
+    return ess, two
 
 
 def static_compact(
@@ -147,6 +165,7 @@ def static_compact(
     known_detections: Optional[Dict[ScanTest, Set[int]]] = None,
     retire_to=None,
     merge_filter: Optional[Callable[[ScanTest], bool]] = None,
+    trial_batch: int = 64,
 ) -> CombineResult:
     """Compact ``test_set`` by combining test pairs ([4]).
 
@@ -194,6 +213,19 @@ def static_compact(
         (the default) keeps the procedure of [4] byte-identical.
         The predicate must be deterministic: rejected pairs are
         remembered and never retried.
+    trial_batch:
+        Maximum merge trials speculatively simulated per lane-batched
+        pass (:meth:`~repro.sim.fault_sim.FaultSimulator.
+        detect_trials`): before a cache-missing trial runs, the
+        upcoming candidate merges of the same row are prefetched, one
+        lane each, and their exact detection records cached.  Results,
+        stats and acceptance order are byte-identical to the scalar
+        procedure for every value (the equivalence suite enforces
+        it); ``1`` disables prefetching entirely.  With
+        ``max_transfer > 0`` the per-length transfer candidates batch
+        the same way, which reorders the RNG draws of a partially
+        successful attempt round relative to ``trial_batch=1`` --
+        transfers default off, so the default path is unaffected.
     """
     if target is None:
         target = set(range(len(sim.faults)))
@@ -205,12 +237,18 @@ def static_compact(
     detects = _detections(sim, tests, order, cache)
     coverage = set().union(*detects) if detects else set()
     failed: Set[Tuple[ScanTest, ScanTest]] = set()
+    # Speculative trial records: combined test -> (covered, detected).
+    # ``detected`` is exact over ``covered``; because per-fault
+    # detection is independent, ``detected & must`` equals the scalar
+    # trial result for any ``must <= covered``.
+    trial_cache: Dict[ScanTest, Tuple[Set[int], Set[int]]] = {}
     max_transfer = min(max_transfer, max(0, sim.n_state_vars - 1))
     rng = random.Random(seed)
     n_pi = len(sim.circuit.pi_ids)
 
     for _ in range(max_rounds):
         count = _detection_counts(detects)
+        ess, two = _essential_sets(detects, count)
         accepted_any = False
         i = 0
         while i < len(tests):
@@ -234,17 +272,30 @@ def static_compact(
                     failed.add((first, second))
                     j += 1
                     continue
-                must = _pair_essentials(count, detects[i], detects[j])
+                must = ess[i] | ess[j] | (two[i] & two[j])
                 stats.combinations_tried += 1
                 sim.counters.combine_trials += 1
-                det_must = sim.detect(list(combined.vectors),
-                                      combined.scan_in,
-                                      target=sorted(must),
-                                      early_exit=True)
+                det_must: Optional[Set[int]] = None
+                if trial_batch > 1:
+                    hit = trial_cache.get(combined)
+                    if hit is None or not must <= hit[0]:
+                        _prefetch_trials(
+                            sim, tests, ess, two, i, j, failed,
+                            max_sequence_length, merge_filter,
+                            trial_batch, trial_cache)
+                        hit = trial_cache.get(combined)
+                    if hit is not None and must <= hit[0]:
+                        det_must = hit[1] & must
+                if det_must is None:
+                    det_must = sim.detect(list(combined.vectors),
+                                          combined.scan_in,
+                                          target=sorted(must),
+                                          early_exit=True)
                 if not must <= det_must and max_transfer > 0:
                     transfer = _find_transfer_sequence(
                         sim, first, second, must, max_transfer,
-                        transfer_pool, transfer_attempts, rng, n_pi)
+                        transfer_pool, transfer_attempts, rng, n_pi,
+                        trial_batch=trial_batch)
                     if transfer is not None:
                         with_transfer = ScanTest(
                             first.scan_in,
@@ -282,6 +333,7 @@ def static_compact(
                     detects.insert(lo, det_full)
                     coverage |= det_full
                     count = _detection_counts(detects)
+                    ess, two = _essential_sets(detects, count)
                     stats.combinations_accepted += 1
                     accepted_any = True
                     if j < i:
@@ -302,6 +354,94 @@ def static_compact(
     return CombineResult(final, coverage, stats)
 
 
+def _prefetch_trials(
+    sim: FaultSimulator,
+    tests: Sequence[ScanTest],
+    ess: Sequence[Set[int]],
+    two: Sequence[Set[int]],
+    i: int,
+    j: int,
+    failed: Set[Tuple[ScanTest, ScanTest]],
+    max_sequence_length: Optional[int],
+    merge_filter: Optional[Callable[[ScanTest], bool]],
+    trial_batch: int,
+    trial_cache: Dict[ScanTest, Tuple[Set[int], Set[int]]],
+) -> None:
+    """Speculatively simulate the upcoming merge trials of row ``i``.
+
+    Scans forward over the partners the inner loop will visit next
+    (mirroring its skip rules without touching its bookkeeping --
+    stats, the failed set and rejection accounting stay with the main
+    loop), batches the surviving candidate merges through
+    :meth:`~repro.sim.fault_sim.FaultSimulator.detect_trials` one lane
+    each, and records per-test ``(covered, detected)`` pairs in
+    ``trial_cache``.  A record is exact for any essential set inside
+    ``covered`` because per-fault detection is independent, so a pair
+    the loop later visits with a *grown* essential set (an acceptance
+    changed ``count`` in between) simply misses and re-prefetches;
+    wrong speculation can waste lanes, never change a result.
+
+    The batch is additionally capped by the *union* of essential sets
+    (:data:`_PREFETCH_FAULT_CAP`): every lane pass targets the union,
+    so disjoint essential sets would otherwise inflate the per-pass
+    fault-group count quadratically with the lane count.  Stopping the
+    scan early only shrinks the speculation window -- the skipped
+    pairs prefetch on a later miss -- so results stay byte-identical
+    for every cap value.
+    """
+    first = tests[i]
+    ess_i = ess[i]
+    two_i = two[i]
+    pending: List[ScanTest] = []
+    musts: Dict[ScanTest, Set[int]] = {}
+    union: Set[int] = set()
+    jj = j
+    while jj < len(tests) and len(pending) < trial_batch:
+        if jj == i:
+            jj += 1
+            continue
+        second = tests[jj]
+        if (first, second) in failed:
+            jj += 1
+            continue
+        if max_sequence_length is not None and \
+                first.length + second.length > max_sequence_length:
+            jj += 1
+            continue
+        combined = first.combined_with(second)
+        if merge_filter is not None and not merge_filter(combined):
+            jj += 1
+            continue
+        must = ess_i | ess[jj] | (two_i & two[jj])
+        hit = trial_cache.get(combined)
+        if hit is not None and must <= hit[0]:
+            jj += 1
+            continue
+        if pending and len(union | must) > _PREFETCH_FAULT_CAP:
+            break
+        union |= must
+        if combined in musts:
+            musts[combined] |= must
+        else:
+            musts[combined] = set(must)
+            pending.append(combined)
+        jj += 1
+    if not pending:
+        return
+    if union:
+        results = sim.detect_trials(
+            [(t.scan_in, list(t.vectors)) for t in pending],
+            target=sorted(union))
+    else:
+        results = [set() for _ in pending]
+    for t, det in zip(pending, results):
+        prev = trial_cache.get(t)
+        if prev is None:
+            trial_cache[t] = (set(union), det)
+        else:
+            trial_cache[t] = (prev[0] | union, prev[1] | det)
+
+
 def _find_transfer_sequence(
     sim: FaultSimulator,
     first: ScanTest,
@@ -312,6 +452,7 @@ def _find_transfer_sequence(
     attempts: int,
     rng: random.Random,
     n_pi: int,
+    trial_batch: int = 1,
 ) -> Optional[List[V.Vector]]:
     """A transfer sequence making ``first ++ transfer ++ second`` keep
     every pair-essential fault (ref [7]), or ``None``.
@@ -320,19 +461,45 @@ def _find_transfer_sequence(
     of ``first``'s last vector, and random vectors.  Shortest working
     transfer wins, since each transfer vector eats into the ``N_SV``
     cycles the combination saves.
+
+    With ``trial_batch > 1`` all candidates of a length are built
+    up front and simulated in one lane-batched pass; the winner is
+    still the lowest attempt number, but a round that would have
+    stopped early under ``trial_batch=1`` now draws RNG for its
+    remaining attempts, so pool/random choices in *later* rounds can
+    differ between batched and scalar runs.  Both remain valid
+    transfer searches; byte-identity is only promised for the paper's
+    default ``max_transfer=0`` (no call at all).
     """
+
+    def _build(attempt: int, length: int) -> List[V.Vector]:
+        transfer: List[V.Vector] = []
+        for position in range(length):
+            roll = (attempt + position) % 3
+            if roll == 0 and transfer_pool:
+                transfer.append(tuple(
+                    transfer_pool[rng.randrange(len(transfer_pool))]))
+            elif roll == 1:
+                transfer.append(tuple(first.vectors[-1]))
+            else:
+                transfer.append(V.random_binary_vector(n_pi, rng))
+        return transfer
+
     for length in range(1, max_transfer + 1):
+        if trial_batch > 1 and attempts > 1:
+            candidates = [_build(a, length) for a in range(attempts)]
+            sim.counters.combine_trials += len(candidates)
+            results = sim.detect_trials(
+                [(first.scan_in,
+                  list(first.vectors) + list(c) + list(second.vectors))
+                 for c in candidates],
+                target=sorted(must))
+            for cand, det in zip(candidates, results):
+                if must <= det:
+                    return cand
+            continue
         for attempt in range(attempts):
-            transfer: List[V.Vector] = []
-            for position in range(length):
-                roll = (attempt + position) % 3
-                if roll == 0 and transfer_pool:
-                    transfer.append(tuple(
-                        transfer_pool[rng.randrange(len(transfer_pool))]))
-                elif roll == 1:
-                    transfer.append(tuple(first.vectors[-1]))
-                else:
-                    transfer.append(V.random_binary_vector(n_pi, rng))
+            transfer = _build(attempt, length)
             trial = first.vectors + tuple(transfer) + second.vectors
             sim.counters.combine_trials += 1
             detected = sim.detect(list(trial), first.scan_in,

@@ -30,7 +30,7 @@ retires faults into the shared scoreboard only once the surviving
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..atpg.comb_set import CombTest
 from ..sim import values as V
@@ -99,6 +99,7 @@ def select_scan_in(
     selected: Sequence[bool],
     target: Optional[Set[int]] = None,
     mode: str = DEFAULT_CANDIDATE_SCAN,
+    adi: Optional[Dict[int, int]] = None,
 ) -> Tuple[int, Set[int]]:
     """Step 2: choose the scan-in state maximizing detection.
 
@@ -127,6 +128,14 @@ def select_scan_in(
         The full target fault index set; defaults to all faults.
     mode:
         One of :data:`CANDIDATE_SCAN_MODES`.
+    adi:
+        Optional fault index -> Accidental Detection Index map (see
+        :meth:`~repro.sim.scoreboard.FaultScoreboard.record_adi`).
+        When given, the argmax prefers -- among candidates with equal
+        detection *count* -- the one detecting more never-accidentally-
+        detected (ADI zero, i.e. random-resistant) faults, before the
+        paper's unselected-preferred tie-break.  ``None`` (the
+        default) keeps the paper's selection byte-identical.
 
     Returns
     -------
@@ -172,17 +181,29 @@ def select_scan_in(
                                target=remaining, scan_out=True,
                                early_exit=False)
                     for state in unique_states]
+    if adi is None:
+        hard_of_slot = [0] * len(per_slot)
+    else:
+        # Hard-fault score per candidate: detections whose ADI is zero
+        # (never accidentally caught in the random phase).  A hard
+        # detection is worth double in the argmax -- such faults have
+        # the fewest alternative detections, so claiming them here
+        # spares Phase 3 a dedicated top-off test.  ``hard_of_slot``
+        # stays all-zero without ADI, keeping adi=None byte-identical.
+        hard_of_slot = [sum(1 for f in dets if adi.get(f, 0) == 0)
+                        for dets in per_slot]
+        sim.counters.adi_orderings += 1
     best_index = -1
-    best_count = -1
-    best_unselected = False
+    best_key = (-1, -1, False)
     for j in range(len(comb_tests)):
-        count = len(per_slot[slot_of[j]])
-        unselected = not selected[j]
-        # Maximize count; among equals prefer unselected tests.
-        if count > best_count or (count == best_count and unselected
-                                  and not best_unselected):
-            best_index, best_count = j, count
-            best_unselected = unselected
+        slot = slot_of[j]
+        # Maximize the weighted count (plain count without ADI); among
+        # equals prefer hard-fault coverage, then unselected tests.
+        # Strict > keeps the paper's first-wins tie behavior.
+        key = (len(per_slot[slot]) + hard_of_slot[slot],
+               hard_of_slot[slot], not selected[j])
+        if key > best_key:
+            best_index, best_key = j, key
     return best_index, per_slot[slot_of[best_index]] | f0
 
 
@@ -241,6 +262,7 @@ def run_phase1(
     f0: Optional[Set[int]] = None,
     scan_out_rule: str = "earliest",
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
+    adi: Optional[Dict[int, int]] = None,
 ) -> Phase1Result:
     """Run Steps 1-3 and assemble a :class:`Phase1Result`.
 
@@ -249,13 +271,15 @@ def run_phase1(
     ``scan_out_rule`` selects the paper's ``i0`` ("earliest") or
     ``i1`` ("max_coverage") Step-3 variant.  ``candidate_scan``
     selects the Step-2 engine mode (see :data:`CANDIDATE_SCAN_MODES`).
+    ``adi`` threads an Accidental-Detection-Index map into the Step-2
+    tie-break (see :func:`select_scan_in`).
     """
     if target is None:
         target = set(range(len(sim.faults)))
     if f0 is None:
         f0 = detect_no_scan(sim, t0, sorted(target))
     index, f_si = select_scan_in(sim, t0, comb_tests, f0, selected,
-                                 target, mode=candidate_scan)
+                                 target, mode=candidate_scan, adi=adi)
     scan_in = comb_tests[index].state
     u_so, f_so = select_scan_out(sim, scan_in, t0, f_si, target,
                                  rule=scan_out_rule)

@@ -120,6 +120,9 @@ def run(
     topoff_power_key: Optional[Callable[[int], float]] = None,
     observer: Optional[PhaseObserver] = None,
     resume: Optional[Dict[str, Any]] = None,
+    trial_batch: int = 64,
+    adi: bool = False,
+    adi_scores: Optional[Dict[int, int]] = None,
 ) -> ProposedResult:
     """Run the proposed procedure end to end.
 
@@ -184,6 +187,25 @@ def run(
         the remaining phases produce byte-identical results without
         re-simulating.  With ``resume``, ``t0`` may be empty (its
         length is taken from the saved state).
+    trial_batch:
+        Lane budget for batched trial simulation, forwarded to
+        :func:`repro.core.combine.static_compact` (Phase-4 merge-trial
+        prefetching) and :func:`repro.core.topoff.top_off` (Phase-3
+        candidate blocks).  Results are byte-identical for every
+        value; ``1`` forces the scalar one-trial-per-pass loops.
+    adi:
+        Enable Accidental-Detection-Index guidance (Pomeranz & Reddy,
+        arXiv:0710.4637): ``adi_scores`` are recorded on the
+        scoreboard and used to (a) order fused-word fault packing,
+        (b) tie-break the Phase-1 scan-in argmax toward candidates
+        detecting more random-resistant faults, and (c) order Phase-3
+        top-off targets.  Off (the default) keeps every result
+        byte-identical to the paper reproduction; on, only orderings
+        within the paper's freedom change.
+    adi_scores:
+        Fault index -> accidental-detection count, typically
+        ``CombSetResult.adi`` from the random phase of combinational
+        test generation.  Ignored unless ``adi`` is set.
 
     Raises
     ------
@@ -203,151 +225,167 @@ def run(
         scoreboard = FaultScoreboard(len(sim.faults),
                                      counters=sim.counters)
 
+    if adi and adi_scores:
+        scoreboard.record_adi(adi_scores)
+    adi_map: Optional[Dict[int, int]] = dict(scoreboard.adi) if adi else None
     timers = sim.counters
     t0_length = len(t0)
 
-    if resume_phase >= 2:
-        assert resume is not None
-        tau = resume["tau"]
-        tau_detected = set(resume["tau_detected"])
-        t0_detected = set(resume["t0_detected"])
-        t0_length = resume["t0_length"]
-        logs = list(resume["iterations"])
-        scoreboard.restore(resume["retired"])
-    else:
-        if observer is not None:
-            observer.enter("phase1")
-        selected = [False] * len(comb_tests)
-        current: List[V.Vector] = [tuple(v) for v in t0]
-        with timers.phase_timer("phase1"):
-            t0_detected = detect_no_scan(sim, current, sorted(target))
-        f0 = set(t0_detected)
-        tau = None
-        tau_detected = set()
-        logs = []
+    # ADI packing order is simulator state; reset it on every exit so a
+    # simulator shared across runs (bench arms, harness retries) never
+    # leaks one run's ordering into the next.
+    sim.set_adi_order(adi_map)
+    try:
 
-        entered_phase2 = False
-        for _ in range(max(1, max_iterations)):
+        if resume_phase >= 2:
+            assert resume is not None
+            tau = resume["tau"]
+            tau_detected = set(resume["tau_detected"])
+            t0_detected = set(resume["t0_detected"])
+            t0_length = resume["t0_length"]
+            logs = list(resume["iterations"])
+            scoreboard.restore(resume["retired"])
+        else:
+            if observer is not None:
+                observer.enter("phase1")
+            selected = [False] * len(comb_tests)
+            current: List[V.Vector] = [tuple(v) for v in t0]
             with timers.phase_timer("phase1"):
-                phase1 = run_phase1(sim, current, comb_tests, selected,
-                                    target=target, f0=f0,
-                                    scan_out_rule=scan_out_rule,
-                                    candidate_scan=candidate_scan)
-            candidate = ScanTest(phase1.scan_in, phase1.vectors)
-            if observer is not None and not entered_phase2:
-                entered_phase2 = True
-                observer.enter("phase2")
-            with timers.phase_timer("phase2"):
-                omission = omit_vectors(sim, candidate, phase1.f_so,
-                                        passes=omission_passes)
-            logs.append(IterationLog(
-                scan_in_index=phase1.chosen_index,
-                u_so=phase1.u_so,
-                length_before=len(current),
-                length_after=omission.test.length,
-                detected_before=len(phase1.f_so),
-                detected_after=len(omission.detected),
-            ))
-            tau = omission.test
-            tau_detected = omission.detected
-            if phase1.chose_selected:
-                break
-            selected[phase1.chosen_index] = True
-            current = list(tau.vectors)
-            # Next iteration's Step 1 runs on the new sequence.
-            with timers.phase_timer("phase1"):
-                f0 = detect_no_scan(sim, current, sorted(target))
+                t0_detected = detect_no_scan(sim, current, sorted(target))
+            f0 = set(t0_detected)
+            tau = None
+            tau_detected = set()
+            logs = []
+
+            entered_phase2 = False
+            for _ in range(max(1, max_iterations)):
+                with timers.phase_timer("phase1"):
+                    phase1 = run_phase1(sim, current, comb_tests, selected,
+                                        target=target, f0=f0,
+                                        scan_out_rule=scan_out_rule,
+                                        candidate_scan=candidate_scan,
+                                        adi=adi_map)
+                candidate = ScanTest(phase1.scan_in, phase1.vectors)
+                if observer is not None and not entered_phase2:
+                    entered_phase2 = True
+                    observer.enter("phase2")
+                with timers.phase_timer("phase2"):
+                    omission = omit_vectors(sim, candidate, phase1.f_so,
+                                            passes=omission_passes)
+                logs.append(IterationLog(
+                    scan_in_index=phase1.chosen_index,
+                    u_so=phase1.u_so,
+                    length_before=len(current),
+                    length_after=omission.test.length,
+                    detected_before=len(phase1.f_so),
+                    detected_after=len(omission.detected),
+                ))
+                tau = omission.test
+                tau_detected = omission.detected
+                if phase1.chose_selected:
+                    break
+                selected[phase1.chosen_index] = True
+                current = list(tau.vectors)
+                # Next iteration's Step 1 runs on the new sequence.
+                with timers.phase_timer("phase1"):
+                    f0 = detect_no_scan(sim, current, sorted(target))
+
+            assert tau is not None
+            # tau_seq is committed now: retire its known detections (from
+            # the omission pass over F_SO) so the full-target pass below
+            # carries only the still-unknown faults in its injection word.
+            scoreboard.retire(tau_detected & target)
+            if observer is not None:
+                observer.completed("phase2", {
+                    "tau": tau,
+                    "tau_detected": set(tau_detected),
+                    "t0_detected": set(t0_detected),
+                    "t0_length": t0_length,
+                    "iterations": list(logs),
+                    "retired": scoreboard.retired_snapshot(),
+                })
 
         assert tau is not None
-        # tau_seq is committed now: retire its known detections (from
-        # the omission pass over F_SO) so the full-target pass below
-        # carries only the still-unknown faults in its injection word.
-        scoreboard.retire(tau_detected & target)
-        if observer is not None:
-            observer.completed("phase2", {
-                "tau": tau,
-                "tau_detected": set(tau_detected),
-                "t0_detected": set(t0_detected),
-                "t0_length": t0_length,
-                "iterations": list(logs),
-                "retired": scoreboard.retired_snapshot(),
-            })
+        if resume_phase >= 3:
+            assert resume is not None
+            test_set = resume["test_set"]
+            seq_detected = set(resume["seq_detected"])
+            final_detected = set(resume["final_detected"])
+            added_tests = resume["added_tests"]
+            uncovered = set(resume["uncovered"])
+        else:
+            if observer is not None:
+                observer.enter("phase3")
+            with timers.phase_timer("phase3"):
+                # Full detection set of tau_seq over the target faults.
+                seq_detected = scoreboard.retired_within(target)
+                seq_detected |= sim.detect(list(tau.vectors), tau.scan_in,
+                                           target=scoreboard.active(target),
+                                           early_exit=False,
+                                           retire_to=scoreboard)
 
-    assert tau is not None
-    if resume_phase >= 3:
-        assert resume is not None
-        test_set = resume["test_set"]
-        seq_detected = set(resume["seq_detected"])
-        final_detected = set(resume["final_detected"])
-        added_tests = resume["added_tests"]
-        uncovered = set(resume["uncovered"])
-    else:
-        if observer is not None:
-            observer.enter("phase3")
-        with timers.phase_timer("phase3"):
-            # Full detection set of tau_seq over the target faults.
-            seq_detected = scoreboard.retired_within(target)
-            seq_detected |= sim.detect(list(tau.vectors), tau.scan_in,
-                                       target=scoreboard.active(target),
-                                       early_exit=False,
-                                       retire_to=scoreboard)
+                undetected = target - seq_detected
+                topoff = top_off(comb_sim, comb_tests, undetected,
+                                 retire_to=scoreboard,
+                                 power_key=topoff_power_key,
+                                 trial_batch=trial_batch,
+                                 adi=adi_map,
+                                 counters=sim.counters)
+            n_sv = sim.n_state_vars
+            test_set = ScanTestSet(n_sv, [tau] + list(topoff.tests))
+            final_detected = seq_detected | topoff.covered
+            added_tests = len(topoff.tests)
+            uncovered = topoff.uncovered
+            if observer is not None:
+                observer.completed("phase3", {
+                    "tau": tau,
+                    "tau_detected": set(tau_detected),
+                    "t0_detected": set(t0_detected),
+                    "t0_length": t0_length,
+                    "iterations": list(logs),
+                    "retired": scoreboard.retired_snapshot(),
+                    "test_set": test_set,
+                    "seq_detected": set(seq_detected),
+                    "final_detected": set(final_detected),
+                    "added_tests": added_tests,
+                    "uncovered": set(uncovered),
+                })
 
-            undetected = target - seq_detected
-            topoff = top_off(comb_sim, comb_tests, undetected,
-                             retire_to=scoreboard,
-                             power_key=topoff_power_key)
-        n_sv = sim.n_state_vars
-        test_set = ScanTestSet(n_sv, [tau] + list(topoff.tests))
-        final_detected = seq_detected | topoff.covered
-        added_tests = len(topoff.tests)
-        uncovered = topoff.uncovered
-        if observer is not None:
-            observer.completed("phase3", {
-                "tau": tau,
-                "tau_detected": set(tau_detected),
-                "t0_detected": set(t0_detected),
-                "t0_length": t0_length,
-                "iterations": list(logs),
-                "retired": scoreboard.retired_snapshot(),
-                "test_set": test_set,
-                "seq_detected": set(seq_detected),
-                "final_detected": set(final_detected),
-                "added_tests": added_tests,
-                "uncovered": set(uncovered),
-            })
+        compacted = None
+        combine_stats = None
+        if run_phase4:
+            if observer is not None:
+                observer.enter("phase4")
+            # Phase 4 needs exact per-test detection sets; the only sound
+            # cross-phase saving is seeding tau_seq's set, which Phase 1+2
+            # already computed over the full target.
+            with timers.phase_timer("phase4"):
+                outcome = static_compact(sim, test_set, target=target,
+                                         known_detections={tau: seq_detected},
+                                         retire_to=scoreboard,
+                                         merge_filter=merge_filter,
+                                         trial_batch=trial_batch)
+            compacted = outcome.test_set
+            combine_stats = outcome.stats
 
-    compacted = None
-    combine_stats = None
-    if run_phase4:
-        if observer is not None:
-            observer.enter("phase4")
-        # Phase 4 needs exact per-test detection sets; the only sound
-        # cross-phase saving is seeding tau_seq's set, which Phase 1+2
-        # already computed over the full target.
-        with timers.phase_timer("phase4"):
-            outcome = static_compact(sim, test_set, target=target,
-                                     known_detections={tau: seq_detected},
-                                     retire_to=scoreboard,
-                                     merge_filter=merge_filter)
-        compacted = outcome.test_set
-        combine_stats = outcome.stats
+        if sanitizer.enabled():
+            # Soundness of cross-phase dropping: everything the scoreboard
+            # retired over this run must be in the final detected set.
+            sanitizer.check_retired_subset(scoreboard.retired_within(target),
+                                           final_detected, "proposed.run")
 
-    if sanitizer.enabled():
-        # Soundness of cross-phase dropping: everything the scoreboard
-        # retired over this run must be in the final detected set.
-        sanitizer.check_retired_subset(scoreboard.retired_within(target),
-                                       final_detected, "proposed.run")
-
-    return ProposedResult(
-        tau_seq=tau,
-        test_set=test_set,
-        compacted_set=compacted,
-        t0_length=t0_length,
-        t0_detected=t0_detected,
-        seq_detected=seq_detected,
-        final_detected=final_detected,
-        added_tests=added_tests,
-        uncovered=uncovered,
-        iterations=logs,
-        combine_stats=combine_stats,
-    )
+        return ProposedResult(
+            tau_seq=tau,
+            test_set=test_set,
+            compacted_set=compacted,
+            t0_length=t0_length,
+            t0_detected=t0_detected,
+            seq_detected=seq_detected,
+            final_detected=final_detected,
+            added_tests=added_tests,
+            uncovered=uncovered,
+            iterations=logs,
+            combine_stats=combine_stats,
+        )
+    finally:
+        sim.set_adi_order(None)

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..atpg.comb_set import CombTest
 from ..sim.comb_sim import CombPatternSim
+from ..sim.counters import SimCounters
 from .scan_test import ScanTest, single_vector_test
 
 
@@ -55,6 +56,9 @@ def top_off(
     undetected: Set[int],
     retire_to=None,
     power_key: Optional[Callable[[int], float]] = None,
+    trial_batch: int = 64,
+    adi: Optional[Dict[int, int]] = None,
+    counters: Optional[SimCounters] = None,
 ) -> TopOffResult:
     """Select single-vector tests covering ``undetected`` faults.
 
@@ -71,6 +75,22 @@ def top_off(
     the one whose ``last(f)`` test is cheapest wins, so the low-power
     test enters the set first and may cover its rivals' faults.
     ``None`` (the default) keeps the paper's selection byte-identical.
+
+    ``trial_batch`` packs candidate tests into PPSFP pattern blocks
+    (up to ``min(trial_batch, comb_sim.block)`` patterns per good+
+    faulty pass) instead of simulating them one pattern at a time.
+    Per-pattern detection is independent, so ``detects``/``n(f)``/
+    ``last(f)`` -- and hence the selection -- are byte-identical for
+    every value; ``1`` recovers the scalar loop.
+
+    ``adi`` (fault index -> Accidental Detection Index, see
+    :meth:`~repro.sim.scoreboard.FaultScoreboard.record_adi`) inserts
+    a tie-break *between* ``min n(f)`` and the power key: among
+    equally-covered faults the least-accidentally-detected (most
+    random-resistant) one is targeted first, on the ADI rationale that
+    such faults have the fewest alternative detections and should
+    claim their test before easier rivals.  ``None`` keeps the
+    paper's rule untouched.
     """
     remaining = set(undetected)
     if not remaining:
@@ -80,27 +100,48 @@ def top_off(
     n_of: Dict[int, int] = {}
     last_of: Dict[int, int] = {}
     order = sorted(remaining)
-    for j, test in enumerate(comb_tests):
-        hits = comb_sim.detect_single(test.as_pattern(), order)
-        detects.append(hits)
-        for fid in hits:
-            n_of[fid] = n_of.get(fid, 0) + 1
-            last_of[fid] = j
+    step = max(1, min(comb_sim.block, trial_batch))
+    for base in range(0, len(comb_tests), step):
+        block = comb_tests[base:base + step]
+        if len(block) > 1:
+            masks = comb_sim.detect_block(
+                [t.as_pattern() for t in block], order)
+            block_hits: List[Set[int]] = [set() for _ in block]
+            for fid, pmask in masks.items():
+                while pmask:
+                    low = pmask & -pmask
+                    block_hits[low.bit_length() - 1].add(fid)
+                    pmask ^= low
+            if counters is not None:
+                counters.trial_passes += 1
+                counters.trial_lanes += len(block)
+        else:
+            block_hits = [comb_sim.detect_single(t.as_pattern(), order)
+                          for t in block]
+        for off, hits in enumerate(block_hits):
+            detects.append(hits)
+            for fid in hits:
+                n_of[fid] = n_of.get(fid, 0) + 1
+                last_of[fid] = base + off
 
     uncovered = remaining - set(n_of)
     remaining -= uncovered
+    if adi is not None and remaining and counters is not None:
+        counters.adi_orderings += 1
     chosen: List[int] = []
     tests: List[ScanTest] = []
     covered: Set[int] = set()
+    adi_of: Callable[[int], int] = (lambda f: 0) if adi is None else \
+        (lambda f: adi.get(f, 0))  # type: ignore[union-attr]
     while remaining:
         # The fault hardest to cover (fewest detecting tests) first;
-        # ties broken deterministically by fault index (with an
-        # optional power tie-break in between).
+        # ties broken deterministically by fault index (with optional
+        # ADI and power tie-breaks in between).
         if power_key is None:
-            fault = min(remaining, key=lambda f: (n_of[f], f))
+            fault = min(remaining, key=lambda f: (n_of[f], adi_of(f), f))
         else:
             fault = min(remaining,
-                        key=lambda f: (n_of[f],
+                        key=lambda f: (n_of[f], adi_of(f),
                                        power_key(last_of[f]), f))
         j = last_of[fault]
         chosen.append(j)

@@ -123,7 +123,14 @@ ChaosFn = Callable[["JobSpec", int], Optional[str]]
 #: JobSpec fields a checkpointed run must have been produced under
 #: for :func:`_checkpoint_usable` to accept it.
 CHECKPOINT_KNOBS = ("engine", "width", "candidate_scan", "x_fill",
-                    "power_budget")
+                    "power_budget", "adi")
+
+#: Knob values assumed when a (modern, knob-recording) checkpoint
+#: predates a knob entirely -- the knob's default, under which the
+#: checkpoint was necessarily produced.  ``trial_batch`` is absent on
+#: purpose: it never changes results, so checkpoints match across any
+#: batching configuration.
+_KNOB_DEFAULTS: Dict[str, Any] = {"adi": False}
 
 
 @dataclass(frozen=True)
@@ -155,6 +162,13 @@ class JobSpec:
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN
     x_fill: str = "random"
     power_budget: Optional[float] = None
+    #: Lane budget for batched trial simulation (Phase-3 blocks,
+    #: Phase-4 prefetch).  Never result-shaping -- excluded from
+    #: checkpoint-identity comparison.
+    trial_batch: int = 64
+    #: Accidental-Detection-Index ordering guidance (result-shaping:
+    #: compared on resume; legacy checkpoints count as ``False``).
+    adi: bool = False
 
     @property
     def key(self) -> Tuple[str, int]:
@@ -491,6 +505,8 @@ def _worker_main(conn, spec_dict: Dict[str, Any], seed: int,
                                          DEFAULT_CANDIDATE_SCAN),
             x_fill=spec_dict.get("x_fill", "random"),
             power_budget=spec_dict.get("power_budget"),
+            trial_batch=int(spec_dict.get("trial_batch", 64)),
+            adi=bool(spec_dict.get("adi", False)),
             hooks=hooks)
         reporter.stop()
         conn.send(("ok", reporting.run_to_dict(run)))
@@ -532,6 +548,7 @@ def _run_attempt_inline(spec: JobSpec, seed: int,
             engine=spec.engine, width=spec.width,
             candidate_scan=spec.candidate_scan,
             x_fill=spec.x_fill, power_budget=spec.power_budget,
+            trial_batch=spec.trial_batch, adi=spec.adi,
             hooks=hooks)
         return "ok", run
     except Exception:
@@ -736,7 +753,8 @@ def _checkpoint_usable(run: CircuitRun, spec: JobSpec) -> bool:
         # Modern checkpoints record the exact knobs they were
         # produced under; any mismatch means recompute.
         for name in CHECKPOINT_KNOBS:
-            if run.knobs.get(name) != getattr(spec, name):
+            recorded = run.knobs.get(name, _KNOB_DEFAULTS.get(name))
+            if recorded != getattr(spec, name):
                 return False
         return True
     # Legacy checkpoints (pre-knob) recorded at most the power pair.
@@ -975,6 +993,8 @@ def run_suite_resilient(
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
     x_fill: str = "random",
     power_budget: Optional[float] = None,
+    trial_batch: int = 64,
+    adi: bool = False,
     config: Optional[HarnessConfig] = None,
     verbose: bool = False,
 ) -> SuiteOutcome:
@@ -990,6 +1010,7 @@ def run_suite_resilient(
                      with_transition=with_transition,
                      engine=engine, width=width,
                      candidate_scan=candidate_scan,
-                     x_fill=x_fill, power_budget=power_budget)
+                     x_fill=x_fill, power_budget=power_budget,
+                     trial_batch=trial_batch, adi=adi)
              for p in resolve_profiles(profiles, quick=quick)]
     return run_jobs(specs, config=config, verbose=verbose)

@@ -288,16 +288,18 @@ def engine_counters_table(runs: Sequence["CircuitRun"]) -> Table:
     machines packed per word, faults dropped by the cross-phase
     scoreboard, in-pass repacks, the per-phase wall-clock timers
     (``p1_s`` .. ``p4_s``), the power engine's words and wall clock
-    (``pw_words`` / ``pw_s``), and the numpy backend's pass count
-    (``np``) -- plus the engine knob the run executed under
-    (``eng``, from :attr:`CircuitRun.knobs`).  Runs restored from old
-    checkpoints render as ``-`` for whichever counters or knobs they
-    lack.
+    (``pw_words`` / ``pw_s``), the numpy backend's pass count
+    (``np``), and the trial-batch trio (``trials`` lane-batched trial
+    passes, ``lanes`` trials carried, ``adi`` ADI ordering decisions)
+    -- plus the engine knob the run executed under (``eng``, from
+    :attr:`CircuitRun.knobs`).  Runs restored from old checkpoints
+    render as ``-`` for whichever counters or knobs they lack.
     """
     table = Table("Engine counters",
                   ["circuit", "eng", "frames", "words", "mach/word",
-                   "dropped", "repacks", "np", "p1_s", "p2_s",
-                   "p3_s", "p4_s", "pw_words", "pw_s", "seconds"])
+                   "dropped", "repacks", "np", "trials", "lanes",
+                   "adi", "p1_s", "p2_s", "p3_s", "p4_s", "pw_words",
+                   "pw_s", "seconds"])
     for run in runs:
         c = run.counters
         engine = run.knobs.get("engine")
@@ -306,6 +308,8 @@ def engine_counters_table(runs: Sequence["CircuitRun"]) -> Table:
                           c.get("words"), c.get("machines_per_word"),
                           c.get("faults_dropped"), c.get("repacks"),
                           c.get("np_passes"),
+                          c.get("trial_passes"), c.get("trial_lanes"),
+                          c.get("adi_orderings"),
                           c.get("phase1_s"), c.get("phase2_s"),
                           c.get("phase3_s"), c.get("phase4_s"),
                           c.get("power_words"), c.get("power_s"),
@@ -313,5 +317,5 @@ def engine_counters_table(runs: Sequence["CircuitRun"]) -> Table:
         else:
             table.add_row(run.name, engine, None, None, None, None,
                           None, None, None, None, None, None, None,
-                          None, run.seconds)
+                          None, None, None, None, run.seconds)
     return table

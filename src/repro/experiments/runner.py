@@ -97,6 +97,8 @@ def run_circuit(
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
     x_fill: str = "random",
     power_budget: Optional[float] = None,
+    trial_batch: int = 64,
+    adi: bool = False,
     hooks: Optional[Any] = None,
 ) -> CircuitRun:
     """Run every experiment on one circuit.
@@ -126,6 +128,12 @@ def run_circuit(
         :func:`repro.api.baseline_static`.  The power of every final
         test set is measured regardless (it is cheap) and recorded in
         :attr:`CircuitRun.power`.
+    trial_batch, adi:
+        Lane budget for batched trial simulation and the
+        Accidental-Detection-Index ordering switch, forwarded to
+        :func:`repro.api.compact_tests` (with the comb-set ADI census
+        when ``adi`` is on).  ``trial_batch`` never changes results;
+        ``adi`` off keeps the run byte-identical to prior versions.
     hooks:
         Optional :class:`repro.experiments.supervision.WorkerHooks`:
         heartbeat updates, phase-boundary salvage flushes, and -- on a
@@ -172,7 +180,9 @@ def run_circuit(
             comb_tests=comb.tests, workbench=wb,
             candidate_scan=candidate_scan,
             x_fill=x_fill, power_budget=power_budget,
-            observer=observer, resume=resume)
+            observer=observer, resume=resume,
+            trial_batch=trial_batch, adi=adi,
+            adi_scores=comb.adi if adi else None)
         arm_result = ArmResult(
             t0_source=source, t0_length=length, result=result,
             seconds=time.time() - t0_started)
@@ -231,6 +241,8 @@ def run_circuit(
             "candidate_scan": candidate_scan,
             "x_fill": x_fill,
             "power_budget": power_budget,
+            "trial_batch": trial_batch,
+            "adi": adi,
         },
     )
 
@@ -246,6 +258,8 @@ def run_circuit_by_name(
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
     x_fill: str = "random",
     power_budget: Optional[float] = None,
+    trial_batch: int = 64,
+    adi: bool = False,
     hooks: Optional[Any] = None,
 ) -> CircuitRun:
     """:func:`run_circuit` on a suite circuit looked up by name.
@@ -266,6 +280,7 @@ def run_circuit_by_name(
                        engine=engine, width=width,
                        candidate_scan=candidate_scan,
                        x_fill=x_fill, power_budget=power_budget,
+                       trial_batch=trial_batch, adi=adi,
                        hooks=hooks)
 
 
@@ -291,6 +306,8 @@ def run_suite(
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
     x_fill: str = "random",
     power_budget: Optional[float] = None,
+    trial_batch: int = 64,
+    adi: bool = False,
     verbose: bool = False,
 ) -> List[CircuitRun]:
     """Run the whole suite serially, in process.
@@ -310,7 +327,8 @@ def run_suite(
                           with_transition=with_transition,
                           engine=engine, width=width,
                           candidate_scan=candidate_scan,
-                          x_fill=x_fill, power_budget=power_budget)
+                          x_fill=x_fill, power_budget=power_budget,
+                          trial_batch=trial_batch, adi=adi)
         if verbose:  # pragma: no cover - console feedback only
             print(f"  {profile.name}: {run.seconds:.1f}s")
         runs.append(run)

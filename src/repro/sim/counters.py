@@ -63,6 +63,18 @@ backend (:mod:`repro.sim.npsim`) -- zero under the big-int engines,
 so it doubles as a cheap "did the numpy engine actually run?" probe
 for tests and benchmarks.  Legacy checkpoints lack the key and
 render as dashes.
+
+Trial-batch counters
+--------------------
+``trial_passes`` counts lane-batched trial passes (one per
+:meth:`~repro.sim.fault_sim.FaultSimulator.detect_trials` call and
+one per Phase-3 top-off candidate block), ``trial_lanes`` the trials
+those passes carried -- ``trial_lanes / trial_passes`` is the
+effective trial-batching density.  ``adi_orderings`` counts the
+Accidental-Detection-Index ordering decisions applied (fused-word
+packing, Phase-3 target order, Phase-1 candidate scoring); it stays
+zero unless the ``--adi`` knob is on.  All three render as dashes
+for legacy checkpoints.
 """
 
 from __future__ import annotations
@@ -98,6 +110,9 @@ class SimCounters:
     power_words: int = 0
     power_s: float = 0.0
     np_passes: int = 0
+    trial_passes: int = 0
+    trial_lanes: int = 0
+    adi_orderings: int = 0
 
     # ------------------------------------------------------------------
     def note_words(self, n_words: int, n_machines: int) -> None:

@@ -213,6 +213,42 @@ def _gather_blocks(word: int, keep_groups: Sequence[int],
     return out
 
 
+def _pack_trial_pi_lanes(
+    np: Any,
+    full_trials: Sequence[Tuple[V.Vector, Sequence[V.Vector]]],
+    max_frames: int, n_pi: int,
+) -> List[List[Tuple[int, int]]]:
+    """Vectorised trial PI packing: ``pi_words[f][p]`` lane words.
+
+    Equivalent to per-position :func:`~repro.sim.values.pack_lanes`
+    over the trials (lane ``k`` carries trial ``k``'s vector value
+    while active, X past its own end), but built from one uint8 value
+    cube and two weighted reductions per 64-lane block -- the
+    per-frame/per-PI Python packing loop is the top cost of a batched
+    trial pass on circuits with more than a handful of inputs.
+    """
+    n_lanes = len(full_trials)
+    vals = np.full((max_frames, n_pi, n_lanes), V.X, dtype=np.uint8)
+    for k, (_, vecs) in enumerate(full_trials):
+        if vecs:
+            arr = np.asarray(vecs, dtype=np.uint8)
+            vals[:arr.shape[0], :, k] = arr
+    pi_z = [[0] * n_pi for _ in range(max_frames)]
+    pi_o = [[0] * n_pi for _ in range(max_frames)]
+    for base in range(0, n_lanes, 64):
+        sub = vals[:, :, base:base + 64]
+        weights = np.left_shift(
+            np.uint64(1), np.arange(sub.shape[2], dtype=np.uint64))
+        zw = ((sub == V.ZERO) * weights).sum(axis=2).tolist()
+        ow = ((sub == V.ONE) * weights).sum(axis=2).tolist()
+        for f in range(max_frames):
+            zrow, orow, tz, to = zw[f], ow[f], pi_z[f], pi_o[f]
+            for p in range(n_pi):
+                tz[p] |= zrow[p] << base
+                to[p] |= orow[p] << base
+    return [list(zip(pi_z[f], pi_o[f])) for f in range(max_frames)]
+
+
 @dataclass
 class SimRecords:
     """Per-frame detection records from :meth:`FaultSimulator.run_with_records`.
@@ -338,6 +374,10 @@ class FaultSimulator:
         self._ff_pos = {name: i for i, name in enumerate(net.flip_flops)}
         self._sanitize_spots_left = _SANITIZE_SPOT_BUDGET
         self._sanitize_shadow = False
+        #: Optional fault-ordering hint for multi-chunk packing (set
+        #: via :meth:`set_adi_order`); ``None`` keeps the default
+        #: sorted-by-index grouping.
+        self._adi_order: Optional[Dict[int, int]] = None
         # Precompute per-fault injection spec:
         #   ("stem", net_id) | ("branch", out_net_id, pin) | ("ff", ff_pos)
         self._spec: List[Tuple[Any, ...]] = []
@@ -377,6 +417,23 @@ class FaultSimulator:
         return None
 
     # ------------------------------------------------------------------
+    def set_adi_order(self, scores: Optional[Dict[int, int]]) -> None:
+        """Install (or clear) an Accidental-Detection-Index packing
+        order.
+
+        When set, multi-chunk packings group faults by *descending*
+        ADI instead of by index, so the frequently-accidentally-
+        detected (easy) faults share words and saturate those words
+        early, while the hard low-ADI faults concentrate in the last
+        words.  This is a pure acceleration: per-machine logic values
+        are independent of packing, so detection sets are unchanged
+        (the equivalence suite enforces it); only word/frame counters
+        move.  Pass ``None`` to restore the default order -- callers
+        that share a simulator across runs must clear it when done.
+        """
+        self._adi_order = scores
+
+    # ------------------------------------------------------------------
     def resolve_width(self, n_targets: int) -> int:
         """The word width a pass over ``n_targets`` faults will use.
 
@@ -407,12 +464,22 @@ class FaultSimulator:
         # filling chunks to `per` and leaving a short remainder: sizes
         # end up within one machine of each other.
         n_chunks = max(1, -(-len(ordered) // per)) if ordered else 0
+        adi = self._adi_order
+        if adi is not None and n_chunks > 1:
+            # ADI packing: group easy (high-ADI) faults together so
+            # their words saturate and break early, and concentrate
+            # the hard faults in the trailing words.  A single-chunk
+            # packing is order-invariant, so the reorder only fires
+            # (and only counts) when it can matter.
+            order = adi
+            ordered.sort(key=lambda fid: (-order.get(fid, 0), fid))
+            self.counters.adi_orderings += 1
         groups: List[List[int]] = []
         start = 0
         for k in range(n_chunks):
             size = len(ordered) // n_chunks + \
                 (1 if k < len(ordered) % n_chunks else 0)
-            groups.append(ordered[start:start + size])
+            groups.append(sorted(ordered[start:start + size]))
             start += size
         for group in groups:
             chunk = _Chunk(indices=group, mask=(1 << (len(group) + 1)) - 1)
@@ -815,13 +882,20 @@ class FaultSimulator:
             groups_per_word = self._lane_groups_per_word(n_lanes)
         n_chunks = max(1, -(-len(ordered) // groups_per_word)) \
             if ordered else 0
+        adi = self._adi_order
+        if adi is not None and n_chunks > 1:
+            # Same ADI packing as _build_chunks: high-ADI lane blocks
+            # share words so those words saturate early.
+            order = adi
+            ordered.sort(key=lambda fid: (-order.get(fid, 0), fid))
+            self.counters.adi_orderings += 1
         lane_mask = (1 << n_lanes) - 1
         chunks: List[_LaneChunk] = []
         start = 0
         for k in range(n_chunks):
             size = len(ordered) // n_chunks + \
                 (1 if k < len(ordered) % n_chunks else 0)
-            group = ordered[start:start + size]
+            group = sorted(ordered[start:start + size])
             start += size
             chunk = _LaneChunk(indices=group, n_lanes=n_lanes,
                                mask=(1 << (len(group) * n_lanes)) - 1)
@@ -950,8 +1024,52 @@ class FaultSimulator:
             for chunk in lane_chunks:
                 sanitizer.check_lane_chunk(
                     chunk, "FaultSimulator.detect_candidates")
+        # Lazily-built trial-form inputs for the array backend: every
+        # lane shares the PI sequence, is active on every frame, and
+        # (with scan_out) ends on the last frame.
+        trial_form: Optional[Tuple[List[List[Tuple[int, int]]],
+                                   List[int], List[int],
+                                   List[Optional[List[Tuple[int, int]]]],
+                                   List[int]]] = None
         longest = 0
         for chunk in lane_chunks:
+            backend = self._array_backend_for(
+                chunk.n_groups * chunk.n_lanes)
+            if backend is not None and backend.kernel_available:
+                if trial_form is None:
+                    lane_mask = (1 << n_lanes) - 1
+                    pi_words = [
+                        [V.pack_scalar(val, lane_mask) for val in vec]
+                        for vec in vectors]
+                    acts = [lane_mask] * len(vectors)
+                    ends = [0] * len(vectors)
+                    scan_frames: List[
+                        Optional[List[Tuple[int, int]]]] = \
+                        [None] * len(vectors)
+                    if scan_out and good_scan is not None:
+                        ends[-1] = lane_mask
+                        scan_frames[-1] = list(good_scan)
+                    slot_pos = list(
+                        range(len(self.circuit.ff_ids))
+                        if scan_observe is None else scan_observe)
+                    trial_form = (pi_words, acts, ends, scan_frames,
+                                  slot_pos)
+                pi_words, acts, ends, scan_frames, slot_pos = trial_form
+                caught, frames_done = backend.run_lane_chunk(
+                    self, chunk, len(vectors), pi_words, acts, ends,
+                    init_words, good_po, scan_frames, slot_pos,
+                    observe_po)
+                longest = max(longest, frames_done)
+                lane_mask = (1 << n_lanes) - 1
+                for g, fid in enumerate(chunk.indices):
+                    lanes = (caught >> (g * n_lanes)) & lane_mask
+                    k = 0
+                    while lanes:
+                        if lanes & 1:
+                            detected[k].add(fid)
+                        lanes >>= 1
+                        k += 1
+                continue
             longest = max(longest, self._run_lane_chunk(
                 chunk, vectors, init_words, good_po, good_scan,
                 observe_po, scan_out, scan_observe, detected))
@@ -1075,6 +1193,255 @@ class FaultSimulator:
                 lanes >>= 1
                 k += 1
         return frames_done
+
+    # ------------------------------------------------------------------
+    # Trial-parallel (lane-batched independent tests) simulation
+    # ------------------------------------------------------------------
+
+    def detect_trials(
+        self,
+        trials: Sequence[Tuple[Optional[V.Vector], Sequence[V.Vector]]],
+        target: Optional[Sequence[int]] = None,
+        scan_out: bool = True,
+        observe_po: bool = True,
+        scan_observe: Optional[Sequence[int]] = None,
+    ) -> List[Set[int]]:
+        """Per-trial detection sets of *independent* tests, all at once.
+
+        Each trial is a ``(scan_in, vectors)`` pair -- its own scan-in
+        state *and* its own PI sequence, unlike
+        :meth:`detect_candidates` where every lane shares one
+        sequence.  Trials occupy the lanes of lane-transposed words
+        (one good pass simulates every trial's fault-free machine
+        simultaneously, then each target fault is injected across all
+        trial lanes), with two per-frame lane masks handling unequal
+        lengths: lanes past their own last frame receive X inputs,
+        stop being observed at primary outputs, and take their
+        scan-out diff exactly at their own last frame.
+
+        Returns one detected-fault-index set per trial, exactly equal
+        to ``[detect(list(v), s, target=target, scan_out=scan_out,
+        observe_po=observe_po, early_exit=False,
+        scan_observe=scan_observe) for (s, v) in trials]`` (the
+        equivalence suite enforces this bit for bit).  This is the
+        engine behind Phase-4 merge-trial prefetching and the batched
+        transfer-sequence checks; passes route through the array
+        backend's lane kernel under ``engine="numpy"`` / ``"auto"``.
+        """
+        trial_list = list(trials)
+        n_lanes = len(trial_list)
+        results: List[Set[int]] = [set() for _ in range(n_lanes)]
+        if n_lanes == 0:
+            return results
+        full_trials: List[Tuple[V.Vector, List[V.Vector]]] = []
+        for state, vectors in trial_list:
+            self._check_vectors(vectors)
+            full_trials.append((self.embed_state(state), list(vectors)))
+        if scan_observe is None:
+            scan_observe = self.scan_positions
+        if target is None:
+            target = range(len(self.faults))
+        target_list = sorted(target)
+        counters = self.counters
+        counters.trial_passes += 1
+        counters.trial_lanes += n_lanes
+        max_frames = max(len(v) for _, v in full_trials)
+        if max_frames == 0 or not target_list:
+            return results
+        pi_words, acts, ends, good_po, good_scan = \
+            self._good_trial_pass(full_trials, max_frames, observe_po,
+                                  scan_out, scan_observe)
+        counters.frames += max_frames
+        init_words = [V.pack_lanes([s[ff_pos] for s, _ in full_trials])
+                      for ff_pos in range(len(self.circuit.ff_ids))]
+        slot_pos: List[int] = []
+        if scan_out:
+            slot_pos = list(range(len(self.circuit.ff_ids))
+                            if scan_observe is None else scan_observe)
+        chunks = self._build_lane_chunks(target_list, n_lanes)
+        if sanitizer.enabled():
+            for chunk in chunks:
+                sanitizer.check_lane_chunk(
+                    chunk, "FaultSimulator.detect_trials")
+        lane_mask = (1 << n_lanes) - 1
+        longest = 0
+        for chunk in chunks:
+            backend = self._array_backend_for(
+                chunk.n_groups * chunk.n_lanes)
+            if backend is not None and backend.kernel_available:
+                caught, frames_done = backend.run_lane_chunk(
+                    self, chunk, max_frames, pi_words, acts, ends,
+                    init_words, good_po, good_scan, slot_pos,
+                    observe_po)
+            else:
+                caught, frames_done = self._run_trial_chunk(
+                    chunk, max_frames, pi_words, acts, ends,
+                    init_words, good_po, good_scan, slot_pos,
+                    observe_po)
+            longest = max(longest, frames_done)
+            for g, fid in enumerate(chunk.indices):
+                lanes = (caught >> (g * n_lanes)) & lane_mask
+                k = 0
+                while lanes:
+                    if lanes & 1:
+                        results[k].add(fid)
+                    lanes >>= 1
+                    k += 1
+        counters.frames += longest
+        return results
+
+    def _good_trial_pass(
+        self, full_trials: Sequence[Tuple[V.Vector, Sequence[V.Vector]]],
+        max_frames: int, observe_po: bool, scan_out: bool,
+        scan_observe: Optional[Sequence[int]],
+    ) -> Tuple[List[List[Tuple[int, int]]], List[int], List[int],
+               List[List[Tuple[int, int]]],
+               List[Optional[List[Tuple[int, int]]]]]:
+        """One fault-free pass with trial ``k`` in lane ``k``.
+
+        Returns ``(pi_words, acts, ends, po_frames, scan_frames)``:
+
+        * ``pi_words[f][p]`` -- the lane word pair of PI ``p`` at
+          frame ``f`` (trial ``k``'s own vector value while active,
+          X once past its end);
+        * ``acts[f]`` / ``ends[f]`` -- lane masks of the trials still
+          active at frame ``f`` / whose *last* frame is ``f``;
+        * ``po_frames[f]`` -- per-PO good lane words (empty lists
+          when ``observe_po`` is false);
+        * ``scan_frames[f]`` -- per-observed-slot good lane words of
+          the state captured by frame ``f`` when some trial ends
+          there (``None`` otherwise, and everywhere without
+          ``scan_out``).
+        """
+        circuit = self.circuit
+        n_lanes = len(full_trials)
+        lane_mask = (1 << n_lanes) - 1
+        acts: List[int] = []
+        ends: List[int] = []
+        for f in range(max_frames):
+            a = 0
+            e = 0
+            for k, (_, vecs) in enumerate(full_trials):
+                if f < len(vecs):
+                    a |= 1 << k
+                    if f == len(vecs) - 1:
+                        e |= 1 << k
+            acts.append(a)
+            ends.append(e)
+        backend = self._array_backend_for(n_lanes)
+        n_pi = len(circuit.pi_ids)
+        pi_words: List[List[Tuple[int, int]]]
+        if backend is not None:
+            pi_words = _pack_trial_pi_lanes(backend.np, full_trials,
+                                            max_frames, n_pi)
+        else:
+            pi_words = []
+            for f in range(max_frames):
+                pi_words.append([
+                    V.pack_lanes([vecs[f][p] if f < len(vecs) else V.X
+                                  for _, vecs in full_trials])
+                    for p in range(n_pi)])
+        slot_positions = (range(len(circuit.ff_ids))
+                          if scan_observe is None else scan_observe)
+        init_words = [V.pack_lanes([s[ff_pos] for s, _ in full_trials])
+                      for ff_pos in range(len(circuit.ff_ids))]
+        if backend is not None and backend.kernel_available:
+            # The per-frame Python loop below dominates batched trial
+            # passes; one kernel call computes the same good values.
+            po_frames, scan_frames = backend.run_good_lane_pass(
+                self, n_lanes, max_frames, pi_words, ends,
+                init_words, observe_po, list(slot_positions),
+                scan_out)
+            return pi_words, acts, ends, po_frames, scan_frames
+        zero = [0] * circuit.n_nets
+        one = [0] * circuit.n_nets
+        for nid, (z, o) in zip(circuit.ff_ids, init_words):
+            zero[nid], one[nid] = z, o
+        po_frames: List[List[Tuple[int, int]]] = []
+        scan_frames: List[Optional[List[Tuple[int, int]]]] = []
+        for frame in range(max_frames):
+            for (pz, po_), nid in zip(pi_words[frame], circuit.pi_ids):
+                zero[nid], one[nid] = pz, po_
+            circuit.eval_frame(zero, one, lane_mask)
+            self.counters.note_words(1, n_lanes)
+            po_frames.append([(zero[nid], one[nid])
+                              for nid in circuit.po_ids]
+                             if observe_po else [])
+            ns = [(zero[nid], one[nid]) for nid in circuit.ff_d_ids]
+            if scan_out and ends[frame]:
+                scan_frames.append([ns[pos] for pos in slot_positions])
+            else:
+                scan_frames.append(None)
+            for nid, (z, o) in zip(circuit.ff_ids, ns):
+                zero[nid], one[nid] = z, o
+        return pi_words, acts, ends, po_frames, scan_frames
+
+    def _run_trial_chunk(
+        self, chunk: _LaneChunk, n_frames: int,
+        pi_words: Sequence[Sequence[Tuple[int, int]]],
+        acts: Sequence[int], ends: Sequence[int],
+        init_words: Sequence[Tuple[int, int]],
+        good_po: Sequence[Sequence[Tuple[int, int]]],
+        good_scan: Sequence[Optional[Sequence[Tuple[int, int]]]],
+        slot_pos: Sequence[int], observe_po: bool,
+    ) -> Tuple[int, int]:
+        """One faulty big-int pass over a trial-lane chunk.
+
+        Mirrors :meth:`_run_lane_chunk` with per-lane PI words and
+        the ``acts`` / ``ends`` gating (no in-pass repack: trial
+        batches are short and bounded at 64 lanes).  Returns
+        ``(caught, frames_done)``.
+        """
+        circuit = self.circuit
+        counters = self.counters
+        n_lanes = chunk.n_lanes
+        rep = chunk.replication
+        full_mask = chunk.mask
+        zero = [0] * circuit.n_nets
+        one = [0] * circuit.n_nets
+        for (z, o), nid in zip(init_words, circuit.ff_ids):
+            zero[nid], one[nid] = z * rep, o * rep
+        caught = 0
+        frames_done = 0
+        for frame in range(n_frames):
+            for (pz, po_), nid in zip(pi_words[frame], circuit.pi_ids):
+                zero[nid], one[nid] = pz * rep, po_ * rep
+            for nid in chunk.src_stem_ids:
+                m0, m1 = chunk.stems[nid]
+                keep = full_mask & ~(m0 | m1)
+                zero[nid] = (zero[nid] & keep) | m0
+                one[nid] = (one[nid] & keep) | m1
+            circuit.eval_frame(zero, one, full_mask, chunk.stems,
+                               chunk.branch)
+            counters.note_words(1, chunk.n_groups * n_lanes)
+            frames_done += 1
+            ns_zero = [zero[nid] for nid in circuit.ff_d_ids]
+            ns_one = [one[nid] for nid in circuit.ff_d_ids]
+            for pos, m0, m1 in chunk.ff_branch:
+                keep = full_mask & ~(m0 | m1)
+                ns_zero[pos] = (ns_zero[pos] & keep) | m0
+                ns_one[pos] = (ns_one[pos] & keep) | m1
+            if observe_po and acts[frame]:
+                act_rep = acts[frame] * rep
+                frame_po = good_po[frame]
+                for po_i, nid in enumerate(circuit.po_ids):
+                    gz, go = frame_po[po_i]
+                    caught |= act_rep & (((gz * rep) & one[nid]) |
+                                         ((go * rep) & zero[nid]))
+            frame_scan = good_scan[frame]
+            if frame_scan is not None:
+                end_rep = ends[frame] * rep
+                for slot_i, pos in enumerate(slot_pos):
+                    gz, go = frame_scan[slot_i]
+                    caught |= end_rep & (((gz * rep) & ns_one[pos]) |
+                                         ((go * rep) & ns_zero[pos]))
+            if caught == full_mask:
+                # Every fault caught in every trial lane: no later
+                # frame can change any per-trial set.
+                break
+            for nid, z, o in zip(circuit.ff_ids, ns_zero, ns_one):
+                zero[nid], one[nid] = z, o
+        return caught, frames_done
 
     # ------------------------------------------------------------------
     def incremental(self, init_state: Optional[V.Vector] = None,

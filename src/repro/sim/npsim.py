@@ -41,18 +41,19 @@ numpy raises :class:`MissingNumpyError` with that instruction.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import shutil
 import subprocess
 import tempfile
 from collections import OrderedDict
 from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence,
-                    Set, Tuple)
+                    Set, Tuple, Union)
 
 from . import values as V
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .fault_sim import FaultSimulator, _Chunk
+    from .fault_sim import FaultSimulator, _Chunk, _LaneChunk
     from .logicsim import CompiledCircuit
 
 
@@ -113,6 +114,115 @@ static void repro_diff_acc(const u64* z, const u64* o, u64* acc,
     }
 }
 
+/* One frame of gate evaluation in topological order, with fanout-
+   branch overrides and post-gate stem forcing -- shared by the
+   detect/records pass and the lane-transposed trial pass so the two
+   can never drift apart. */
+static void repro_eval_gates(
+    u64* zero, u64* one, const u64* mask, long W,
+    long n_gates, const int* g_op, const int* g_out,
+    const long* g_foff, const int* g_fan,
+    const int* stem_site,
+    const u64* st_f0, const u64* st_f1, const u64* st_keep,
+    const int* br_start, const int* br_count,
+    const int* br_pin, const u64* br_f0, const u64* br_f1,
+    const u64* br_keep,
+    u64* scr_z, u64* scr_o)
+{
+    long g, i, w, b;
+    for (g = 0; g < n_gates; g++) {
+        long out = g_out[g];
+        long s = g_foff[g], e = g_foff[g + 1];
+        long k = e - s;
+        const u64* fz[64];
+        const u64* fo[64];
+        u64* zz = zero + out * W;
+        u64* oo = one + out * W;
+        int op = g_op[g];
+        long bc = br_count[out];
+        int ssite = stem_site[out];
+        for (i = 0; i < k; i++) {
+            fz[i] = zero + (long)g_fan[s + i] * W;
+            fo[i] = one + (long)g_fan[s + i] * W;
+        }
+        if (bc) {
+            /* Fanout-branch overrides: force this gate's view of
+               the overridden fanin pins (scratch copies). */
+            u64 copied = 0;
+            for (b = br_start[out]; b < br_start[out] + bc; b++) {
+                long pin = br_pin[b];
+                u64* cz = scr_z + pin * W;
+                u64* co = scr_o + pin * W;
+                if (!((copied >> pin) & 1ULL)) {
+                    for (w = 0; w < W; w++) {
+                        cz[w] = fz[pin][w];
+                        co[w] = fo[pin][w];
+                    }
+                    fz[pin] = cz;
+                    fo[pin] = co;
+                    copied |= 1ULL << pin;
+                }
+                repro_blend(cz, co, br_f0 + b * W, br_f1 + b * W,
+                            br_keep + b * W, W);
+            }
+        }
+        switch (op) {
+        case 0: case 1:                  /* AND / NAND */
+            for (w = 0; w < W; w++) { zz[w] = 0; oo[w] = mask[w]; }
+            for (i = 0; i < k; i++)
+                for (w = 0; w < W; w++) {
+                    zz[w] |= fz[i][w];
+                    oo[w] &= fo[i][w];
+                }
+            break;
+        case 2: case 3:                  /* OR / NOR */
+            for (w = 0; w < W; w++) { zz[w] = mask[w]; oo[w] = 0; }
+            for (i = 0; i < k; i++)
+                for (w = 0; w < W; w++) {
+                    zz[w] &= fz[i][w];
+                    oo[w] |= fo[i][w];
+                }
+            break;
+        case 4: case 5:                  /* XOR / XNOR pairwise */
+            for (w = 0; w < W; w++) {
+                zz[w] = fz[0][w];
+                oo[w] = fo[0][w];
+            }
+            for (i = 1; i < k; i++)
+                for (w = 0; w < W; w++) {
+                    u64 nz = (zz[w] & fz[i][w]) | (oo[w] & fo[i][w]);
+                    u64 no = (zz[w] & fo[i][w]) | (oo[w] & fz[i][w]);
+                    zz[w] = nz;
+                    oo[w] = no;
+                }
+            break;
+        case 6: case 7:                  /* NOT / BUF */
+            for (w = 0; w < W; w++) {
+                zz[w] = fz[0][w];
+                oo[w] = fo[0][w];
+            }
+            break;
+        case 8:                          /* CONST0 */
+            for (w = 0; w < W; w++) { zz[w] = mask[w]; oo[w] = 0; }
+            break;
+        default:                         /* CONST1 */
+            for (w = 0; w < W; w++) { zz[w] = 0; oo[w] = mask[w]; }
+        }
+        if (op == 1 || op == 3 || op == 5 || op == 6) {
+            /* Inverting gate: swap the value rails. */
+            for (w = 0; w < W; w++) {
+                u64 t = zz[w];
+                zz[w] = oo[w];
+                oo[w] = t;
+            }
+        }
+        if (ssite >= 0)
+            repro_blend(zz, oo, st_f0 + (long)ssite * W,
+                        st_f1 + (long)ssite * W,
+                        st_keep + (long)ssite * W, W);
+    }
+}
+
 int repro_run_pass(
     u64* zero, u64* one, const u64* mask, long W,
     long n_gates, const int* g_op, const int* g_out,
@@ -139,7 +249,7 @@ int repro_run_pass(
     u64* scr_z, u64* scr_o,
     u64* caught, long* stop_frame, long* frames_done)
 {
-    long f, p, g, i, w, b;
+    long f, p, i, w, b;
     for (f = start_frame; f <= last_frame; f++) {
         /* Load primary inputs (pack_scalar semantics: 0 -> zero row,
            1 -> one row, X -> neither). */
@@ -162,97 +272,10 @@ int repro_run_pass(
                         st_keep + s * W, W);
         }
         /* Gates in topological order. */
-        for (g = 0; g < n_gates; g++) {
-            long out = g_out[g];
-            long s = g_foff[g], e = g_foff[g + 1];
-            long k = e - s;
-            const u64* fz[64];
-            const u64* fo[64];
-            u64* zz = zero + out * W;
-            u64* oo = one + out * W;
-            int op = g_op[g];
-            long bc = br_count[out];
-            int ssite = stem_site[out];
-            for (i = 0; i < k; i++) {
-                fz[i] = zero + (long)g_fan[s + i] * W;
-                fo[i] = one + (long)g_fan[s + i] * W;
-            }
-            if (bc) {
-                /* Fanout-branch overrides: force this gate's view of
-                   the overridden fanin pins (scratch copies). */
-                u64 copied = 0;
-                for (b = br_start[out]; b < br_start[out] + bc; b++) {
-                    long pin = br_pin[b];
-                    u64* cz = scr_z + pin * W;
-                    u64* co = scr_o + pin * W;
-                    if (!((copied >> pin) & 1ULL)) {
-                        for (w = 0; w < W; w++) {
-                            cz[w] = fz[pin][w];
-                            co[w] = fo[pin][w];
-                        }
-                        fz[pin] = cz;
-                        fo[pin] = co;
-                        copied |= 1ULL << pin;
-                    }
-                    repro_blend(cz, co, br_f0 + b * W, br_f1 + b * W,
-                                br_keep + b * W, W);
-                }
-            }
-            switch (op) {
-            case 0: case 1:                  /* AND / NAND */
-                for (w = 0; w < W; w++) { zz[w] = 0; oo[w] = mask[w]; }
-                for (i = 0; i < k; i++)
-                    for (w = 0; w < W; w++) {
-                        zz[w] |= fz[i][w];
-                        oo[w] &= fo[i][w];
-                    }
-                break;
-            case 2: case 3:                  /* OR / NOR */
-                for (w = 0; w < W; w++) { zz[w] = mask[w]; oo[w] = 0; }
-                for (i = 0; i < k; i++)
-                    for (w = 0; w < W; w++) {
-                        zz[w] &= fz[i][w];
-                        oo[w] |= fo[i][w];
-                    }
-                break;
-            case 4: case 5:                  /* XOR / XNOR pairwise */
-                for (w = 0; w < W; w++) {
-                    zz[w] = fz[0][w];
-                    oo[w] = fo[0][w];
-                }
-                for (i = 1; i < k; i++)
-                    for (w = 0; w < W; w++) {
-                        u64 nz = (zz[w] & fz[i][w]) | (oo[w] & fo[i][w]);
-                        u64 no = (zz[w] & fo[i][w]) | (oo[w] & fz[i][w]);
-                        zz[w] = nz;
-                        oo[w] = no;
-                    }
-                break;
-            case 6: case 7:                  /* NOT / BUF */
-                for (w = 0; w < W; w++) {
-                    zz[w] = fz[0][w];
-                    oo[w] = fo[0][w];
-                }
-                break;
-            case 8:                          /* CONST0 */
-                for (w = 0; w < W; w++) { zz[w] = mask[w]; oo[w] = 0; }
-                break;
-            default:                         /* CONST1 */
-                for (w = 0; w < W; w++) { zz[w] = 0; oo[w] = mask[w]; }
-            }
-            if (op == 1 || op == 3 || op == 5 || op == 6) {
-                /* Inverting gate: swap the value rails. */
-                for (w = 0; w < W; w++) {
-                    u64 t = zz[w];
-                    zz[w] = oo[w];
-                    oo[w] = t;
-                }
-            }
-            if (ssite >= 0)
-                repro_blend(zz, oo, st_f0 + (long)ssite * W,
-                            st_f1 + (long)ssite * W,
-                            st_keep + (long)ssite * W, W);
-        }
+        repro_eval_gates(zero, one, mask, W, n_gates, g_op, g_out,
+                         g_foff, g_fan, stem_site, st_f0, st_f1,
+                         st_keep, br_start, br_count, br_pin,
+                         br_f0, br_f1, br_keep, scr_z, scr_o);
         (*frames_done)++;
         /* Next state: captured FF data values + FF branch blends. */
         for (i = 0; i < n_ff; i++) {
@@ -349,6 +372,203 @@ int repro_run_pass(
     *stop_frame = last_frame + 1;
     return 0;
 }
+
+/* Lane-transposed trial pass: each lane carries an independent test
+   (its own scan-in state and PI sequence), each lane *block* one
+   injected fault, and the fault-free reference arrives pre-computed
+   (and pre-replicated across blocks) from a separate good pass.
+   `act` masks the lanes still inside their own sequence at a frame
+   (PO observation), `end_mask` the lanes whose last frame it is
+   (scan-out diff against the captured state).  No repack, no early
+   exit beyond full saturation (status 1); mirrors FaultSimulator.
+   _run_trial_chunk word for word. */
+int repro_run_lane_pass(
+    u64* zero, u64* one, const u64* mask, long W,
+    long n_gates, const int* g_op, const int* g_out,
+    const long* g_foff, const int* g_fan,
+    long n_pi, const int* pi_ids,
+    long n_po, const int* po_ids,
+    long n_ff, const int* ff_ids, const int* ffd_ids,
+    const int* stem_site,
+    const u64* st_f0, const u64* st_f1, const u64* st_keep,
+    long n_src_stem, const int* src_stem_ids, const int* src_stem_site,
+    const int* br_start, const int* br_count,
+    const int* br_pin, const u64* br_f0, const u64* br_f1,
+    const u64* br_keep,
+    long n_ffbr, const int* ffbr_pos,
+    const u64* ffbr_f0, const u64* ffbr_f1, const u64* ffbr_keep,
+    long n_frames,
+    const u64* pi_zero, const u64* pi_one,
+    const u64* act, const u64* end_mask,
+    int observe_po,
+    const u64* good_po_z, const u64* good_po_o,
+    long n_slots, const int* slot_pos,
+    const u64* good_sc_z, const u64* good_sc_o,
+    u64* ns_zero, u64* ns_one,
+    u64* scr_z, u64* scr_o,
+    u64* caught, long* frames_done)
+{
+    long f, p, i, w, b;
+    for (f = 0; f < n_frames; f++) {
+        /* Load per-lane primary-input words (pre-replicated). */
+        for (p = 0; p < n_pi; p++) {
+            u64* z = zero + (long)pi_ids[p] * W;
+            u64* o = one + (long)pi_ids[p] * W;
+            const u64* pz = pi_zero + (f * n_pi + p) * W;
+            const u64* po = pi_one + (f * n_pi + p) * W;
+            for (w = 0; w < W; w++) { z[w] = pz[w]; o[w] = po[w]; }
+        }
+        for (i = 0; i < n_src_stem; i++) {
+            long nid = src_stem_ids[i];
+            long s = src_stem_site[i];
+            repro_blend(zero + nid * W, one + nid * W,
+                        st_f0 + s * W, st_f1 + s * W,
+                        st_keep + s * W, W);
+        }
+        repro_eval_gates(zero, one, mask, W, n_gates, g_op, g_out,
+                         g_foff, g_fan, stem_site, st_f0, st_f1,
+                         st_keep, br_start, br_count, br_pin,
+                         br_f0, br_f1, br_keep, scr_z, scr_o);
+        (*frames_done)++;
+        for (i = 0; i < n_ff; i++) {
+            const u64* dz = zero + (long)ffd_ids[i] * W;
+            const u64* dn = one + (long)ffd_ids[i] * W;
+            u64* nz = ns_zero + i * W;
+            u64* no = ns_one + i * W;
+            for (w = 0; w < W; w++) { nz[w] = dz[w]; no[w] = dn[w]; }
+        }
+        for (b = 0; b < n_ffbr; b++)
+            repro_blend(ns_zero + (long)ffbr_pos[b] * W,
+                        ns_one + (long)ffbr_pos[b] * W,
+                        ffbr_f0 + b * W, ffbr_f1 + b * W,
+                        ffbr_keep + b * W, W);
+        if (observe_po) {
+            const u64* a = act + f * W;
+            for (i = 0; i < n_po; i++) {
+                const u64* gz = good_po_z + (f * n_po + i) * W;
+                const u64* go = good_po_o + (f * n_po + i) * W;
+                const u64* fz = zero + (long)po_ids[i] * W;
+                const u64* fo = one + (long)po_ids[i] * W;
+                for (w = 0; w < W; w++)
+                    caught[w] |= a[w] &
+                        ((gz[w] & fo[w]) | (go[w] & fz[w]));
+            }
+        }
+        if (n_slots) {
+            const u64* e = end_mask + f * W;
+            u64 any_end = 0;
+            for (w = 0; w < W; w++) any_end |= e[w];
+            if (any_end) {
+                for (i = 0; i < n_slots; i++) {
+                    const u64* gz = good_sc_z + (f * n_slots + i) * W;
+                    const u64* go = good_sc_o + (f * n_slots + i) * W;
+                    const u64* nz = ns_zero + (long)slot_pos[i] * W;
+                    const u64* no = ns_one + (long)slot_pos[i] * W;
+                    for (w = 0; w < W; w++)
+                        caught[w] |= e[w] &
+                            ((gz[w] & no[w]) | (go[w] & nz[w]));
+                }
+            }
+        }
+        {
+            int sat = 1;
+            for (w = 0; w < W; w++)
+                if (caught[w] != mask[w]) { sat = 0; break; }
+            if (sat) return 1;
+        }
+        for (i = 0; i < n_ff; i++) {
+            u64* z = zero + (long)ff_ids[i] * W;
+            u64* o = one + (long)ff_ids[i] * W;
+            for (w = 0; w < W; w++) {
+                z[w] = ns_zero[i * W + w];
+                o[w] = ns_one[i * W + w];
+            }
+        }
+    }
+    return 0;
+}
+
+/* Fault-free lane pass: the good-value reference for the trial pass
+   above.  Each lane carries one trial's own PI sequence; no faults
+   are injected (the caller passes an empty plan: stem_site all -1,
+   br_count all 0).  Emits per-frame PO lane words and the captured
+   next-state words of the observed scan slots -- every frame, the
+   Python caller slices by its end masks.  Mirrors FaultSimulator.
+   _good_trial_pass word for word. */
+void repro_run_good_lane_pass(
+    u64* zero, u64* one, const u64* mask, long W,
+    long n_gates, const int* g_op, const int* g_out,
+    const long* g_foff, const int* g_fan,
+    long n_pi, const int* pi_ids,
+    long n_po, const int* po_ids,
+    long n_ff, const int* ff_ids, const int* ffd_ids,
+    const int* stem_site,
+    const u64* st_f0, const u64* st_f1, const u64* st_keep,
+    const int* br_start, const int* br_count,
+    const int* br_pin, const u64* br_f0, const u64* br_f1,
+    const u64* br_keep,
+    long n_frames,
+    const u64* pi_zero, const u64* pi_one,
+    int observe_po, u64* good_po_z, u64* good_po_o,
+    long n_slots, const int* slot_pos,
+    u64* good_sc_z, u64* good_sc_o,
+    u64* ns_zero, u64* ns_one,
+    u64* scr_z, u64* scr_o)
+{
+    long f, p, i, w;
+    for (f = 0; f < n_frames; f++) {
+        for (p = 0; p < n_pi; p++) {
+            u64* z = zero + (long)pi_ids[p] * W;
+            u64* o = one + (long)pi_ids[p] * W;
+            const u64* pz = pi_zero + (f * n_pi + p) * W;
+            const u64* po = pi_one + (f * n_pi + p) * W;
+            for (w = 0; w < W; w++) { z[w] = pz[w]; o[w] = po[w]; }
+        }
+        repro_eval_gates(zero, one, mask, W, n_gates, g_op, g_out,
+                         g_foff, g_fan, stem_site, st_f0, st_f1,
+                         st_keep, br_start, br_count, br_pin,
+                         br_f0, br_f1, br_keep, scr_z, scr_o);
+        if (observe_po) {
+            u64* gz = good_po_z + f * n_po * W;
+            u64* go = good_po_o + f * n_po * W;
+            for (i = 0; i < n_po; i++) {
+                const u64* z = zero + (long)po_ids[i] * W;
+                const u64* o = one + (long)po_ids[i] * W;
+                for (w = 0; w < W; w++) {
+                    gz[i * W + w] = z[w];
+                    go[i * W + w] = o[w];
+                }
+            }
+        }
+        for (i = 0; i < n_ff; i++) {
+            const u64* dz = zero + (long)ffd_ids[i] * W;
+            const u64* dn = one + (long)ffd_ids[i] * W;
+            for (w = 0; w < W; w++) {
+                ns_zero[i * W + w] = dz[w];
+                ns_one[i * W + w] = dn[w];
+            }
+        }
+        if (n_slots) {
+            u64* sz = good_sc_z + f * n_slots * W;
+            u64* so = good_sc_o + f * n_slots * W;
+            for (i = 0; i < n_slots; i++) {
+                long pos = slot_pos[i];
+                for (w = 0; w < W; w++) {
+                    sz[i * W + w] = ns_zero[pos * W + w];
+                    so[i * W + w] = ns_one[pos * W + w];
+                }
+            }
+        }
+        for (i = 0; i < n_ff; i++) {
+            u64* z = zero + (long)ff_ids[i] * W;
+            u64* o = one + (long)ff_ids[i] * W;
+            for (w = 0; w < W; w++) {
+                z[w] = ns_zero[i * W + w];
+                o[w] = ns_one[i * W + w];
+            }
+        }
+    }
+}
 """
 
 _KERNEL_CDEF = """
@@ -378,6 +598,50 @@ int repro_run_pass(
     u64* ns_zero, u64* ns_one,
     u64* scr_z, u64* scr_o,
     u64* caught, long* stop_frame, long* frames_done);
+int repro_run_lane_pass(
+    u64* zero, u64* one, const u64* mask, long W,
+    long n_gates, const int* g_op, const int* g_out,
+    const long* g_foff, const int* g_fan,
+    long n_pi, const int* pi_ids,
+    long n_po, const int* po_ids,
+    long n_ff, const int* ff_ids, const int* ffd_ids,
+    const int* stem_site,
+    const u64* st_f0, const u64* st_f1, const u64* st_keep,
+    long n_src_stem, const int* src_stem_ids, const int* src_stem_site,
+    const int* br_start, const int* br_count,
+    const int* br_pin, const u64* br_f0, const u64* br_f1,
+    const u64* br_keep,
+    long n_ffbr, const int* ffbr_pos,
+    const u64* ffbr_f0, const u64* ffbr_f1, const u64* ffbr_keep,
+    long n_frames,
+    const u64* pi_zero, const u64* pi_one,
+    const u64* act, const u64* end_mask,
+    int observe_po,
+    const u64* good_po_z, const u64* good_po_o,
+    long n_slots, const int* slot_pos,
+    const u64* good_sc_z, const u64* good_sc_o,
+    u64* ns_zero, u64* ns_one,
+    u64* scr_z, u64* scr_o,
+    u64* caught, long* frames_done);
+void repro_run_good_lane_pass(
+    u64* zero, u64* one, const u64* mask, long W,
+    long n_gates, const int* g_op, const int* g_out,
+    const long* g_foff, const int* g_fan,
+    long n_pi, const int* pi_ids,
+    long n_po, const int* po_ids,
+    long n_ff, const int* ff_ids, const int* ffd_ids,
+    const int* stem_site,
+    const u64* st_f0, const u64* st_f1, const u64* st_keep,
+    const int* br_start, const int* br_count,
+    const int* br_pin, const u64* br_f0, const u64* br_f1,
+    const u64* br_keep,
+    long n_frames,
+    const u64* pi_zero, const u64* pi_one,
+    int observe_po, u64* good_po_z, u64* good_po_o,
+    long n_slots, const int* slot_pos,
+    u64* good_sc_z, u64* good_sc_o,
+    u64* ns_zero, u64* ns_one,
+    u64* scr_z, u64* scr_o);
 """
 
 #: Kernel pass-loop return codes.
@@ -400,6 +664,23 @@ def _find_cc() -> Optional[str]:
     return shutil.which("cc") or shutil.which("gcc")
 
 
+def _kernel_cache_path() -> Optional[str]:
+    """Cross-process kernel cache: ``$REPRO_KERNEL_CACHE/<hash>.so``.
+
+    The filename is keyed on the kernel source *and* its cdef, so a
+    restored cache directory (CI persists it across jobs) can never
+    dlopen a shared object built from different source -- a source
+    change simply misses the cache and recompiles.  Unset env means
+    no cache: every process compiles into its own tempdir as before.
+    """
+    root = os.environ.get("REPRO_KERNEL_CACHE")
+    if not root:
+        return None
+    digest = hashlib.sha256(
+        (_KERNEL_CDEF + _KERNEL_SOURCE).encode()).hexdigest()[:16]
+    return os.path.join(root, f"repro_kernel-{digest}.so")
+
+
 def _load_kernel() -> Optional[Tuple[Any, Any]]:
     """Compile and dlopen the pass kernel once per process.
 
@@ -416,6 +697,16 @@ def _load_kernel() -> Optional[Tuple[Any, Any]]:
     except ImportError:
         _KERNEL_ERROR = "cffi is not installed"
         return None
+    cached = _kernel_cache_path()
+    if cached is not None and os.path.exists(cached):
+        try:
+            ffi = FFI()
+            ffi.cdef(_KERNEL_CDEF)
+            lib = ffi.dlopen(cached)
+            _KERNEL = (ffi, lib)
+            return _KERNEL
+        except Exception:  # pragma: no cover - corrupt cache entry
+            pass  # fall through to a fresh compile
     cc = _find_cc()
     if cc is None:
         _KERNEL_ERROR = "no C compiler found (set $CC)"
@@ -435,6 +726,16 @@ def _load_kernel() -> Optional[Tuple[Any, Any]]:
     except Exception as exc:  # pragma: no cover - toolchain-specific
         _KERNEL_ERROR = f"kernel build failed: {exc}"
         return None
+    if cached is not None:
+        try:
+            os.makedirs(os.path.dirname(cached), exist_ok=True)
+            # Atomic publish: concurrent processes may race here, but
+            # every writer produces an identical file.
+            tmp_copy = f"{cached}.tmp-{os.getpid()}"
+            shutil.copy(so_path, tmp_copy)
+            os.replace(tmp_copy, cached)
+        except OSError:  # pragma: no cover - read-only cache dir
+            pass
     _KERNEL = (ffi, lib)
     return _KERNEL
 
@@ -470,13 +771,23 @@ class _ChunkPlan:
     apply in their list order, flip-flop branch entries likewise, and
     every blend uses its own ``keep = mask & ~(m0 | m1)`` -- so
     repeated sites on one pin compose identically.
+
+    ``n_bits`` is the word width in machine bits; it defaults to the
+    :class:`_Chunk` layout (``len(indices) + 1`` for the good bit)
+    and must be passed explicitly for :class:`_LaneChunk` layouts
+    (``n_groups * n_lanes``, no good bit) -- both chunk flavors carry
+    the same ``mask`` / ``stems`` / ``branch`` / ``ff_branch`` /
+    ``src_stem_ids`` fields this plan consumes.
     """
 
-    def __init__(self, backend: "ArrayBackend", chunk: "_Chunk") -> None:
+    def __init__(self, backend: "ArrayBackend",
+                 chunk: "Union[_Chunk, _LaneChunk]",
+                 n_bits: Optional[int] = None) -> None:
         np = backend.np
         self.chunk = chunk
-        n_machines = len(chunk.indices) + 1
-        self.n_words = (n_machines + 63) // 64
+        if n_bits is None:
+            n_bits = len(chunk.indices) + 1
+        self.n_words = (n_bits + 63) // 64
         W = self.n_words
         self.mask = V.word_to_array(chunk.mask, W)
         n_nets = backend.circuit.n_nets
@@ -586,6 +897,9 @@ class ArrayBackend:
             use_kernel = os.environ.get("REPRO_NP_KERNEL") != "py"
         self._kernel = _load_kernel() if use_kernel else None
         self._evaluator: Optional[Any] = None
+        # Fault-free injection plans for the good lane pass, keyed by
+        # word width (circuit-wide, so safely shared across simulators).
+        self._empty_plans: Dict[int, Tuple[Any, ...]] = {}
 
     #: Plans retained by :meth:`_plan_for`.  Small: pipeline phases
     #: re-simulate a handful of target sets over and over (Phase-2
@@ -594,22 +908,29 @@ class ArrayBackend:
     _PLAN_CACHE_SIZE = 8
 
     def _plan_for(self, sim: "FaultSimulator",
-                  chunk: "_Chunk") -> _ChunkPlan:
+                  chunk: "Union[_Chunk, _LaneChunk]",
+                  n_bits: Optional[int] = None) -> _ChunkPlan:
         """The injection plan for ``chunk``, LRU-cached by fault set.
 
         A chunk's stems/branches/mask are a pure function of its
         fault indices (in order) for a fixed circuit and fault list,
-        so an equal index tuple means an identical plan.  The cache
-        lives on the simulator (not this backend, which is shared
-        per-circuit across simulators whose fault lists may differ).
-        Repacked chunks are per-call transients and bypass the cache.
+        so an equal index tuple means an identical plan.  Lane-chunk
+        plans additionally depend on the lane count (the injection
+        masks replicate per lane block), which ``n_bits`` encodes
+        into the key.  The cache lives on the simulator (not this
+        backend, which is shared per-circuit across simulators whose
+        fault lists may differ).  Repacked chunks are per-call
+        transients and bypass the cache.
         """
-        cache: "OrderedDict[Tuple[int, ...], _ChunkPlan]" = \
+        cache: "OrderedDict[Tuple[Any, ...], _ChunkPlan]" = \
             sim.__dict__.setdefault("_np_plan_cache", OrderedDict())
-        key = tuple(chunk.indices)
+        if n_bits is None:
+            key: Tuple[Any, ...] = tuple(chunk.indices)
+        else:
+            key = ("lane", n_bits, *chunk.indices)
         plan = cache.get(key)
         if plan is None:
-            plan = _ChunkPlan(self, chunk)
+            plan = _ChunkPlan(self, chunk, n_bits)
             cache[key] = plan
             if len(cache) > self._PLAN_CACHE_SIZE:
                 cache.popitem(last=False)
@@ -937,6 +1258,280 @@ class ArrayBackend:
             caught_arr)
         counters.note_words(frames, len(chunk.indices))
         return V.array_to_word(caught_arr), frames
+
+    # ------------------------------------------------------------------
+    def run_lane_chunk(
+        self, sim: "FaultSimulator", chunk: "_LaneChunk",
+        n_frames: int,
+        pi_words: Sequence[Sequence[Tuple[int, int]]],
+        acts: Sequence[int], ends: Sequence[int],
+        init_words: Sequence[Tuple[int, int]],
+        good_po: Sequence[Sequence[Tuple[int, int]]],
+        good_scan: Sequence[Optional[Sequence[Tuple[int, int]]]],
+        slot_pos: Sequence[int], observe_po: bool,
+    ) -> Tuple[int, int]:
+        """One lane-transposed pass chunk on the C kernel.
+
+        Serves both :meth:`FaultSimulator.detect_trials` (per-lane PI
+        words, ragged ``acts`` / ``ends`` masks) and the kernel route
+        of :meth:`FaultSimulator.detect_candidates` (shared PI words,
+        all lanes active, scan-out only on the last frame).  All lane
+        words arrive *unreplicated* (one block wide); the block
+        replication across fault groups happens here, in big-int
+        arithmetic, before the one-shot array conversion.  Returns
+        ``(caught, frames_done)`` with ``caught`` a big-int over the
+        chunk's ``n_groups * n_lanes`` bits.
+
+        Kernel-only: callers keep the big-int lane loops when the
+        kernel is unavailable (the pure-numpy fallback loses to the
+        fused big-int engine on these passes).
+        """
+        np = self.np
+        counters = sim.counters
+        counters.np_passes += 1
+        n_bits = chunk.n_groups * chunk.n_lanes
+        plan = self._plan_for(sim, chunk, n_bits=n_bits)
+        W = plan.n_words
+        rep = chunk.replication
+        n_nets = self.circuit.n_nets
+        aligned = chunk.n_lanes % 64 == 0
+        wb = chunk.n_lanes // 64
+
+        def rep_rows(rows: Sequence[int]) -> Any:
+            # With lane blocks on 64-bit boundaries the group
+            # replication is an exact array tile of the one-block
+            # rows, skipping the per-row big-int multiply and bytes
+            # round-trip (the top cost of wide trial chunks).
+            if aligned:
+                return np.tile(_rows_array(np, rows, wb),
+                               (1, chunk.n_groups))
+            return _rows_array(np, [r * rep for r in rows], W)
+
+        zero = np.zeros((n_nets, W), dtype=np.uint64)
+        one = np.zeros((n_nets, W), dtype=np.uint64)
+        for (z, o), nid in zip(init_words, self.circuit.ff_ids):
+            if z:
+                zero[nid] = (np.tile(V.word_to_array(z, wb),
+                                     chunk.n_groups) if aligned
+                             else V.word_to_array(z * rep, W))
+            if o:
+                one[nid] = (np.tile(V.word_to_array(o, wb),
+                                    chunk.n_groups) if aligned
+                            else V.word_to_array(o * rep, W))
+        pi_z = rep_rows([pz for frame in pi_words for pz, _ in frame])
+        pi_o = rep_rows([po for frame in pi_words for _, po in frame])
+        act_arr = rep_rows(acts)
+        end_arr = rep_rows(ends)
+        if observe_po:
+            gp_z = rep_rows(
+                [gz for frame in good_po for gz, _ in frame])
+            gp_o = rep_rows(
+                [go for frame in good_po for _, go in frame])
+        else:
+            gp_z = np.zeros((1, W), dtype=np.uint64)
+            gp_o = np.zeros((1, W), dtype=np.uint64)
+        n_slots = (len(slot_pos)
+                   if any(s is not None for s in good_scan) else 0)
+        if n_slots:
+            sc_rows_z: List[int] = []
+            sc_rows_o: List[int] = []
+            for frame_scan in good_scan:
+                if frame_scan is None:
+                    sc_rows_z.extend([0] * n_slots)
+                    sc_rows_o.extend([0] * n_slots)
+                else:
+                    for gz, go in frame_scan:
+                        sc_rows_z.append(gz)
+                        sc_rows_o.append(go)
+            sc_z = rep_rows(sc_rows_z)
+            sc_o = rep_rows(sc_rows_o)
+        else:
+            sc_z = np.zeros((1, W), dtype=np.uint64)
+            sc_o = np.zeros((1, W), dtype=np.uint64)
+        slot_arr = np.asarray(list(slot_pos) or [0], dtype=np.int32)
+        ns_zero = np.zeros((max(1, len(self.circuit.ff_ids)), W),
+                           dtype=np.uint64)
+        ns_one = np.zeros_like(ns_zero)
+        scr_z = np.zeros((self.max_arity, W), dtype=np.uint64)
+        scr_o = np.zeros_like(scr_z)
+        caught_arr = np.zeros(W, dtype=np.uint64)
+        ffi, lib = self._kernel  # type: ignore[misc]
+
+        def u64p(arr: Any) -> Any:
+            return ffi.cast("u64*", arr.ctypes.data)
+
+        def i32p(arr: Any) -> Any:
+            return ffi.cast("int*", arr.ctypes.data)
+
+        frames = ffi.new("long*")
+        lib.repro_run_lane_pass(
+            u64p(zero), u64p(one), u64p(plan.mask), W,
+            self.n_gates, i32p(self.g_op), i32p(self.g_out),
+            ffi.cast("long*", self.g_foff.ctypes.data),
+            i32p(self.g_fan),
+            len(self.circuit.pi_ids), i32p(self.pi_ids),
+            len(self.circuit.po_ids), i32p(self.po_ids),
+            len(self.circuit.ff_ids), i32p(self.ff_ids),
+            i32p(self.ffd_ids),
+            i32p(plan.stem_site),
+            u64p(plan.st_f0), u64p(plan.st_f1), u64p(plan.st_keep),
+            len(plan.src_stem_ids),
+            i32p(plan.src_stem_ids), i32p(plan.src_stem_site),
+            i32p(plan.br_start), i32p(plan.br_count),
+            i32p(plan.br_pin), u64p(plan.br_f0), u64p(plan.br_f1),
+            u64p(plan.br_keep),
+            plan.n_ffbr, i32p(plan.ffbr_pos),
+            u64p(plan.ffbr_f0), u64p(plan.ffbr_f1),
+            u64p(plan.ffbr_keep),
+            n_frames,
+            u64p(pi_z), u64p(pi_o), u64p(act_arr), u64p(end_arr),
+            int(observe_po), u64p(gp_z), u64p(gp_o),
+            n_slots, i32p(slot_arr), u64p(sc_z), u64p(sc_o),
+            u64p(ns_zero), u64p(ns_one), u64p(scr_z), u64p(scr_o),
+            u64p(caught_arr), frames)
+        frames_done = int(frames[0])
+        counters.note_words(frames_done,
+                            chunk.n_groups * chunk.n_lanes)
+        return V.array_to_word(caught_arr), frames_done
+
+    # ------------------------------------------------------------------
+    def _empty_plan_for(self, W: int) -> Tuple[Any, ...]:
+        """Cached no-fault plan arrays for the good lane pass."""
+        cached = self._empty_plans.get(W)
+        if cached is None:
+            np = self.np
+            n_nets = self.circuit.n_nets
+            cached = (
+                np.full(n_nets, -1, dtype=np.int32),   # stem_site
+                np.zeros((1, W), dtype=np.uint64),     # st_f0
+                np.zeros((1, W), dtype=np.uint64),     # st_f1
+                np.zeros((1, W), dtype=np.uint64),     # st_keep
+                np.zeros(n_nets, dtype=np.int32),      # br_start
+                np.zeros(n_nets, dtype=np.int32),      # br_count
+                np.zeros(1, dtype=np.int32),           # br_pin
+                np.zeros((1, W), dtype=np.uint64),     # br_f0
+                np.zeros((1, W), dtype=np.uint64),     # br_f1
+                np.zeros((1, W), dtype=np.uint64),     # br_keep
+            )
+            self._empty_plans[W] = cached
+        return cached
+
+    def run_good_lane_pass(
+        self, sim: "FaultSimulator", n_lanes: int, n_frames: int,
+        pi_words: Sequence[Sequence[Tuple[int, int]]],
+        ends: Sequence[int],
+        init_words: Sequence[Tuple[int, int]],
+        observe_po: bool, slot_pos: Sequence[int], scan_out: bool,
+    ) -> Tuple[List[List[Tuple[int, int]]],
+               List[Optional[List[Tuple[int, int]]]]]:
+        """The fault-free reference pass of
+        :meth:`FaultSimulator.detect_trials` on the C kernel.
+
+        Consumes the caller-built per-frame PI lane words and returns
+        ``(po_frames, scan_frames)`` in exactly the big-int format of
+        :meth:`FaultSimulator._good_trial_pass` -- per-frame per-PO
+        good lane word pairs, and captured scan-slot word pairs on
+        frames where some trial ends (``None`` elsewhere).  This pass
+        dominated batched Phase-4 trials when it ran frame by frame
+        in Python; one kernel call replaces the whole loop.
+
+        Kernel-only, like :meth:`run_lane_chunk`.
+        """
+        np = self.np
+        counters = sim.counters
+        counters.np_passes += 1
+        W = max(1, (n_lanes + 63) // 64)
+        mask = V.word_to_array((1 << n_lanes) - 1, W)
+        n_nets = self.circuit.n_nets
+        zero = np.zeros((n_nets, W), dtype=np.uint64)
+        one = np.zeros((n_nets, W), dtype=np.uint64)
+        for (z, o), nid in zip(init_words, self.circuit.ff_ids):
+            if z:
+                zero[nid] = V.word_to_array(z, W)
+            if o:
+                one[nid] = V.word_to_array(o, W)
+        pi_z = _rows_array(
+            np, [pz for frame in pi_words for pz, _ in frame], W)
+        pi_o = _rows_array(
+            np, [po for frame in pi_words for _, po in frame], W)
+        n_po = len(self.circuit.po_ids)
+        if observe_po:
+            gp_z = np.zeros((max(1, n_frames * n_po), W),
+                            dtype=np.uint64)
+        else:
+            gp_z = np.zeros((1, W), dtype=np.uint64)
+        gp_o = np.zeros_like(gp_z)
+        slots = list(slot_pos) if scan_out else []
+        n_slots = len(slots)
+        sc_z = np.zeros((max(1, n_frames * n_slots), W),
+                        dtype=np.uint64)
+        sc_o = np.zeros_like(sc_z)
+        slot_arr = np.asarray(slots or [0], dtype=np.int32)
+        ns_zero = np.zeros((max(1, len(self.circuit.ff_ids)), W),
+                           dtype=np.uint64)
+        ns_one = np.zeros_like(ns_zero)
+        scr_z = np.zeros((self.max_arity, W), dtype=np.uint64)
+        scr_o = np.zeros_like(scr_z)
+        (stem_site, st_f0, st_f1, st_keep, br_start, br_count,
+         br_pin, br_f0, br_f1, br_keep) = self._empty_plan_for(W)
+        ffi, lib = self._kernel  # type: ignore[misc]
+
+        def u64p(arr: Any) -> Any:
+            return ffi.cast("u64*", arr.ctypes.data)
+
+        def i32p(arr: Any) -> Any:
+            return ffi.cast("int*", arr.ctypes.data)
+
+        lib.repro_run_good_lane_pass(
+            u64p(zero), u64p(one), u64p(mask), W,
+            self.n_gates, i32p(self.g_op), i32p(self.g_out),
+            ffi.cast("long*", self.g_foff.ctypes.data),
+            i32p(self.g_fan),
+            len(self.circuit.pi_ids), i32p(self.pi_ids),
+            n_po, i32p(self.po_ids),
+            len(self.circuit.ff_ids), i32p(self.ff_ids),
+            i32p(self.ffd_ids),
+            i32p(stem_site), u64p(st_f0), u64p(st_f1), u64p(st_keep),
+            i32p(br_start), i32p(br_count),
+            i32p(br_pin), u64p(br_f0), u64p(br_f1), u64p(br_keep),
+            n_frames,
+            u64p(pi_z), u64p(pi_o),
+            int(observe_po), u64p(gp_z), u64p(gp_o),
+            n_slots, i32p(slot_arr), u64p(sc_z), u64p(sc_o),
+            u64p(ns_zero), u64p(ns_one), u64p(scr_z), u64p(scr_o))
+        counters.note_words(n_frames, n_lanes)
+
+        def _rows_to_words(arr: Any, n_rows: int) -> List[int]:
+            if W == 1:
+                words: List[int] = arr[:n_rows, 0].tolist()
+                return words
+            return [V.array_to_word(arr[r]) for r in range(n_rows)]
+
+        po_frames: List[List[Tuple[int, int]]] = []
+        if observe_po:
+            gz = _rows_to_words(gp_z, n_frames * n_po)
+            go = _rows_to_words(gp_o, n_frames * n_po)
+            for f in range(n_frames):
+                base = f * n_po
+                po_frames.append(list(zip(gz[base:base + n_po],
+                                          go[base:base + n_po])))
+        else:
+            po_frames = [[] for _ in range(n_frames)]
+        scan_frames: List[Optional[List[Tuple[int, int]]]] = []
+        if n_slots:
+            sz = _rows_to_words(sc_z, n_frames * n_slots)
+            so = _rows_to_words(sc_o, n_frames * n_slots)
+            for f in range(n_frames):
+                if ends[f]:
+                    base = f * n_slots
+                    scan_frames.append(
+                        list(zip(sz[base:base + n_slots],
+                                 so[base:base + n_slots])))
+                else:
+                    scan_frames.append(None)
+        else:
+            scan_frames = [None] * n_frames
+        return po_frames, scan_frames
 
     # ------------------------------------------------------------------
     def run_records_chunk(
