@@ -48,6 +48,19 @@ both arms' detect passes and final clock cycles; the quality gate
 (``--gate`` with any value) requires identical final fault coverage,
 fewer total detect passes, and cycles no worse than the baseline.
 
+``--collapse`` compares the static fault-space analyzer's collapsed
+simulation against the plain uncollapsed flow: both arms run the full
+proposed procedure on the *same* uncollapsed fault universe, but the
+collapsed arm carries the structural-equivalence partition (one
+representative simulated per class, detections re-inflated to every
+member) and excludes the proven-untestable faults.  The emitted
+``BENCH_collapse.json`` records the universe/class counts and both
+arms' per-fault simulation work (``comb_passes``, ``machines``) and
+asserts byte-identical results -- detection sets, test vectors and
+clock cycles; ``--gate`` (any value) additionally requires the
+collapsed arm to simulate strictly fewer per-fault passes and machine
+bits.
+
 ``--power`` sweeps every X-fill strategy (:data:`repro.sim.values.
 FILL_STRATEGIES`) over the quick suite: one proposed-procedure run per
 (circuit, strategy), measuring the final test set's peak/average shift
@@ -579,6 +592,136 @@ def build_trials_payload(quick: bool, seed: int = 1) -> Dict[str, Any]:
     }
 
 
+def _run_collapse_arm(netlist, comb_tests, t0,
+                      collapse: bool) -> Dict[str, Any]:
+    """One full proposed-procedure pass over the uncollapsed universe.
+
+    ``collapse=False`` simulates every fault individually (the
+    baseline); ``collapse=True`` simulates one representative per
+    structural-equivalence class, re-inflates detections, and drops
+    the statically-proven-untestable faults.  Both arms expose the
+    same fault indexing, so the result fingerprints compare directly.
+    """
+    circuit = CompiledCircuit(netlist, engine="codegen")
+    faults = FaultSet.uncollapsed(netlist, collapse=collapse)
+    counters = SimCounters()
+    sim = FaultSimulator(circuit, faults, width="auto",
+                         counters=counters)
+    comb_sim = CombPatternSim(circuit, faults, counters=counters)
+    n_untestable = 0
+    dropped_reps = 0
+    if collapse:
+        from repro.analysis.faultspace import analyze_faultspace
+        report = analyze_faultspace(netlist)
+        untestable = report.untestable_indices(faults)
+        n_untestable = len(untestable)
+        if untestable:
+            dropped_reps = len(faults.untestable_reps(untestable))
+            sim.set_untestable(sorted(untestable))
+            comb_sim.set_untestable(sorted(untestable))
+    started = time.perf_counter()
+    result = run_proposed(sim, comb_sim, t0, comb_tests)
+    seconds = time.perf_counter() - started
+    final = result.compacted_set or result.test_set
+    return {
+        "collapse": collapse,
+        "faults_simulated": (faults.n_classes - dropped_reps
+                             if collapse else len(faults)),
+        "n_classes": faults.n_classes,
+        "n_untestable": n_untestable,
+        "seconds": round(seconds, 3),
+        "counters": counters.as_dict(),
+        "result": {
+            "seq_detected": len(result.seq_detected),
+            "final_detected": len(result.final_detected),
+            "tests": len(final),
+            "cycles": final.clock_cycles(),
+            "tau_seq_length": result.tau_seq.length,
+        },
+        "_sets": (frozenset(result.seq_detected),
+                  frozenset(result.final_detected),
+                  tuple(final.tests), final.clock_cycles()),
+    }
+
+
+def build_collapse_payload(quick: bool, seed: int = 1) -> Dict[str, Any]:
+    """The ``--collapse`` payload: collapsed vs uncollapsed simulation.
+
+    Both arms run on the full uncollapsed stuck-at universe with the
+    same stimuli; the analyzer-backed arm must reproduce the baseline
+    byte-identically while doing strictly less per-fault work.
+    """
+    profile = QUICK_PROFILE if quick else FULL_PROFILE
+    netlist = synth.generate(profile["name"], profile["n_pi"],
+                             profile["n_po"], profile["n_ff"],
+                             profile["n_gates"], seed=profile["seed"])
+    circuit = CompiledCircuit(netlist)
+    universe = FaultSet.uncollapsed(netlist, collapse=False)
+    comb = comb_set_mod.generate(circuit, universe, seed=seed)
+    t0 = random_gen.random_sequence(circuit, profile["t0_length"],
+                                    seed=seed)
+    print(f"circuit {profile['name']}: {netlist.num_gates} gates, "
+          f"{netlist.num_ffs} FFs, {len(universe)} uncollapsed faults, "
+          f"{len(comb.tests)} comb tests, |T0|={len(t0)}")
+
+    print("uncollapsed: every fault simulated individually ...",
+          flush=True)
+    plain = _run_collapse_arm(netlist, comb.tests, t0, collapse=False)
+    print(f"  {plain['seconds']}s, "
+          f"{plain['counters']['comb_passes']} comb passes")
+    print("collapsed: representatives only + untestable dropped ...",
+          flush=True)
+    collapsed = _run_collapse_arm(netlist, comb.tests, t0,
+                                  collapse=True)
+    print(f"  {collapsed['seconds']}s, "
+          f"{collapsed['counters']['comb_passes']} comb passes, "
+          f"{collapsed['n_classes']} classes, "
+          f"{collapsed['n_untestable']} untestable")
+
+    identical = plain.pop("_sets") == collapsed.pop("_sets")
+    if not identical:
+        print("ERROR: collapsed simulation disagrees with the "
+              "uncollapsed baseline", file=sys.stderr)
+    return {
+        "bench": "collapse: representative-only simulation + "
+                 "untestability proofs vs the uncollapsed flow",
+        "circuit": {
+            "name": profile["name"],
+            "pi": netlist.num_inputs,
+            "po": netlist.num_outputs,
+            "ff": netlist.num_ffs,
+            "gates": netlist.num_gates,
+            "faults": len(universe),
+            "comb_tests": len(comb.tests),
+            "t0_length": len(t0),
+        },
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "fault_space": {
+            "n_universe": len(universe),
+            "n_classes": collapsed["n_classes"],
+            "collapse_ratio": round(
+                collapsed["n_classes"] / max(len(universe), 1), 3),
+            "n_untestable": collapsed["n_untestable"],
+        },
+        "uncollapsed": plain,
+        "collapsed": collapsed,
+        "comb_passes": {
+            "uncollapsed": plain["counters"]["comb_passes"],
+            "collapsed": collapsed["counters"]["comb_passes"],
+        },
+        "machines": {
+            "uncollapsed": plain["counters"]["machines"],
+            "collapsed": collapsed["counters"]["machines"],
+        },
+        "identical_results": identical,
+    }
+
+
 def build_adi_payload(quick: bool, seed: int = 1) -> Dict[str, Any]:
     """The ``--adi`` payload: ADI-guided ordering vs the plain run.
 
@@ -770,6 +913,10 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--adi", action="store_true",
                         help="compare ADI-guided ordering against the "
                              "plain proposed procedure (quality gate)")
+    parser.add_argument("--collapse", action="store_true",
+                        help="compare representative-only simulation "
+                             "(+ untestability proofs) against the "
+                             "uncollapsed flow (quality gate)")
     parser.add_argument("--gate", type=float, metavar="RATIO",
                         help="fail (exit 1) when the after/lanes wall "
                              "clock exceeds RATIO x before/scalar")
@@ -800,6 +947,38 @@ def main(argv: Optional[list] = None) -> int:
                 return 1
             print(f"perf gate ok: batched/scalar trial time "
                   f"= {ratio:.2f} <= {args.gate}")
+        return 0
+
+    if args.collapse:
+        out = args.out or "BENCH_collapse.json"
+        payload = build_collapse_payload(quick=args.quick,
+                                         seed=args.seed)
+        atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
+        fs = payload["fault_space"]
+        print(f"wrote {out}: {fs['n_universe']} faults -> "
+              f"{fs['n_classes']} classes "
+              f"({fs['n_untestable']} untestable), comb passes "
+              f"{payload['comb_passes']['uncollapsed']} -> "
+              f"{payload['comb_passes']['collapsed']} "
+              f"(identical results: {payload['identical_results']})")
+        if not payload["identical_results"]:
+            return 1
+        if args.gate is not None:
+            ok = True
+            if (payload["comb_passes"]["collapsed"]
+                    >= payload["comb_passes"]["uncollapsed"]):
+                print("COLLAPSE GATE FAILED: no reduction in per-fault "
+                      "comb passes", file=sys.stderr)
+                ok = False
+            if (payload["machines"]["collapsed"]
+                    >= payload["machines"]["uncollapsed"]):
+                print("COLLAPSE GATE FAILED: no reduction in simulated "
+                      "machine bits", file=sys.stderr)
+                ok = False
+            if not ok:
+                return 1
+            print("collapse gate ok: fewer comb passes and machine "
+                  "bits, identical results")
         return 0
 
     if args.adi:

@@ -1,22 +1,34 @@
-"""Static analysis for scan circuits: netlist lint and engine sanitizer.
+"""Static analysis for scan circuits: lint, fault space, sanitizer.
 
-Two halves (see DESIGN.md section 10):
+Three halves (see DESIGN.md sections 10 and 15):
 
 * :mod:`repro.analysis.rules` / :mod:`repro.analysis.xinit` -- structural
   lint passes plus a ternary reachability analysis that decides, without
   simulating a single test vector, whether a circuit can be driven out of
   the all-X reset state (and if not, *which* flip-flops are stuck and
   why).
+* :mod:`repro.analysis.faultspace` / :mod:`repro.analysis.scoap` -- the
+  static fault-space analyzer: structural equivalence classes, a
+  dominance graph (ordering only), SCOAP testability measures, and
+  untestability proofs for faults on constant or unobservable lines.
+  :mod:`repro.analysis.determinism` polices the repository's own
+  result-shaping source for ambient randomness and wall-clock reads.
 * :mod:`repro.analysis.sanitizer` -- runtime invariant checks for the
   wide-word fault-simulation engines, armed by ``REPRO_SANITIZE=1``.
 
 Everything user-facing funnels through :func:`lint_netlist` /
-:func:`lint_bench_text` and the :class:`LintReport` they return.
+:func:`lint_bench_text` (diagnostics) and :func:`analyze_faultspace`
+(the :class:`FaultSpaceReport`).
 """
 
+from .determinism import DeterminismFinding, lint_paths as \
+    lint_determinism
 from .diagnostics import (ERROR, INFO, WARNING, Diagnostic, LintReport,
                           diagnostic_from_dict)
+from .faultspace import (FaultSpaceReport, UntestableProof,
+                         analyze_faultspace)
 from .rules import lint_bench_path, lint_bench_text, lint_netlist
+from .scoap import ScoapMeasures, compute_scoap
 from .xinit import XInitResult, analyze_xinit
 from . import sanitizer
 
@@ -30,6 +42,13 @@ __all__ = [
     "lint_netlist",
     "lint_bench_text",
     "lint_bench_path",
+    "FaultSpaceReport",
+    "UntestableProof",
+    "analyze_faultspace",
+    "ScoapMeasures",
+    "compute_scoap",
+    "DeterminismFinding",
+    "lint_determinism",
     "XInitResult",
     "analyze_xinit",
     "sanitizer",

@@ -1,0 +1,244 @@
+"""Determinism lint: an AST walker over result-shaping source paths.
+
+Everything this repository reports -- detection sets, test vectors,
+clock cycles, the paper tables -- must be a pure function of
+``(circuit, seed, knobs)``.  Two source-level habits silently break
+that contract:
+
+* **ambient randomness** -- an unseeded ``random.Random()`` draws from
+  OS entropy, and module-level ``random.*`` calls share one global
+  stream that any import can perturb;
+* **wall-clock reads** -- ``time.time()`` / ``datetime.now()`` fold
+  the run's start time into whatever consumes them.
+
+This module flags both patterns with a small, dependency-free AST
+visitor so CI can enforce the contract on the *result-shaping* paths
+(``sim``, ``core``, ``atpg``, ``analysis``, ``circuits``, ``power``).
+Timing instrumentation is exempt by design: ``time.perf_counter`` and
+``time.monotonic`` are allowed (they measure durations, not dates),
+and the ``experiments`` harness -- whose wall-clock reads feed
+reported ``seconds`` fields and scheduling, never results -- is not in
+the default scope.
+
+A finding on a deliberately non-deterministic line can be waived with
+a ``# det: allow`` comment on that line (use sparingly; the waiver is
+visible in review).
+
+Run it as a module::
+
+    python -m repro.analysis.determinism [paths ...]
+
+with exit code 1 when any finding survives, 0 when clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set
+
+#: Rule identifiers (mirroring the ``bench.*`` / ``struct.*`` style of
+#: :mod:`repro.analysis.rules`).
+RULE_UNSEEDED = "determinism.unseeded-random"
+RULE_MODULE_RANDOM = "determinism.module-random"
+RULE_WALL_CLOCK = "determinism.wall-clock"
+
+#: Line-comment marker that waives a finding on its line.
+ALLOW_MARKER = "det: allow"
+
+#: ``time`` attributes that read the wall clock (dates, not durations).
+_TIME_WALL = {"time", "time_ns", "localtime", "gmtime", "ctime",
+              "asctime", "strftime"}
+#: ``datetime``/``date`` constructors that read the wall clock.
+_DATETIME_WALL = {"now", "utcnow", "today"}
+
+#: The default lint scope, relative to the ``repro`` package root:
+#: every path whose output lands in results rather than telemetry.
+RESULT_SHAPING = ("sim", "core", "atpg", "analysis", "circuits",
+                  "power")
+
+
+@dataclass(frozen=True)
+class DeterminismFinding:
+    """One flagged call site."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+class _Visitor(ast.NodeVisitor):
+    """Collect findings; alias-aware for the three offending modules."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[DeterminismFinding] = []
+        #: Local names bound to the ``random`` / ``time`` / ``datetime``
+        #: modules (``import random as rnd`` -> ``rnd``).
+        self.random_names: Set[str] = set()
+        self.time_names: Set[str] = set()
+        self.datetime_mod_names: Set[str] = set()
+        #: Names bound to the ``datetime.datetime``/``date`` classes
+        #: (``from datetime import datetime``).
+        self.datetime_cls_names: Set[str] = set()
+        #: Names that are direct from-imports of offending callables
+        #: (``from time import time`` -> calling ``time()`` is a read).
+        self.from_wall: Set[str] = set()
+        self.from_random: Set[str] = set()
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_names.add(bound)
+            elif alias.name == "time":
+                self.time_names.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_mod_names.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "random":
+                # ``from random import Random`` is fine (seeding is
+                # checked at the call); anything else is the shared
+                # global stream.
+                if alias.name != "Random":
+                    self.from_random.add(bound)
+            elif node.module == "time" and alias.name in _TIME_WALL:
+                self.from_wall.add(bound)
+            elif node.module == "datetime":
+                if alias.name in ("datetime", "date"):
+                    self.datetime_cls_names.add(bound)
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(DeterminismFinding(
+            path=self.path, line=getattr(node, "lineno", 0),
+            rule=rule, message=message))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if base in self.random_names:
+                if attr == "Random":
+                    if not node.args and not node.keywords:
+                        self._flag(node, RULE_UNSEEDED,
+                                   "random.Random() without a seed "
+                                   "draws from OS entropy")
+                elif attr != "SystemRandom":
+                    self._flag(node, RULE_MODULE_RANDOM,
+                               f"module-level random.{attr}() uses the "
+                               f"shared global stream; pass a seeded "
+                               f"random.Random instance instead")
+            elif base in self.time_names and attr in _TIME_WALL:
+                self._flag(node, RULE_WALL_CLOCK,
+                           f"time.{attr}() reads the wall clock; use "
+                           f"time.perf_counter() for durations or "
+                           f"take timestamps outside result paths")
+            elif (base in self.datetime_cls_names
+                  and attr in _DATETIME_WALL):
+                self._flag(node, RULE_WALL_CLOCK,
+                           f"datetime {attr}() reads the wall clock")
+        elif isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Attribute) and \
+                isinstance(func.value.value, ast.Name):
+            # datetime.datetime.now() / datetime.date.today()
+            root = func.value.value.id
+            if (root in self.datetime_mod_names
+                    and func.value.attr in ("datetime", "date")
+                    and func.attr in _DATETIME_WALL):
+                self._flag(node, RULE_WALL_CLOCK,
+                           f"datetime.{func.value.attr}.{func.attr}() "
+                           f"reads the wall clock")
+        elif isinstance(func, ast.Name):
+            if func.id in self.from_wall:
+                self._flag(node, RULE_WALL_CLOCK,
+                           f"{func.id}() (from-imported) reads the "
+                           f"wall clock")
+            elif func.id in self.from_random:
+                self._flag(node, RULE_MODULE_RANDOM,
+                           f"{func.id}() (from-imported) uses the "
+                           f"shared global random stream")
+        self.generic_visit(node)
+
+
+def lint_source(text: str, path: str = "<string>"
+                ) -> List[DeterminismFinding]:
+    """Findings for one source text (``# det: allow`` lines waived)."""
+    tree = ast.parse(text, filename=path)
+    visitor = _Visitor(path)
+    visitor.visit(tree)
+    lines = text.splitlines()
+    kept = []
+    for finding in visitor.findings:
+        source_line = lines[finding.line - 1] \
+            if 0 < finding.line <= len(lines) else ""
+        if ALLOW_MARKER in source_line:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_file(path: Path) -> List[DeterminismFinding]:
+    """Findings for one ``.py`` file."""
+    return lint_source(path.read_text(), str(path))
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Expand files and directories into a sorted ``.py`` file list."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        else:
+            out.append(path)
+    return out
+
+
+def lint_paths(paths: Sequence[Path]) -> List[DeterminismFinding]:
+    """Findings across files and directory trees."""
+    findings: List[DeterminismFinding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_file(file))
+    return findings
+
+
+def default_paths() -> List[Path]:
+    """The result-shaping subpackages of the installed ``repro``."""
+    root = Path(__file__).resolve().parent.parent
+    return [root / name for name in RESULT_SHAPING]
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    targets = [Path(a) for a in argv] or default_paths()
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        for t in missing:
+            print(f"error: no such path {t}", file=sys.stderr)
+        return 2
+    findings = lint_paths(targets)
+    for finding in findings:
+        print(finding.render())
+    n_files = len(list(iter_python_files(targets)))
+    if findings:
+        print(f"{len(findings)} determinism finding(s) in {n_files} "
+              f"file(s)", file=sys.stderr)
+        return 1
+    print(f"{n_files} file(s) determinism-clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main(sys.argv[1:]))

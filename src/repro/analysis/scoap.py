@@ -1,0 +1,250 @@
+"""SCOAP testability measures over a compiled netlist.
+
+The classic Sandia Controllability/Observability Analysis Program
+measures (Goldstein 1979), specialized to the full-scan setting the
+reproduction targets:
+
+* ``CC0(n)`` / ``CC1(n)`` -- combinational 0-/1-controllability of net
+  ``n``: a lower bound on the "effort" (counted in gate traversals) of
+  justifying that value from the pattern inputs.  Primary inputs *and*
+  flip-flop outputs cost 1: under full scan the flip-flop state is a
+  pseudo primary input loaded by the scan-in.
+* ``CO`` -- observability of a *line* (a stem net or one fanout
+  branch): the effort of propagating a value difference on that line
+  to an observation point.  Primary outputs and flip-flop data pins
+  cost 0: the captured state is scanned out, so a D reaching a D pin
+  is as observed as one reaching a PO.
+
+Constant generators (``CONST0``/``CONST1``) control their own value
+for free and the opposite value never (:data:`UNREACHABLE`).  XOR and
+XNOR gates of any arity are handled with the standard even/odd parity
+dynamic program rather than the two-input textbook formulas.
+
+The per-fault *difficulty* -- ``CC`` of the value that excites the
+fault plus ``CO`` of the faulty line -- is the static hardness score
+the compaction phases consume as an ordering hint (never to change
+results; see DESIGN.md section 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.netlist import Netlist
+from ..sim.faults import Fault
+
+#: Saturation bound for unreachable/unobservable measures.  Any cost at
+#: or above this value means "statically impossible" (e.g. setting a
+#: CONST0 net to 1); arithmetic saturates so sums never overflow it.
+UNREACHABLE = 10 ** 9
+
+#: Controlling input value per gate type (the value that alone fixes
+#: the output); gate types absent from the map have no controlling
+#: value.
+_CONTROLLING = {"AND": 0, "NAND": 0, "OR": 1, "NOR": 1}
+
+
+def _sat(a: int, b: int) -> int:
+    """Saturating add: anything at :data:`UNREACHABLE` stays there."""
+    total = a + b
+    return total if total < UNREACHABLE else UNREACHABLE
+
+
+def _sat_sum(values: List[int]) -> int:
+    total = 0
+    for v in values:
+        total = _sat(total, v)
+    return total
+
+
+@dataclass
+class ScoapMeasures:
+    """SCOAP controllability/observability of one compiled netlist.
+
+    ``cc0``/``cc1`` are keyed by net name; ``co_stem`` by net name (the
+    stem line); ``co_pin`` by ``(gate, pin_index)`` (every gate input
+    pin, whether or not the feeding net has fanout -- on a fanout-free
+    net the stem observability equals its only pin's observability).
+    """
+
+    cc0: Dict[str, int]
+    cc1: Dict[str, int]
+    co_stem: Dict[str, int]
+    co_pin: Dict[Tuple[str, int], int]
+
+    # ------------------------------------------------------------------
+    def controllability(self, net: str, value: int) -> int:
+        """``CC0`` or ``CC1`` of ``net``."""
+        return self.cc1[net] if value else self.cc0[net]
+
+    def observability(self, net: str,
+                      pin: Optional[Tuple[str, int]]) -> int:
+        """``CO`` of a line: the stem of ``net`` or one branch pin."""
+        if pin is None:
+            return self.co_stem[net]
+        return self.co_pin[pin]
+
+    def difficulty(self, fault: Fault) -> int:
+        """Static hardness of a stuck-at fault.
+
+        The cost of exciting the fault (controlling the line to the
+        complement of the stuck value; a branch line carries its stem
+        net's value) plus the cost of observing the line.  Saturates
+        at :data:`UNREACHABLE` -- a saturated difficulty is a SCOAP
+        hint that the fault *may* be untestable, though only the
+        sound proofs of :mod:`repro.analysis.faultspace` may exclude
+        it from simulation.
+        """
+        excite = self.controllability(fault.net, 1 - fault.stuck)
+        return _sat(excite, self.observability(fault.net, fault.pin))
+
+    # ------------------------------------------------------------------
+    def profile(self, faults: List[Fault]) -> Dict[str, int]:
+        """Difficulty distribution summary over ``faults``."""
+        diffs = sorted(self.difficulty(f) for f in faults)
+        finite = [d for d in diffs if d < UNREACHABLE]
+        return {
+            "n_faults": len(diffs),
+            "n_saturated": len(diffs) - len(finite),
+            "min": finite[0] if finite else 0,
+            "median": finite[len(finite) // 2] if finite else 0,
+            "max": finite[-1] if finite else 0,
+        }
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cc0": dict(self.cc0),
+            "cc1": dict(self.cc1),
+            "co_stem": dict(self.co_stem),
+            "co_pin": [[gate, pin, co]
+                       for (gate, pin), co in sorted(self.co_pin.items())],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScoapMeasures":
+        co_pin_raw = data["co_pin"]
+        assert isinstance(co_pin_raw, list)
+        cc0 = data["cc0"]
+        cc1 = data["cc1"]
+        co_stem = data["co_stem"]
+        assert isinstance(cc0, dict) and isinstance(cc1, dict)
+        assert isinstance(co_stem, dict)
+        return cls(
+            cc0={str(k): int(v) for k, v in cc0.items()},
+            cc1={str(k): int(v) for k, v in cc1.items()},
+            co_stem={str(k): int(v) for k, v in co_stem.items()},
+            co_pin={(str(gate), int(pin)): int(co)
+                    for gate, pin, co in co_pin_raw},
+        )
+
+
+def _parity_dp(pairs: List[Tuple[int, int]]) -> Tuple[int, int]:
+    """Cheapest (even, odd) parity-of-ones cost over XOR inputs.
+
+    ``pairs[i]`` is ``(cc0_i, cc1_i)``; the returned costs are the
+    cheapest ways to make the number of 1-inputs even respectively odd.
+    """
+    even, odd = 0, UNREACHABLE
+    for cc0_i, cc1_i in pairs:
+        new_even = min(_sat(even, cc0_i), _sat(odd, cc1_i))
+        new_odd = min(_sat(even, cc1_i), _sat(odd, cc0_i))
+        even, odd = new_even, new_odd
+    return even, odd
+
+
+def compute_scoap(netlist: Netlist) -> ScoapMeasures:
+    """Compute full-scan SCOAP measures for every net and input pin.
+
+    The netlist is compiled on demand.  One forward pass over the
+    topological order yields the controllabilities, one backward pass
+    the observabilities; both are linear in circuit size.
+    """
+    if not netlist.is_compiled():
+        netlist.compile()
+    cc0: Dict[str, int] = {}
+    cc1: Dict[str, int] = {}
+    for gate in netlist.gates.values():
+        if gate.gtype == "INPUT" or gate.gtype == "DFF":
+            # Pattern inputs: PIs and (full scan) pseudo-PI FF outputs.
+            cc0[gate.name] = cc1[gate.name] = 1
+    for name in netlist.order:
+        gate = netlist.gates[name]
+        fins = gate.fanins
+        if gate.gtype == "CONST0":
+            cc0[name], cc1[name] = 1, UNREACHABLE
+        elif gate.gtype == "CONST1":
+            cc0[name], cc1[name] = UNREACHABLE, 1
+        elif gate.gtype == "BUF":
+            cc0[name] = _sat(cc0[fins[0]], 1)
+            cc1[name] = _sat(cc1[fins[0]], 1)
+        elif gate.gtype == "NOT":
+            cc0[name] = _sat(cc1[fins[0]], 1)
+            cc1[name] = _sat(cc0[fins[0]], 1)
+        elif gate.gtype == "AND":
+            cc1[name] = _sat(_sat_sum([cc1[f] for f in fins]), 1)
+            cc0[name] = _sat(min(cc0[f] for f in fins), 1)
+        elif gate.gtype == "NAND":
+            cc0[name] = _sat(_sat_sum([cc1[f] for f in fins]), 1)
+            cc1[name] = _sat(min(cc0[f] for f in fins), 1)
+        elif gate.gtype == "OR":
+            cc0[name] = _sat(_sat_sum([cc0[f] for f in fins]), 1)
+            cc1[name] = _sat(min(cc1[f] for f in fins), 1)
+        elif gate.gtype == "NOR":
+            cc1[name] = _sat(_sat_sum([cc0[f] for f in fins]), 1)
+            cc0[name] = _sat(min(cc1[f] for f in fins), 1)
+        else:  # XOR / XNOR, any arity
+            even, odd = _parity_dp([(cc0[f], cc1[f]) for f in fins])
+            if gate.gtype == "XOR":
+                cc0[name], cc1[name] = _sat(even, 1), _sat(odd, 1)
+            else:
+                cc0[name], cc1[name] = _sat(odd, 1), _sat(even, 1)
+
+    # Observability: flip-flop data pins are scan-observed for free;
+    # every other pin propagates through its gate to the stem beyond.
+    co_pin: Dict[Tuple[str, int], int] = {}
+    for q in netlist.flip_flops:
+        co_pin[(q, 0)] = 0
+    po_set = set(netlist.outputs)
+
+    def stem_co(name: str) -> int:
+        best = 0 if name in po_set else UNREACHABLE
+        for reader in netlist.fanout[name]:
+            rgate = netlist.gates[reader]
+            for idx, fin in enumerate(rgate.fanins):
+                if fin == name:
+                    best = min(best, co_pin[(reader, idx)])
+        return best
+
+    co_stem: Dict[str, int] = {}
+    # ``order`` ascends by level, so readers (strictly deeper) are
+    # processed before their drivers when walking it in reverse.
+    for name in reversed(netlist.order):
+        gate = netlist.gates[name]
+        co = stem_co(name)
+        co_stem[name] = co
+        fins = gate.fanins
+        if gate.gtype in ("BUF", "NOT"):
+            co_pin[(name, 0)] = _sat(co, 1)
+        elif gate.gtype in ("AND", "NAND"):
+            for i in range(len(fins)):
+                side = _sat_sum([cc1[f] for j, f in enumerate(fins)
+                                 if j != i])
+                co_pin[(name, i)] = _sat(co, _sat(side, 1))
+        elif gate.gtype in ("OR", "NOR"):
+            for i in range(len(fins)):
+                side = _sat_sum([cc0[f] for j, f in enumerate(fins)
+                                 if j != i])
+                co_pin[(name, i)] = _sat(co, _sat(side, 1))
+        elif gate.gtype in ("XOR", "XNOR"):
+            for i in range(len(fins)):
+                side = _sat_sum([min(cc0[f], cc1[f])
+                                 for j, f in enumerate(fins) if j != i])
+                co_pin[(name, i)] = _sat(co, _sat(side, 1))
+        # CONST gates have no pins.
+    for gate in netlist.gates.values():
+        if gate.gtype in ("INPUT", "DFF"):
+            co_stem[gate.name] = stem_co(gate.name)
+    return ScoapMeasures(cc0=cc0, cc1=cc1, co_stem=co_stem,
+                         co_pin=co_pin)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from .analysis.diagnostics import Diagnostic
+from .analysis.faultspace import FaultSpaceReport
 from .atpg import comb_set as comb_set_mod
 from .atpg import random_gen, seqgen
 from .atpg.comb_set import CombSetResult, CombTest
@@ -43,16 +44,38 @@ class Workbench:
     #: Structural lint findings for the netlist (populated when the
     #: workbench is built with ``lint=True``); see :mod:`repro.analysis`.
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: The static fault-space report (populated unless the workbench
+    #: was built with ``static_analysis=False``); see
+    #: :mod:`repro.analysis.faultspace`.
+    faultspace: Optional[FaultSpaceReport] = None
 
     @property
     def counters(self) -> SimCounters:
-        """The sequential simulator's instrumentation counters."""
+        """The simulators' shared instrumentation counters."""
         return self.sim.counters
+
+    @property
+    def n_untestable(self) -> int:
+        """Proven-untestable faults in this workbench's target set."""
+        if self.faultspace is None:
+            return 0
+        return len(self.faultspace.untestable_indices(self.faults))
+
+    def scoap_difficulty(self) -> Dict[int, int]:
+        """Fault index -> SCOAP difficulty over the target set.
+
+        Empty when the workbench was built without static analysis
+        (callers treat the empty map as "no ordering hint").
+        """
+        if self.faultspace is None:
+            return {}
+        return self.faultspace.difficulty_map(self.faults)
 
     @classmethod
     def for_netlist(cls, netlist: Netlist, engine: str = "codegen",
                     width: WidthPolicy = "auto",
-                    lint: bool = False) -> "Workbench":
+                    lint: bool = False,
+                    static_analysis: bool = True) -> "Workbench":
         """Build the standard toolchain for one circuit.
 
         Parameters
@@ -80,6 +103,14 @@ class Workbench:
             structural rules run (no X-initializability analysis);
             use :func:`repro.analysis.lint_netlist` directly for the
             full pass.
+        static_analysis:
+            Run the static fault-space pass
+            (:func:`repro.analysis.faultspace.analyze_faultspace`),
+            carry the report in :attr:`faultspace`, and exclude the
+            proven-untestable faults from both simulators.  Provably
+            result-identical -- a proven-untestable fault appears in
+            no detection set, so only the machine-bit counters move.
+            ``False`` skips the pass (the benchmark baseline arm).
         """
         if engine == "interp":
             engine = "generic"
@@ -89,13 +120,26 @@ class Workbench:
             diagnostics = list(lint_netlist(netlist, xinit=False).diagnostics)
         circuit = CompiledCircuit(netlist, engine=engine)
         faults = FaultSet.collapsed(netlist)
+        counters = SimCounters()
+        sim = FaultSimulator(circuit, faults, width=width,
+                             counters=counters)
+        comb_sim = CombPatternSim(circuit, faults, counters=counters)
+        faultspace: Optional[FaultSpaceReport] = None
+        if static_analysis:
+            from .analysis.faultspace import analyze_faultspace
+            faultspace = analyze_faultspace(netlist)
+            untestable = faultspace.untestable_indices(faults)
+            if untestable:
+                sim.set_untestable(sorted(untestable))
+                comb_sim.set_untestable(sorted(untestable))
         return cls(
             netlist=netlist,
             circuit=circuit,
             faults=faults,
-            sim=FaultSimulator(circuit, faults, width=width),
-            comb_sim=CombPatternSim(circuit, faults),
+            sim=sim,
+            comb_sim=comb_sim,
             diagnostics=diagnostics,
+            faultspace=faultspace,
         )
 
 
@@ -128,6 +172,7 @@ def compact_tests(
     trial_batch: int = 64,
     adi: bool = False,
     adi_scores: Optional[Dict[int, int]] = None,
+    scoap: bool = False,
 ) -> ProposedResult:
     """Run the paper's proposed procedure on a circuit.
 
@@ -187,6 +232,15 @@ def compact_tests(
         Explicit fault index -> accidental-detection count map; only
         consulted when ``adi`` is set and overrides the census of a
         locally generated set.
+    scoap:
+        Enable SCOAP testability guidance: the workbench's static
+        fault-space report supplies a per-fault difficulty map
+        (:meth:`Workbench.scoap_difficulty`) that breaks Phase-1 and
+        Phase-3 ordering ties toward statically-hard faults and, when
+        ADI is off, orders fused-word packing.  Off (the default)
+        keeps every output byte-identical.  Requires a workbench with
+        static analysis (the default); degrades to a no-op without
+        one.
 
     Raises
     ------
@@ -225,6 +279,7 @@ def compact_tests(
         engine = ActivityEngine(wb.circuit, wb.counters)
         merge_filter = constrain.wtm_budget_filter(engine, power_budget)
         power_key = constrain.topoff_power_key(engine, comb_tests)
+    scoap_scores = (wb.scoap_difficulty() or None) if scoap else None
     return run_proposed(wb.sim, wb.comb_sim, t0, comb_tests,
                         run_phase4=run_phase4,
                         candidate_scan=candidate_scan,
@@ -232,7 +287,8 @@ def compact_tests(
                         topoff_power_key=power_key,
                         observer=observer, resume=resume,
                         trial_batch=trial_batch,
-                        adi=adi, adi_scores=adi_scores)
+                        adi=adi, adi_scores=adi_scores,
+                        scoap_scores=scoap_scores)
 
 
 def baseline_static(

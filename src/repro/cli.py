@@ -7,6 +7,7 @@ Subcommands::
     repro-compact tables [--full] [--transition] [--json OUT]
     repro-compact power s298 [--seed N]        # X-fill power sweep
     repro-compact lint [targets ...]           # static netlist analysis
+    repro-compact analyze [targets ...]        # static fault-space pass
     repro-compact doctor DIR [--strict]        # verify/repair a run dir
     repro-compact bench-info                   # how to run the benches
 
@@ -18,6 +19,15 @@ any circuit has error-severity findings (``--strict`` promotes
 warnings), 0 when clean; ``--allow circuit:rule`` waives a finding and
 ``--expect RULE`` inverts the contract (succeed only if every target
 reports RULE -- the CI regression hook for known-bad circuits).
+
+``analyze`` runs the static *fault-space* analyzer
+(:mod:`repro.analysis.faultspace`) over the same target grammar as
+``lint``: per circuit it prints the equivalence-class partition,
+dominance-edge count, SCOAP difficulty profile and proven-untestable
+faults (``--json`` for the full machine-readable report including
+per-fault proofs).  ``--strict`` re-verifies every report's internal
+invariants (partition, closure, proof consistency) and exits 1 on any
+violation -- the CI posture.
 
 ``--sanitize`` (on ``circuit`` and ``tables``) arms the engine-
 invariant sanitizer by exporting ``REPRO_SANITIZE=1``, which worker
@@ -143,7 +153,7 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
                                   x_fill=args.x_fill,
                                   power_budget=args.power_budget,
                                   trial_batch=args.trial_batch,
-                                  adi=args.adi,
+                                  adi=args.adi, scoap=args.scoap,
                                   config=_harness_config(args))
     print(render_all(all_tables(outcome.runs,
                                 with_transition=args.transition,
@@ -171,7 +181,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
                                   x_fill=args.x_fill,
                                   power_budget=args.power_budget,
                                   trial_batch=args.trial_batch,
-                                  adi=args.adi,
+                                  adi=args.adi, scoap=args.scoap,
                                   config=_harness_config(args),
                                   verbose=True)
     tables = all_tables(outcome.runs, with_transition=args.transition,
@@ -383,6 +393,80 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Static fault-space analysis over lint's target grammar.
+
+    Collects ``(name, netlist)`` pairs from suite names, ``.bench``
+    files and ``--synth`` sweeps (default: the whole paper suite),
+    runs :func:`repro.analysis.faultspace.analyze_faultspace` on each
+    and prints the per-circuit report table.  ``--strict`` re-checks
+    every report's internal invariants and fails on any violation.
+    """
+    from .analysis.faultspace import analyze_faultspace
+    from .circuits import bench as bench_mod
+    from .circuits import synth as synth_mod
+
+    netlists = []
+    for target in args.targets:
+        path = Path(target)
+        if target.endswith(".bench") or path.exists():
+            if not path.exists():
+                print(f"error: no such file {target!r}", file=sys.stderr)
+                return 2
+            try:
+                netlists.append((path.stem, bench_mod.load(path)))
+            except Exception as exc:
+                print(f"error: cannot parse {target!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+            continue
+        try:
+            prof = suite_mod.profile(target)
+        except KeyError:
+            valid = ", ".join(p.name for p in suite_mod.paper_suite())
+            print(f"error: {target!r} is neither a file nor a suite "
+                  f"circuit\nvalid circuits: {valid}", file=sys.stderr)
+            return 2
+        netlists.append((target, prof.build()))
+    if args.synth:
+        n_pi, n_po, n_ff, n_gates = args.synth
+        for i in range(max(1, args.sweep)):
+            seed = args.seed + i
+            name = f"synth-{seed}"
+            netlists.append((name, synth_mod.generate(
+                name, n_pi, n_po, n_ff, n_gates, seed=seed)))
+    if not args.targets and not args.synth:
+        for prof in suite_mod.paper_suite():
+            netlists.append((prof.name, prof.build()))
+
+    reports = [analyze_faultspace(net, name=name)
+               for name, net in netlists]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+            print()
+
+    if args.strict:
+        broken = []
+        for report in reports:
+            problems = report.verify()
+            for problem in problems:
+                print(f"{report.circuit}: {problem}", file=sys.stderr)
+            if problems:
+                broken.append(report.circuit)
+        if broken:
+            print(f"{len(broken)} of {len(reports)} report(s) violate "
+                  f"fault-space invariants", file=sys.stderr)
+            return 1
+    if not args.json:
+        total_u = sum(r.n_untestable for r in reports)
+        print(f"{len(reports)} circuit(s) analyzed: "
+              f"{total_u} fault(s) proven untestable")
+    return 0
+
+
 def _cmd_doctor(args: argparse.Namespace) -> int:
     from .experiments.salvage import doctor
     run_dir = Path(args.run_dir)
@@ -450,6 +534,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "target order follow the random-phase "
                              "accidental-detection census (default: "
                              "off, the byte-exact paper reproduction)")
+    egroup.add_argument("--scoap", action="store_true",
+                        help="break Phase-1/Phase-3 ordering ties by "
+                             "SCOAP testability: statically-hard "
+                             "faults (high controllability + "
+                             "observability cost) are targeted first "
+                             "(default: off, the byte-exact paper "
+                             "reproduction)")
     egroup.add_argument("--sanitize", action="store_true",
                         help="arm the engine-invariant sanitizer "
                              "(exports REPRO_SANITIZE=1; worker "
@@ -565,6 +656,30 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="CIRCUIT:RULE",
                         help="waive RULE on CIRCUIT for the exit code")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="static fault-space analysis: equivalence "
+                        "classes, dominance, SCOAP, untestability "
+                        "proofs")
+    p_analyze.add_argument("targets", nargs="*",
+                           help="suite circuit names and/or .bench "
+                                "files (default: the whole paper "
+                                "suite)")
+    p_analyze.add_argument("--synth", type=_parse_synth,
+                           metavar="PI,PO,FF,GATES",
+                           help="also analyze a generated synthetic "
+                                "circuit")
+    p_analyze.add_argument("--seed", type=int, default=0,
+                           help="seed for --synth (default: 0)")
+    p_analyze.add_argument("--sweep", type=int, default=1, metavar="N",
+                           help="analyze N consecutive --synth seeds")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="print the full reports (including "
+                                "per-fault proofs) as JSON")
+    p_analyze.add_argument("--strict", action="store_true",
+                           help="re-verify every report's internal "
+                                "invariants; exit 1 on violations")
+    p_analyze.set_defaults(func=_cmd_analyze)
 
     p_doctor = sub.add_parser(
         "doctor", help="verify and repair a --run-dir (quarantine "

@@ -100,6 +100,7 @@ def select_scan_in(
     target: Optional[Set[int]] = None,
     mode: str = DEFAULT_CANDIDATE_SCAN,
     adi: Optional[Dict[int, int]] = None,
+    scoap: Optional[Dict[int, int]] = None,
 ) -> Tuple[int, Set[int]]:
     """Step 2: choose the scan-in state maximizing detection.
 
@@ -136,6 +137,16 @@ def select_scan_in(
         detected (ADI zero, i.e. random-resistant) faults, before the
         paper's unselected-preferred tie-break.  ``None`` (the
         default) keeps the paper's selection byte-identical.
+    scoap:
+        Optional fault index -> SCOAP difficulty map (see
+        :meth:`~repro.analysis.scoap.ScoapMeasures.difficulty`).  When
+        given, candidates with equal weighted count prefer the larger
+        summed difficulty over their detections -- the static pre-ADI
+        tie-break: claim the statically-hard faults while a candidate
+        for them exists.  Ranks ahead of the ADI hard-count in the
+        tie-break chain (the static signal exists before any random-
+        phase census does; ADI then refines among SCOAP ties).
+        ``None`` (the default) keeps the selection byte-identical.
 
     Returns
     -------
@@ -193,15 +204,26 @@ def select_scan_in(
         hard_of_slot = [sum(1 for f in dets if adi.get(f, 0) == 0)
                         for dets in per_slot]
         sim.counters.adi_orderings += 1
+    if scoap is None:
+        scoap_of_slot = [0] * len(per_slot)
+    else:
+        # Static difficulty score per candidate: the summed SCOAP
+        # difficulty of its detections.  A pure tie-break (never
+        # weighted into the count), so ``scoap=None`` stays
+        # byte-identical; all-zero maps degrade to the same.
+        scoap_of_slot = [sum(scoap.get(f, 0) for f in dets)
+                         for dets in per_slot]
+        sim.counters.scoap_orderings += 1
     best_index = -1
-    best_key = (-1, -1, False)
+    best_key = (-1, -1, -1, False)
     for j in range(len(comb_tests)):
         slot = slot_of[j]
         # Maximize the weighted count (plain count without ADI); among
-        # equals prefer hard-fault coverage, then unselected tests.
-        # Strict > keeps the paper's first-wins tie behavior.
+        # equals prefer static difficulty, then hard-fault coverage,
+        # then unselected tests.  Strict > keeps the paper's
+        # first-wins tie behavior.
         key = (len(per_slot[slot]) + hard_of_slot[slot],
-               hard_of_slot[slot], not selected[j])
+               scoap_of_slot[slot], hard_of_slot[slot], not selected[j])
         if key > best_key:
             best_index, best_key = j, key
     return best_index, per_slot[slot_of[best_index]] | f0
@@ -263,6 +285,7 @@ def run_phase1(
     scan_out_rule: str = "earliest",
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
     adi: Optional[Dict[int, int]] = None,
+    scoap: Optional[Dict[int, int]] = None,
 ) -> Phase1Result:
     """Run Steps 1-3 and assemble a :class:`Phase1Result`.
 
@@ -271,15 +294,17 @@ def run_phase1(
     ``scan_out_rule`` selects the paper's ``i0`` ("earliest") or
     ``i1`` ("max_coverage") Step-3 variant.  ``candidate_scan``
     selects the Step-2 engine mode (see :data:`CANDIDATE_SCAN_MODES`).
-    ``adi`` threads an Accidental-Detection-Index map into the Step-2
-    tie-break (see :func:`select_scan_in`).
+    ``adi`` threads an Accidental-Detection-Index map and ``scoap`` a
+    static-difficulty map into the Step-2 tie-break (see
+    :func:`select_scan_in`).
     """
     if target is None:
         target = set(range(len(sim.faults)))
     if f0 is None:
         f0 = detect_no_scan(sim, t0, sorted(target))
     index, f_si = select_scan_in(sim, t0, comb_tests, f0, selected,
-                                 target, mode=candidate_scan, adi=adi)
+                                 target, mode=candidate_scan, adi=adi,
+                                 scoap=scoap)
     scan_in = comb_tests[index].state
     u_so, f_so = select_scan_out(sim, scan_in, t0, f_si, target,
                                  rule=scan_out_rule)

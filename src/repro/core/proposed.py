@@ -123,6 +123,7 @@ def run(
     trial_batch: int = 64,
     adi: bool = False,
     adi_scores: Optional[Dict[int, int]] = None,
+    scoap_scores: Optional[Dict[int, int]] = None,
 ) -> ProposedResult:
     """Run the proposed procedure end to end.
 
@@ -206,6 +207,17 @@ def run(
         Fault index -> accidental-detection count, typically
         ``CombSetResult.adi`` from the random phase of combinational
         test generation.  Ignored unless ``adi`` is set.
+    scoap_scores:
+        Optional fault index -> SCOAP difficulty map (from
+        :meth:`~repro.analysis.faultspace.FaultSpaceReport.
+        difficulty_map`).  When given, the static difficulty becomes
+        the pre-ADI tie-break in the Phase-1 scan-in argmax and the
+        Phase-3 top-off order, and -- when ADI is off -- orders
+        fused-word packing by *ascending* difficulty so the easy
+        faults share words that saturate early.  ``None`` (the
+        default) keeps every result byte-identical to the paper
+        reproduction; set, only orderings within the paper's freedom
+        change.
 
     Raises
     ------
@@ -233,8 +245,14 @@ def run(
 
     # ADI packing order is simulator state; reset it on every exit so a
     # simulator shared across runs (bench arms, harness retries) never
-    # leaks one run's ordering into the next.
-    sim.set_adi_order(adi_map)
+    # leaks one run's ordering into the next.  Without ADI, SCOAP
+    # difficulty orders the packing instead (negated: the packer groups
+    # by descending score, and low difficulty = accidentally-easy =
+    # saturates early, mirroring high ADI).
+    pack_order = adi_map
+    if pack_order is None and scoap_scores:
+        pack_order = {f: -d for f, d in scoap_scores.items()}
+    sim.set_adi_order(pack_order)
     try:
 
         if resume_phase >= 2:
@@ -264,7 +282,8 @@ def run(
                                         target=target, f0=f0,
                                         scan_out_rule=scan_out_rule,
                                         candidate_scan=candidate_scan,
-                                        adi=adi_map)
+                                        adi=adi_map,
+                                        scoap=scoap_scores)
                 candidate = ScanTest(phase1.scan_in, phase1.vectors)
                 if observer is not None and not entered_phase2:
                     entered_phase2 = True
@@ -330,7 +349,8 @@ def run(
                                  power_key=topoff_power_key,
                                  trial_batch=trial_batch,
                                  adi=adi_map,
-                                 counters=sim.counters)
+                                 counters=sim.counters,
+                                 scoap=scoap_scores)
             n_sv = sim.n_state_vars
             test_set = ScanTestSet(n_sv, [tau] + list(topoff.tests))
             final_detected = seq_detected | topoff.covered

@@ -123,14 +123,14 @@ ChaosFn = Callable[["JobSpec", int], Optional[str]]
 #: JobSpec fields a checkpointed run must have been produced under
 #: for :func:`_checkpoint_usable` to accept it.
 CHECKPOINT_KNOBS = ("engine", "width", "candidate_scan", "x_fill",
-                    "power_budget", "adi")
+                    "power_budget", "adi", "scoap")
 
 #: Knob values assumed when a (modern, knob-recording) checkpoint
 #: predates a knob entirely -- the knob's default, under which the
 #: checkpoint was necessarily produced.  ``trial_batch`` is absent on
 #: purpose: it never changes results, so checkpoints match across any
 #: batching configuration.
-_KNOB_DEFAULTS: Dict[str, Any] = {"adi": False}
+_KNOB_DEFAULTS: Dict[str, Any] = {"adi": False, "scoap": False}
 
 
 @dataclass(frozen=True)
@@ -169,6 +169,9 @@ class JobSpec:
     #: Accidental-Detection-Index ordering guidance (result-shaping:
     #: compared on resume; legacy checkpoints count as ``False``).
     adi: bool = False
+    #: SCOAP testability-ordering guidance (result-shaping: compared
+    #: on resume; legacy checkpoints count as ``False``).
+    scoap: bool = False
 
     @property
     def key(self) -> Tuple[str, int]:
@@ -507,6 +510,7 @@ def _worker_main(conn, spec_dict: Dict[str, Any], seed: int,
             power_budget=spec_dict.get("power_budget"),
             trial_batch=int(spec_dict.get("trial_batch", 64)),
             adi=bool(spec_dict.get("adi", False)),
+            scoap=bool(spec_dict.get("scoap", False)),
             hooks=hooks)
         reporter.stop()
         conn.send(("ok", reporting.run_to_dict(run)))
@@ -549,7 +553,7 @@ def _run_attempt_inline(spec: JobSpec, seed: int,
             candidate_scan=spec.candidate_scan,
             x_fill=spec.x_fill, power_budget=spec.power_budget,
             trial_batch=spec.trial_batch, adi=spec.adi,
-            hooks=hooks)
+            scoap=spec.scoap, hooks=hooks)
         return "ok", run
     except Exception:
         return "error", traceback.format_exc()
@@ -995,6 +999,7 @@ def run_suite_resilient(
     power_budget: Optional[float] = None,
     trial_batch: int = 64,
     adi: bool = False,
+    scoap: bool = False,
     config: Optional[HarnessConfig] = None,
     verbose: bool = False,
 ) -> SuiteOutcome:
@@ -1011,6 +1016,6 @@ def run_suite_resilient(
                      engine=engine, width=width,
                      candidate_scan=candidate_scan,
                      x_fill=x_fill, power_budget=power_budget,
-                     trial_batch=trial_batch, adi=adi)
+                     trial_batch=trial_batch, adi=adi, scoap=scoap)
              for p in resolve_profiles(profiles, quick=quick)]
     return run_jobs(specs, config=config, verbose=verbose)

@@ -220,6 +220,7 @@ def run_to_dict(run: "CircuitRun") -> Dict[str, Any]:
         "n_gates": run.n_gates,
         "n_faults": run.n_faults,
         "n_detectable": run.n_detectable,
+        "n_untestable": run.n_untestable,
         "comb_tests": run.comb_tests,
         "arms": {source: arm_to_dict(arm)
                  for source, arm in run.arms.items()},
@@ -277,6 +278,7 @@ def run_from_dict(data: Dict[str, Any]) -> "CircuitRun":
         power=(PowerReport.from_dict(data["power"])
                if data.get("power") is not None else None),
         knobs=dict(data.get("knobs", {})),
+        n_untestable=int(data.get("n_untestable", 0)),
     )
 
 

@@ -70,6 +70,12 @@ class CircuitRun:
     #: written under different knobs is recomputed, not reused.
     #: Empty for runs restored from pre-knob checkpoints.
     knobs: Dict[str, Any] = field(default_factory=dict)
+    #: Faults the static fault-space analyzer *proved* untestable
+    #: (constant lines, unobservable cones, const-blocked paths; see
+    #: :mod:`repro.analysis.faultspace`).  These are excluded from
+    #: simulation and can never count against coverage.  Zero for runs
+    #: restored from pre-analyzer checkpoints.
+    n_untestable: int = 0
 
     @property
     def name(self) -> str:
@@ -99,6 +105,7 @@ def run_circuit(
     power_budget: Optional[float] = None,
     trial_batch: int = 64,
     adi: bool = False,
+    scoap: bool = False,
     hooks: Optional[Any] = None,
 ) -> CircuitRun:
     """Run every experiment on one circuit.
@@ -134,6 +141,11 @@ def run_circuit(
         :func:`repro.api.compact_tests` (with the comb-set ADI census
         when ``adi`` is on).  ``trial_batch`` never changes results;
         ``adi`` off keeps the run byte-identical to prior versions.
+    scoap:
+        SCOAP testability-ordering switch, forwarded to
+        :func:`repro.api.compact_tests`: the static difficulty map
+        breaks Phase-1/Phase-3 ordering ties toward hard faults.  Off
+        (the default) keeps the run byte-identical.
     hooks:
         Optional :class:`repro.experiments.supervision.WorkerHooks`:
         heartbeat updates, phase-boundary salvage flushes, and -- on a
@@ -155,6 +167,7 @@ def run_circuit(
             "n_faults": len(wb.faults),
             "n_detectable": len(comb.detectable),
             "comb_tests": len(comb.tests),
+            "n_untestable": wb.n_untestable,
         })
 
     arm_results: Dict[str, ArmResult] = {}
@@ -182,7 +195,8 @@ def run_circuit(
             x_fill=x_fill, power_budget=power_budget,
             observer=observer, resume=resume,
             trial_batch=trial_batch, adi=adi,
-            adi_scores=comb.adi if adi else None)
+            adi_scores=comb.adi if adi else None,
+            scoap=scoap)
         arm_result = ArmResult(
             t0_source=source, t0_length=length, result=result,
             seconds=time.time() - t0_started)
@@ -243,7 +257,9 @@ def run_circuit(
             "power_budget": power_budget,
             "trial_batch": trial_batch,
             "adi": adi,
+            "scoap": scoap,
         },
+        n_untestable=wb.n_untestable,
     )
 
 
@@ -260,6 +276,7 @@ def run_circuit_by_name(
     power_budget: Optional[float] = None,
     trial_batch: int = 64,
     adi: bool = False,
+    scoap: bool = False,
     hooks: Optional[Any] = None,
 ) -> CircuitRun:
     """:func:`run_circuit` on a suite circuit looked up by name.
@@ -280,7 +297,7 @@ def run_circuit_by_name(
                        engine=engine, width=width,
                        candidate_scan=candidate_scan,
                        x_fill=x_fill, power_budget=power_budget,
-                       trial_batch=trial_batch, adi=adi,
+                       trial_batch=trial_batch, adi=adi, scoap=scoap,
                        hooks=hooks)
 
 
@@ -308,6 +325,7 @@ def run_suite(
     power_budget: Optional[float] = None,
     trial_batch: int = 64,
     adi: bool = False,
+    scoap: bool = False,
     verbose: bool = False,
 ) -> List[CircuitRun]:
     """Run the whole suite serially, in process.
@@ -328,7 +346,8 @@ def run_suite(
                           engine=engine, width=width,
                           candidate_scan=candidate_scan,
                           x_fill=x_fill, power_budget=power_budget,
-                          trial_batch=trial_batch, adi=adi)
+                          trial_batch=trial_batch, adi=adi,
+                          scoap=scoap)
         if verbose:  # pragma: no cover - console feedback only
             print(f"  {profile.name}: {run.seconds:.1f}s")
         runs.append(run)

@@ -68,9 +68,16 @@ def _add_failure_rows(table: Table, failures: Failures,
 def table1(runs: Sequence[CircuitRun], source: str = "seqgen",
            failures: Failures = None,
            partials: Partials = None) -> Table:
-    """Table 1: faults detected by T0, by tau_seq, and by the final set."""
+    """Table 1: faults detected by T0, by tau_seq, and by the final set.
+
+    The ``untst`` column (not in the paper) counts the faults the
+    static analyzer *proved* untestable -- they are excluded from
+    simulation and bound the achievable ``final`` count at
+    ``flts - untst``.  Runs restored from pre-analyzer checkpoints
+    show ``0``.
+    """
     table = Table(f"Table 1: Detected faults (T0 source: {source})",
-                  ["circuit", "ff", "comb tsts", "flts",
+                  ["circuit", "ff", "comb tsts", "flts", "untst",
                    "T0", "scan", "final"])
     for run in runs:
         res = _arm(run, source)
@@ -81,6 +88,7 @@ def table1(runs: Sequence[CircuitRun], source: str = "seqgen",
             run.n_ffs,
             run.comb_tests,
             run.n_faults,
+            run.n_untestable,
             len(res.t0_detected),
             len(res.seq_detected),
             len(res.final_detected),
@@ -88,6 +96,7 @@ def table1(runs: Sequence[CircuitRun], source: str = "seqgen",
     _add_failure_rows(table, failures, partials, lambda p: [
         p.meta.get("comb_tests"),
         p.meta.get("n_faults"),
+        p.meta.get("n_untestable"),
         p.arm_metric(source, "t0_detected"),
         p.arm_metric(source, "seq_detected"),
         p.arm_metric(source, "final_detected"),

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from . import values as V
+from .counters import SimCounters
 from .faults import FaultSet
 from .logicsim import CompiledCircuit
 
@@ -33,14 +34,22 @@ class CombPatternSim:
     ``scan_positions`` selects partial scan: pattern state vectors
     cover only those flip-flops (the rest are X) and only their
     captured values are observable.  ``None`` means full scan.
+
+    ``counters`` aggregates instrumentation (pass a shared
+    :class:`~repro.sim.counters.SimCounters` to pool with a
+    :class:`~repro.sim.fault_sim.FaultSimulator`); the per-fault
+    faulty evaluations land in ``comb_passes``.
     """
 
     def __init__(self, circuit: CompiledCircuit, faults: FaultSet,
                  block: int = DEFAULT_BLOCK,
-                 scan_positions: Optional[Sequence[int]] = None) -> None:
+                 scan_positions: Optional[Sequence[int]] = None,
+                 counters: Optional[SimCounters] = None) -> None:
         self.circuit = circuit
         self.faults = faults
         self.block = block
+        self.counters = counters if counters is not None else SimCounters()
+        self._untestable: frozenset = frozenset()
         if scan_positions is None:
             self.scan_positions: Optional[List[int]] = None
             self._state_ids = list(circuit.ff_ids)
@@ -72,6 +81,22 @@ class CombPatternSim:
                 else:
                     self._spec.append(
                         ("branch", ids[gate_name], pin, fault.stuck))
+
+    # ------------------------------------------------------------------
+    def set_untestable(self, indices: Optional[Sequence[int]]) -> None:
+        """Exclude proven-untestable faults from every future block.
+
+        Mirrors :meth:`~repro.sim.fault_sim.FaultSimulator.
+        set_untestable`: sound because a proven-untestable fault is in
+        no detection set, so no returned block result changes.  (The
+        ``untestable_dropped`` counter is bumped only by the
+        sequential simulator -- the two usually share one
+        :class:`~repro.sim.counters.SimCounters`.)
+        """
+        if not indices:
+            self._untestable = frozenset()
+            return
+        self._untestable = self.faults.untestable_reps(set(indices))
 
     # ------------------------------------------------------------------
     def _load_sources(self, patterns: Sequence[Pattern]
@@ -156,13 +181,16 @@ class CombPatternSim:
                 f"block of {len(patterns)} exceeds width {self.block}")
         if target is None:
             target = range(len(self.faults))
+        sim_target, expand = self.faults.collapse_target(
+            target, self._untestable)
         if good is None:
             good = self.good_block(patterns)
         gzero, gone, mask = good
         observe = list(self.circuit.po_ids) + list(self._observed_ppo)
         result: Dict[int, int] = {}
-        for fid in target:
+        for fid in sim_target:
             spec = self._spec[fid]
+            self.counters.comb_passes += 1
             fzero, fone, ff_override = self._faulty_observe(
                 spec, gzero, gone, mask)
             caught = 0
@@ -181,6 +209,11 @@ class CombPatternSim:
             caught &= mask
             if caught:
                 result[fid] = caught
+        if expand is not None:
+            # Re-inflate representative hits to the requested members:
+            # class members share every per-pattern detection exactly.
+            result = {m: pmask for rep, pmask in result.items()
+                      for m in expand[rep]}
         return result
 
     def detect_single(self, pattern: Pattern,

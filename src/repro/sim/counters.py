@@ -73,8 +73,25 @@ those passes carried -- ``trial_lanes / trial_passes`` is the
 effective trial-batching density.  ``adi_orderings`` counts the
 Accidental-Detection-Index ordering decisions applied (fused-word
 packing, Phase-3 target order, Phase-1 candidate scoring); it stays
-zero unless the ``--adi`` knob is on.  All three render as dashes
-for legacy checkpoints.
+zero unless the ``--adi`` knob is on (or ``--scoap``, which reuses
+the packing-order hook when ADI is off).  All three render as
+dashes for legacy checkpoints.
+
+Static fault-space counters
+---------------------------
+``comb_passes`` counts per-fault faulty evaluations by the PPSFP
+combinational simulator (:class:`~repro.sim.comb_sim.CombPatternSim`
+-- one per injected fault per pattern block): the cost the
+representative-only simulation of equivalence collapsing actually
+shrinks, since ``detect_passes`` counts *calls* and is identical
+with or without collapsing.  ``untestable_dropped`` counts faults
+excluded from simulation because the static analyzer *proved* them
+untestable (bumped once per
+:meth:`~repro.sim.fault_sim.FaultSimulator.set_untestable`
+installation, not per pass).  ``scoap_orderings`` counts SCOAP
+difficulty-ordering decisions applied (Phase-1 candidate scoring,
+Phase-3 top-off order); zero unless the ``--scoap`` knob is on.
+All render as dashes for legacy checkpoints.
 """
 
 from __future__ import annotations
@@ -113,6 +130,9 @@ class SimCounters:
     trial_passes: int = 0
     trial_lanes: int = 0
     adi_orderings: int = 0
+    comb_passes: int = 0
+    untestable_dropped: int = 0
+    scoap_orderings: int = 0
 
     # ------------------------------------------------------------------
     def note_words(self, n_words: int, n_machines: int) -> None:

@@ -378,6 +378,9 @@ class FaultSimulator:
         #: via :meth:`set_adi_order`); ``None`` keeps the default
         #: sorted-by-index grouping.
         self._adi_order: Optional[Dict[int, int]] = None
+        #: Representative indices of proven-untestable classes (set
+        #: via :meth:`set_untestable`); excluded from every pass.
+        self._untestable: frozenset = frozenset()
         # Precompute per-fault injection spec:
         #   ("stem", net_id) | ("branch", out_net_id, pin) | ("ff", ff_pos)
         self._spec: List[Tuple[Any, ...]] = []
@@ -432,6 +435,49 @@ class FaultSimulator:
         that share a simulator across runs must clear it when done.
         """
         self._adi_order = scores
+
+    # ------------------------------------------------------------------
+    def set_untestable(self, indices: Optional[Sequence[int]]) -> None:
+        """Exclude proven-untestable faults from every future pass.
+
+        ``indices`` are fault indices whose untestability the static
+        analyzer (:mod:`repro.analysis.faultspace`) *proved*.  A
+        proven-untestable fault appears in no detection set, ever, so
+        dropping its machines from every word changes no reported
+        result -- only the machine-bit counters.  The untestability
+        closure covers whole equivalence classes, so the exclusion is
+        tracked per class representative.  Pass ``None`` (or an empty
+        sequence) to clear.
+        """
+        if not indices:
+            self._untestable = frozenset()
+            return
+        self._untestable = self.faults.untestable_reps(set(indices))
+        self.counters.untestable_dropped += len(set(indices))
+
+    def _prepare_target(
+        self, target: Sequence[int],
+    ) -> Tuple[Sequence[int], Optional[Dict[int, List[int]]]]:
+        """Representative translation of a pass target.
+
+        Returns ``(sim_target, expand)`` per
+        :meth:`~repro.sim.faults.FaultSet.collapse_target`: the class
+        representatives actually simulated and the map re-inflating
+        their detections to the requested members (``None`` when no
+        translation happened).
+        """
+        return self.faults.collapse_target(target, self._untestable)
+
+    @staticmethod
+    def _expand_detected(detected: Set[int],
+                         expand: Dict[int, List[int]]) -> Set[int]:
+        """Re-inflate a representative-level detection set to the
+        requested class members (byte-identical: members of one class
+        share every detection set exactly)."""
+        out: Set[int] = set()
+        for rep in detected:
+            out.update(expand[rep])
+        return out
 
     # ------------------------------------------------------------------
     def resolve_width(self, n_targets: int) -> int:
@@ -671,7 +717,8 @@ class FaultSimulator:
         init_state = self.embed_state(init_state)
         if scan_observe is None:
             scan_observe = self.scan_positions
-        chunks = self._build_chunks(target)
+        sim_target, expand = self._prepare_target(target)
+        chunks = self._build_chunks(sim_target)
         if sanitizer.enabled():
             if retire_to is not None:
                 sanitizer.check_fresh_targets(retire_to, target,
@@ -747,9 +794,14 @@ class FaultSimulator:
         counters.frames += longest
         if (sanitizer.enabled() and not self._sanitize_shadow and
                 self._sanitize_spots_left > 0 and vectors):
-            self._sanitize_agreement(vectors, init_state, sorted(target),
-                                     scan_out, observe_po, scan_observe,
-                                     detected)
+            # Shadow at representative level: reps are fixed points of
+            # the translation, so the shadow's own re-translation is
+            # the identity and the two rep-level sets must agree.
+            self._sanitize_agreement(vectors, init_state,
+                                     sorted(sim_target), scan_out,
+                                     observe_po, scan_observe, detected)
+        if expand is not None:
+            detected = self._expand_detected(detected, expand)
         if retire_to is not None:
             retire_to.retire(detected)
         return detected
@@ -813,7 +865,8 @@ class FaultSimulator:
         init_state = self.embed_state(init_state)
         if scan_observe is None:
             scan_observe = self.scan_positions
-        chunks = self._build_chunks(target)
+        sim_target, expand = self._prepare_target(target)
+        chunks = self._build_chunks(sim_target)
         counters = self.counters
         counters.record_passes += 1
         n_frames = len(vectors)
@@ -860,6 +913,13 @@ class FaultSimulator:
                             frame_set.add(fid)
                 for nid, z, o in zip(self.circuit.ff_ids, ns_zero, ns_one):
                     zero[nid], one[nid] = z, o
+        if expand is not None:
+            # Members share the representative's per-frame behavior
+            # exactly, so each record entry re-inflates verbatim.
+            po_first = {m: first for rep, first in po_first.items()
+                        for m in expand[rep]}
+            scan_diff = [self._expand_detected(s, expand)
+                         for s in scan_diff]
         return SimRecords(n_frames, po_first, scan_diff)
 
     # ------------------------------------------------------------------
@@ -1009,7 +1069,8 @@ class FaultSimulator:
             return detected
         if target is None:
             target = range(len(self.faults))
-        target_list = sorted(target)
+        sim_target, expand = self._prepare_target(target)
+        target_list = sorted(sim_target)
         counters = self.counters
         counters.candidate_passes += 1
         if not vectors or not target_list:
@@ -1074,6 +1135,9 @@ class FaultSimulator:
                 chunk, vectors, init_words, good_po, good_scan,
                 observe_po, scan_out, scan_observe, detected))
         counters.frames += longest
+        if expand is not None:
+            detected = [self._expand_detected(lane, expand)
+                        for lane in detected]
         return detected
 
     def _run_lane_chunk(
@@ -1241,7 +1305,8 @@ class FaultSimulator:
             scan_observe = self.scan_positions
         if target is None:
             target = range(len(self.faults))
-        target_list = sorted(target)
+        sim_target, expand = self._prepare_target(target)
+        target_list = sorted(sim_target)
         counters = self.counters
         counters.trial_passes += 1
         counters.trial_lanes += n_lanes
@@ -1288,6 +1353,9 @@ class FaultSimulator:
                     lanes >>= 1
                     k += 1
         counters.frames += longest
+        if expand is not None:
+            results = [self._expand_detected(lane, expand)
+                       for lane in results]
         return results
 
     def _good_trial_pass(
@@ -1566,12 +1634,27 @@ class IncrementalFaultSim:
         init_state = parent.embed_state(init_state)
         if target is None:
             target = range(len(parent.faults))
-        self.chunks = parent._build_chunks(target)
+        sim_target, expand = parent._prepare_target(target)
+        self._expand = expand
+        self.chunks = parent._build_chunks(sim_target)
         self._words = [parent._init_words(c, init_state)
                        for c in self.chunks]
         self._caught = [0] * len(self.chunks)
         self.detected: Set[int] = set()
         self.n_frames = 0
+
+    def _bit_weight(self, chunk: _Chunk, word: int) -> int:
+        """Faults a machine-bit word stands for: a plain popcount
+        without class translation, otherwise each representative bit
+        weighted by its requested-member count (so previews match the
+        uncollapsed arm's counts exactly)."""
+        if self._expand is None:
+            return bin(word).count("1")
+        total = 0
+        for pos, fid in enumerate(chunk.indices):
+            if word & chunk.bit_of(pos):
+                total += len(self._expand[fid])
+        return total
 
     # ------------------------------------------------------------------
     def _eval_chunk(self, chunk: _Chunk, zero: List[int], one: List[int],
@@ -1603,8 +1686,9 @@ class IncrementalFaultSim:
             po_diff, scan_diff, _, _ = self._eval_chunk(chunk, zc, oc,
                                                         vector)
             fresh = po_diff & ~self._caught[ci]
-            new_po += bin(fresh).count("1")
-            sdiff_total += bin(scan_diff & ~self._caught[ci]).count("1")
+            new_po += self._bit_weight(chunk, fresh)
+            sdiff_total += self._bit_weight(
+                chunk, scan_diff & ~self._caught[ci])
         return StepPreview(new_po, sdiff_total)
 
     def apply(self, vector: V.Vector) -> Set[int]:
@@ -1618,7 +1702,10 @@ class IncrementalFaultSim:
             if fresh:
                 for pos, fid in enumerate(chunk.indices):
                     if fresh & chunk.bit_of(pos):
-                        newly.add(fid)
+                        if self._expand is None:
+                            newly.add(fid)
+                        else:
+                            newly.update(self._expand[fid])
                 self._caught[ci] |= fresh
             for nid, z, o in zip(self.parent.circuit.ff_ids, ns_zero,
                                  ns_one):
@@ -1645,5 +1732,6 @@ class IncrementalFaultSim:
             sdiff = 0
             for nid in self.parent.circuit.ff_ids:
                 sdiff |= self.parent._diff_word(zero[nid], one[nid])
-            total += bin(sdiff & ~1 & ~self._caught[ci]).count("1")
+            total += self._bit_weight(chunk,
+                                      sdiff & ~1 & ~self._caught[ci])
         return total

@@ -20,7 +20,8 @@ convention of the paper's Table 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (AbstractSet, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
 
 from ..circuits.netlist import Netlist
 
@@ -128,12 +129,21 @@ def _equivalence_pairs(netlist: Netlist):
     * NOT:  output s-a-v == input s-a-(1-v)
 
     XOR/XNOR gates and DFFs introduce no equivalences.
+
+    A *stem* input line that is itself a primary output is excluded:
+    its fault is observable at the PO directly, while the gate-output
+    fault is not, so their detection sets can differ (a branch line
+    into the gate stays equivalent -- the branch fault never reaches
+    the PO).
     """
+    observed = set(netlist.outputs)
     for gate in netlist.gates.values():
         out0 = Fault(gate.name, None, 0)
         out1 = Fault(gate.name, None, 1)
         ins = [_input_line(netlist, gate.name, i, fin)
                for i, fin in enumerate(gate.fanins)]
+        ins = [(net, pin) for net, pin in ins
+               if pin is not None or net not in observed]
         if gate.gtype == "AND":
             for net, pin in ins:
                 yield out0, Fault(net, pin, 0)
@@ -146,11 +156,11 @@ def _equivalence_pairs(netlist: Netlist):
         elif gate.gtype == "NOR":
             for net, pin in ins:
                 yield out0, Fault(net, pin, 1)
-        elif gate.gtype == "BUF":
+        elif gate.gtype == "BUF" and ins:
             net, pin = ins[0]
             yield out0, Fault(net, pin, 0)
             yield out1, Fault(net, pin, 1)
-        elif gate.gtype == "NOT":
+        elif gate.gtype == "NOT" and ins:
             net, pin = ins[0]
             yield out0, Fault(net, pin, 1)
             yield out1, Fault(net, pin, 0)
@@ -191,14 +201,39 @@ class FaultSet:
 
     Provides stable integer indices (used as compact fault handles by
     the simulators and the compaction procedures) plus subset helpers.
+
+    ``rep_of`` optionally attaches the equivalence structure: index
+    ``i``'s class representative is index ``rep_of[i]`` (a fixed point
+    of the map).  When present, the simulators use
+    :meth:`collapse_target` to simulate representatives only and
+    re-inflate detection sets to the members -- byte-identical because
+    class members share detection sets exactly (DESIGN.md section 15).
+    The default (``None``) is the identity: every fault is its own
+    class, i.e. an already-collapsed or deliberately-uncollapsed set.
     """
 
-    def __init__(self, faults: Sequence[Fault]) -> None:
+    def __init__(self, faults: Sequence[Fault],
+                 rep_of: Optional[Sequence[int]] = None) -> None:
         self.faults: List[Fault] = list(faults)
         self.index: Dict[Fault, int] = {
             f: i for i, f in enumerate(self.faults)}
         if len(self.index) != len(self.faults):
             raise ValueError("duplicate faults in fault set")
+        if rep_of is None:
+            self.rep_of: List[int] = list(range(len(self.faults)))
+        else:
+            self.rep_of = list(rep_of)
+            if len(self.rep_of) != len(self.faults):
+                raise ValueError("rep_of does not match the fault list")
+        self._members: Dict[int, List[int]] = {}
+        for i, rep in enumerate(self.rep_of):
+            if not self.rep_of[rep] == rep:
+                raise ValueError(
+                    f"representative {rep} is not a fixed point")
+            self._members.setdefault(rep, []).append(i)
+        # Identity structure: rep translation is a no-op and every
+        # simulator entry point takes its zero-overhead fast path.
+        self._identity = len(self._members) == len(self.faults)
 
     @classmethod
     def collapsed(cls, netlist: Netlist) -> "FaultSet":
@@ -206,13 +241,28 @@ class FaultSet:
         return cls(collapse(netlist))
 
     @classmethod
-    def uncollapsed(cls, netlist: Netlist) -> "FaultSet":
-        return cls(all_faults(netlist))
+    def uncollapsed(cls, netlist: Netlist,
+                    collapse: bool = True) -> "FaultSet":
+        """The full fault universe, rep-aware by default.
+
+        With ``collapse=True`` the set carries the equivalence
+        structure, so simulators run one representative per class and
+        re-inflate -- same reported results, less work.
+        ``collapse=False`` drops the structure and really simulates
+        every fault (the benchmark baseline arm).
+        """
+        faults = all_faults(netlist)
+        if not collapse:
+            return cls(faults)
+        uf = _collapsed_union_find(netlist)
+        index = {f: i for i, f in enumerate(faults)}
+        rep_of = [index[uf.find(f)] for f in faults]
+        return cls(faults, rep_of=rep_of)
 
     def __len__(self) -> int:
         return len(self.faults)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Fault]:
         return iter(self.faults)
 
     def __getitem__(self, i: int) -> Fault:
@@ -222,6 +272,60 @@ class FaultSet:
         """Indices of the given faults within this set."""
         return [self.index[f] for f in faults]
 
-    def subset(self, indices) -> List[Fault]:
+    def subset(self, indices: AbstractSet[int]) -> List[Fault]:
         """The faults at the given indices, in index order."""
         return [self.faults[i] for i in sorted(indices)]
+
+    # -- equivalence structure -----------------------------------------
+    @property
+    def n_classes(self) -> int:
+        """Number of equivalence classes (== ``len`` when identity)."""
+        return len(self._members)
+
+    @property
+    def has_classes(self) -> bool:
+        """True when at least one class has more than one member."""
+        return not self._identity
+
+    def members_of(self, rep: int) -> List[int]:
+        """All member indices of the class represented by ``rep``."""
+        return list(self._members[rep])
+
+    def collapse_target(
+        self,
+        target: Sequence[int],
+        drop: Optional[AbstractSet[int]] = None,
+    ) -> Tuple[Sequence[int], Optional[Dict[int, List[int]]]]:
+        """Translate a target fault list for representative simulation.
+
+        Returns ``(sim_target, expand)``: the (sorted, deduplicated)
+        representative indices actually worth simulating, and the map
+        from each representative back to the *requested* members its
+        results must be copied to.  ``expand`` is ``None`` when no
+        translation happened (identity structure), so callers can keep
+        a zero-overhead fast path.  ``drop`` removes whole classes --
+        proven-untestable representatives -- from the simulated set;
+        sound because a proven-untestable fault appears in no
+        detection set, ever.
+        """
+        if self._identity:
+            if not drop:
+                return target, None
+            return [f for f in target if f not in drop], None
+        rep_of = self.rep_of
+        expand: Dict[int, List[int]] = {}
+        for f in target:
+            rep = rep_of[f]
+            if drop and rep in drop:
+                continue
+            expand.setdefault(rep, []).append(f)
+        return sorted(expand), expand
+
+    def untestable_reps(self, indices: AbstractSet[int]) -> "frozenset[int]":
+        """Representative indices of the given (untestable) faults.
+
+        The untestability closure of :mod:`repro.analysis.faultspace`
+        covers whole classes, so dropping by representative drops
+        exactly the proven faults.
+        """
+        return frozenset(self.rep_of[i] for i in indices)

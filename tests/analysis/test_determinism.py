@@ -1,0 +1,109 @@
+"""The determinism lint: ambient randomness and wall-clock reads."""
+
+from pathlib import Path
+
+from repro.analysis.determinism import (RULE_MODULE_RANDOM,
+                                        RULE_UNSEEDED, RULE_WALL_CLOCK,
+                                        default_paths, lint_paths,
+                                        lint_source, main)
+
+
+def rules(text):
+    return [f.rule for f in lint_source(text)]
+
+
+class TestRandomRules:
+    def test_unseeded_random_flagged(self):
+        assert rules("import random\nr = random.Random()\n") == \
+            [RULE_UNSEEDED]
+
+    def test_seeded_random_clean(self):
+        assert rules("import random\nr = random.Random(7)\n") == []
+        assert rules("import random\nr = random.Random(seed)\n") == []
+
+    def test_module_level_calls_flagged(self):
+        out = rules("import random\nx = random.randint(0, 9)\n"
+                    "random.shuffle(xs)\n")
+        assert out == [RULE_MODULE_RANDOM, RULE_MODULE_RANDOM]
+
+    def test_alias_tracked(self):
+        assert rules("import random as rnd\nrnd.random()\n") == \
+            [RULE_MODULE_RANDOM]
+
+    def test_from_import_flagged(self):
+        assert rules("from random import randint\nrandint(0, 1)\n") \
+            == [RULE_MODULE_RANDOM]
+
+    def test_from_import_random_class_ok(self):
+        assert rules("from random import Random\nr = Random(3)\n") == []
+
+    def test_system_random_allowed(self):
+        # SystemRandom is non-deterministic by contract; flagging it
+        # would hide the intent (and it never shapes results here).
+        assert rules("import random\nrandom.SystemRandom()\n") == []
+
+    def test_unrelated_module_clean(self):
+        assert rules("import numpy\nnumpy.random = 3\n") == []
+
+
+class TestWallClockRules:
+    def test_time_time_flagged(self):
+        assert rules("import time\nt = time.time()\n") == \
+            [RULE_WALL_CLOCK]
+
+    def test_perf_counter_allowed(self):
+        assert rules("import time\nt = time.perf_counter()\n"
+                     "m = time.monotonic()\n") == []
+
+    def test_datetime_now_flagged(self):
+        assert rules("from datetime import datetime\n"
+                     "datetime.now()\n") == [RULE_WALL_CLOCK]
+        assert rules("import datetime\n"
+                     "datetime.datetime.now()\n") == [RULE_WALL_CLOCK]
+
+    def test_from_import_time_flagged(self):
+        assert rules("from time import time\ntime()\n") == \
+            [RULE_WALL_CLOCK]
+
+
+class TestWaiversAndPaths:
+    def test_allow_marker_waives(self):
+        assert rules("import time\n"
+                     "t = time.time()  # det: allow\n") == []
+
+    def test_finding_renders_location(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("import random\nrandom.random()\n")
+        findings = lint_paths([f])
+        assert len(findings) == 1
+        assert findings[0].line == 2
+        assert str(f) in findings[0].render()
+
+    def test_directory_recursion(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text(
+            "import time\ntime.time()\n")
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        assert len(lint_paths([tmp_path])) == 1
+
+    def test_repo_result_paths_are_clean(self):
+        """The enforced CI property, runnable locally."""
+        paths = default_paths()
+        assert all(p.is_dir() for p in paths)
+        findings = lint_paths(paths)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "ok.py"
+        good.write_text("x = 1\n")
+        assert main([str(good)]) == 0
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nrandom.random()\n")
+        assert main([str(bad)]) == 1
+        assert main([str(tmp_path / "missing.py")]) == 2
+        capsys.readouterr()
+
+    def test_default_paths_exist(self):
+        for p in default_paths():
+            assert isinstance(p, Path)
+            assert p.exists()

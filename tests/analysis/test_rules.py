@@ -164,3 +164,59 @@ class TestBenchRules:
         report = lint_bench_path(p)
         assert report.circuit == "mini"
         assert report.clean
+
+
+class TestBenchRawTextRobustness:
+    """The raw-text pass must survive real-world .bench formatting:
+    CRLF line endings, comment-only files, and blank-line padding --
+    with line numbers that still point at the physical line."""
+
+    CLEAN = "INPUT(a)\nINPUT(b)\ng1 = AND(a, b)\nOUTPUT(g1)\n"
+
+    def test_crlf_input_is_clean(self):
+        report = lint_bench_text(self.CLEAN.replace("\n", "\r\n"))
+        assert report.clean, report.render()
+
+    def test_crlf_preserves_diagnoses_and_line_numbers(self):
+        text = ("INPUT(a)\r\ng1 = NOT(a)\r\n"
+                "g1 = BUF(a)\r\nOUTPUT(g1)\r\n")
+        report = lint_bench_text(text)
+        assert "bench.multi-driver" in report.rule_ids
+        bad = [d for d in report.diagnostics
+               if d.rule == "bench.multi-driver"]
+        assert "line 3" in bad[0].message
+
+    def test_comment_only_file(self):
+        text = "# a header\n# nothing but comments\n#\n"
+        report = lint_bench_text(text)
+        # No gates is not a *raw* syntax problem; whatever the deep
+        # pass says, the raw rules must not fire.
+        assert not any(r.startswith("bench.")
+                       for r in report.rule_ids), report.render()
+
+    def test_empty_and_whitespace_file(self):
+        for text in ("", "\n\n\n", "   \n\t\n"):
+            report = lint_bench_text(text)
+            assert not any(r.startswith("bench.")
+                           for r in report.rule_ids)
+
+    def test_blank_line_heavy_keeps_physical_line_numbers(self):
+        text = ("\n\n# header\n\nINPUT(a)\n\n\n"
+                "g1 = FROB(a)\n\nOUTPUT(g1)\n")
+        report = lint_bench_text(text)
+        bad = [d for d in report.diagnostics
+               if d.rule == "bench.unknown-type"]
+        assert bad and "line 8" in bad[0].message
+
+    def test_trailing_comment_stripped(self):
+        text = ("INPUT(a)  # the input\n"
+                "g1 = NOT(a)  # inverter\n"
+                "OUTPUT(g1)# output, no space\n")
+        report = lint_bench_text(text)
+        assert report.clean, report.render()
+
+    def test_mixed_endings_and_padding(self):
+        text = ("\r\nINPUT(a)\r\n\r\n  g1 = NOT(a)  \n\n"
+                "OUTPUT(g1)\r\n\r\n")
+        report = lint_bench_text(text)
+        assert report.clean, report.render()

@@ -1,0 +1,144 @@
+"""SCOAP controllability/observability measures."""
+
+import pytest
+
+from repro.analysis.scoap import (UNREACHABLE, ScoapMeasures,
+                                  compute_scoap)
+from repro.circuits import library, synth
+from repro.circuits.netlist import Netlist
+from repro.sim.faults import Fault, all_faults
+
+
+def chain():
+    """a,b -> n1=AND -> n2=NOT -> PO; q=DFF(n2)."""
+    net = Netlist("chain")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_gate("n1", "AND", ["a", "b"])
+    net.add_gate("n2", "NOT", ["n1"])
+    net.add_dff("q", "n2")
+    net.add_output("n2")
+    return net.compile()
+
+
+class TestControllability:
+    def test_inputs_and_ffs_cost_one(self):
+        m = compute_scoap(chain())
+        assert m.cc0["a"] == m.cc1["a"] == 1
+        # Full scan: the FF output is a pseudo primary input.
+        assert m.cc0["q"] == m.cc1["q"] == 1
+
+    def test_and_gate(self):
+        m = compute_scoap(chain())
+        # AND-1 needs both inputs 1 (1+1+1); AND-0 needs the cheaper
+        # input at 0 (1+1).
+        assert m.cc1["n1"] == 3
+        assert m.cc0["n1"] == 2
+
+    def test_not_swaps(self):
+        m = compute_scoap(chain())
+        assert m.cc0["n2"] == m.cc1["n1"] + 1
+        assert m.cc1["n2"] == m.cc0["n1"] + 1
+
+    def test_const_saturates(self):
+        net = Netlist("c")
+        net.add_input("a")
+        net.add_gate("k", "CONST0", [])
+        net.add_gate("g", "OR", ["a", "k"])
+        net.add_output("g")
+        net.compile()
+        m = compute_scoap(net)
+        assert m.cc0["k"] == 1
+        assert m.cc1["k"] == UNREACHABLE
+        # OR-0 needs every input 0: reachable; sums saturate, never
+        # overflow past the bound.
+        assert m.cc0["g"] < UNREACHABLE
+
+    def test_xor_parity_dp(self):
+        net = Netlist("x")
+        for name in ("a", "b", "c"):
+            net.add_input(name)
+        net.add_gate("g", "XOR", ["a", "b", "c"])
+        net.add_output("g")
+        net.compile()
+        m = compute_scoap(net)
+        # Three unit inputs: any parity costs 3 traversals + the gate.
+        assert m.cc0["g"] == 4
+        assert m.cc1["g"] == 4
+
+
+class TestObservability:
+    def test_po_and_dff_pins_free(self):
+        m = compute_scoap(chain())
+        assert m.co_stem["n2"] == 0          # primary output
+        assert m.observability("n2", None) == 0
+        # The DFF data pin is scan-observed for free, so n2's stem
+        # takes the cheaper of PO (0) and the pin (0).
+        assert m.co_pin[("q", 0)] == 0
+
+    def test_side_input_cost(self):
+        m = compute_scoap(chain())
+        # Observing `a` through the AND needs b=1 (cc1=1), then the
+        # NOT, each a traversal.
+        assert m.observability("a", None) == \
+            m.co_stem["n1"] + m.cc1["b"] + 1
+
+    def test_unobservable_saturates(self):
+        net = Netlist("dead")
+        net.add_input("a")
+        net.add_gate("g", "NOT", ["a"])
+        net.add_gate("dead", "NOT", ["g"])
+        net.add_output("g")
+        net.compile()
+        m = compute_scoap(net)
+        assert m.co_stem["dead"] == UNREACHABLE
+
+
+class TestDifficulty:
+    def test_difficulty_is_excite_plus_observe(self):
+        m = compute_scoap(chain())
+        f = Fault("n1", None, 0)  # excite: n1=1
+        assert m.difficulty(f) == m.cc1["n1"] + m.co_stem["n1"]
+
+    def test_profile_counts_saturated(self):
+        net = Netlist("p")
+        net.add_input("a")
+        net.add_gate("k", "CONST1", [])
+        net.add_gate("g", "AND", ["a", "k"])
+        net.add_output("g")
+        net.compile()
+        m = compute_scoap(net)
+        prof = m.profile(all_faults(net))
+        assert prof["n_faults"] == len(all_faults(net))
+        assert prof["n_saturated"] >= 1   # k s-a-1 is unexcitable
+        assert prof["min"] <= prof["median"] <= prof["max"]
+
+    def test_every_line_measured(self):
+        net = synth.generate("sc", 4, 3, 5, 40, seed=2)
+        m = compute_scoap(net)
+        for f in all_faults(net):
+            assert m.difficulty(f) >= 0
+
+    def test_branch_vs_stem_observability(self, s27):
+        m = compute_scoap(s27)
+        for f in all_faults(s27):
+            if f.pin is not None:
+                # A stem is at most as hard to observe as any branch.
+                assert m.co_stem[f.net] <= m.co_pin[f.pin]
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, s27):
+        m = compute_scoap(s27)
+        back = ScoapMeasures.from_dict(m.to_dict())
+        assert back == m
+
+    def test_library_deterministic(self):
+        a = compute_scoap(library.s27())
+        b = compute_scoap(library.s27())
+        assert a == b
+
+    def test_missing_net_raises(self, s27):
+        m = compute_scoap(s27)
+        with pytest.raises(KeyError):
+            m.controllability("nosuch", 1)

@@ -534,7 +534,7 @@ class TestPowerSerialization:
                      with_transition=True)
         different = {"engine": "interp", "width": 4,
                      "candidate_scan": "scalar", "x_fill": "adjacent",
-                     "power_budget": 9.0, "adi": True}
+                     "power_budget": 9.0, "adi": True, "scoap": True}
         assert set(different) == set(CHECKPOINT_KNOBS)
         for name, value in different.items():
             spec = _spec(arms=("seqgen", "random"), with_baselines=True,
@@ -544,7 +544,7 @@ class TestPowerSerialization:
         # defaults and must still accept the matching checkpoint.
         legacy = asdict(base)
         for name in ("engine", "width", "candidate_scan", "x_fill",
-                     "power_budget", "adi"):
+                     "power_budget", "adi", "scoap"):
             legacy.pop(name, None)
         assert _checkpoint_usable(s27_full_run, JobSpec(**legacy))
 

@@ -50,9 +50,10 @@ class TestTables:
         t = tables.table1([s27_run])
         assert t.headers[0] == "circuit"
         assert len(t.rows) == 1
-        circuit, ff, ctests, flts, t0, scan, final = t.rows[0]
+        circuit, ff, ctests, flts, untst, t0, scan, final = t.rows[0]
         assert circuit == "s27"
-        assert t0 <= scan <= final <= flts
+        assert untst >= 0
+        assert t0 <= scan <= final <= flts - untst
 
     def test_table2_shape(self, s27_run):
         t = tables.table2([s27_run])

@@ -265,7 +265,7 @@ class TestPartialRun:
         assert row[0] == "s27"
         assert row[1] == "PARTIAL(phase 4/4)"
         assert row[2] == 7      # comb tests from meta
-        assert row[6] == 4      # final detected
+        assert row[7] == 4      # final detected
         t5 = tables.table5([], partials=partials)
         assert t5.rows[0][1] == "PARTIAL(phase 4/4)"
         assert t5.rows[0][5] == 2   # random arm's salvaged seq length
