@@ -66,6 +66,6 @@ def suite_runs(request):
                            "REPRO_BENCH_CANDIDATE_SCAN",
                            DEFAULT_CANDIDATE_SCAN)
     profiles = suite_mod.suite(quick=not full)
-    return run_suite(profiles, seed=1, with_transition=True,
+    return run_suite(profiles, seed=1, delay=True,
                      engine=engine, width=width,
                      candidate_scan=candidate_scan, verbose=True)

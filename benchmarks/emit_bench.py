@@ -61,6 +61,21 @@ clock cycles; ``--gate`` (any value) additionally requires the
 collapsed arm to simulate strictly fewer per-fault passes and machine
 bits.
 
+``--delay`` benchmarks the at-speed workload: the profile circuit's
+final test sets (one default proposed run plus the [4]-style
+single-vector baseline) are graded by the transition-fault simulator
+(:class:`repro.delay.transition.TransitionSim`) under both routes --
+the scalar big-int loops and the wide-word packed route (uint64
+arrays + the C pass kernel).  ``BENCH_delay.json`` records both arms'
+wall clock, the full :class:`repro.delay.clocking.DelayReport`
+(TDF coverage + test-clock cycle budget per set), and an
+``identical_coverage`` flag; ``--gate RATIO`` fails when the packed
+route is less than ``RATIO`` x faster than scalar (skipped with a
+visible notice when numpy or the kernel is unavailable).  The CI job
+runs ``--delay --gate 3.0`` on the full-size circuit: the quick
+circuit's TDF workload is too small for the kernel to amortize its
+per-pass setup, so the gate would measure overhead, not the route.
+
 ``--power`` sweeps every X-fill strategy (:data:`repro.sim.values.
 FILL_STRATEGIES`) over the quick suite: one proposed-procedure run per
 (circuit, strategy), measuring the final test set's peak/average shift
@@ -82,6 +97,7 @@ Usage::
     PYTHONPATH=src python benchmarks/emit_bench.py --phase1   # lanes bench
     PYTHONPATH=src python benchmarks/emit_bench.py --phase1 --quick --gate 1.0
     PYTHONPATH=src python benchmarks/emit_bench.py --power --gate 1.0
+    PYTHONPATH=src python benchmarks/emit_bench.py --delay --gate 3.0
 
 ``--gate RATIO`` turns the script into a perf gate: exit code 1 when
 the after/lanes arm is slower than ``RATIO`` times the before/scalar
@@ -109,8 +125,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.atpg import comb_set as comb_set_mod
 from repro.atpg import random_gen
 from repro.circuits import synth
+from repro.core.combine import static_compact
 from repro.core.phase1 import detect_no_scan, select_scan_in
 from repro.core.proposed import run as run_proposed
+from repro.core.scan_test import ScanTestSet, single_vector_test
+from repro.delay import TransitionSim, measure_delay
 from repro.experiments.reporting import atomic_write_text
 from repro.power.activity import ActivityEngine
 from repro.sim.comb_sim import CombPatternSim
@@ -848,6 +867,142 @@ def build_power_payload(quick: bool, seed: int = 1) -> Dict[str, Any]:
     }
 
 
+def _delay_sets(netlist, comb, t0):
+    """The final test sets a ``--delay`` campaign grades.
+
+    One default proposed-procedure run (the long-sequence arm) plus
+    the [4]-style static compaction of the single-vector scan set --
+    the same proposed-vs-baseline4 pair the Delay paper table shows.
+    """
+    circuit = CompiledCircuit(netlist)
+    faults = FaultSet.collapsed(netlist)
+    sim = FaultSimulator(circuit, faults, width="auto")
+    comb_sim = CombPatternSim(circuit, faults)
+    result = run_proposed(sim, comb_sim, t0, comb.tests)
+    proposed = result.compacted_set or result.test_set
+    initial = ScanTestSet(
+        len(circuit.ff_ids),
+        [single_vector_test(t.state, t.pi) for t in comb.tests])
+    baseline = static_compact(sim, initial).test_set
+    return circuit, {"proposed": proposed, "baseline4": baseline}
+
+
+def _run_delay_route(circuit, sets, route: str,
+                     repeats: int = 3) -> Dict[str, Any]:
+    """One full TDF + clock-cost measurement under one route.
+
+    Best wall clock of ``repeats`` identical measurements -- the TDF
+    pass is sub-second, so a single sample is too noisy to gate on.
+    """
+    best = None
+    report = None
+    for _ in range(repeats):
+        counters = SimCounters()
+        tsim = TransitionSim(circuit, counters=counters, route=route)
+        started = time.perf_counter()
+        report = measure_delay(tsim, sets)
+        seconds = time.perf_counter() - started
+        if best is None or seconds < best[0]:
+            best = (seconds, counters)
+    seconds, counters = best
+    return {
+        "route": route,
+        "seconds": round(seconds, 3),
+        "repeats": repeats,
+        "tdf_passes": counters.tdf_passes,
+        "tdf_words": counters.tdf_words,
+        "detected": {label: summary.detected
+                     for label, summary in report.sets.items()},
+        "report": report.as_dict(),
+    }
+
+
+def build_delay_payload(quick: bool, seed: int = 1) -> Dict[str, Any]:
+    """The ``--delay`` payload: packed vs scalar TDF simulation.
+
+    Builds the profile circuit's final test sets once (proposed run +
+    [4] baseline), then grades them twice with
+    :class:`repro.delay.transition.TransitionSim` -- the scalar
+    big-int route and the wide-word packed route (uint64 arrays + the
+    C pass kernel) -- asserting identical per-set coverage and
+    reporting the wall-clock speedup the CI gate checks.  The packed
+    arm is skipped (recorded as ``null`` with a visible notice) when
+    numpy or the kernel is unavailable.
+    """
+    profile, netlist, faults, comb, t0 = _trials_circuit(quick, seed)
+    circuit, sets = _delay_sets(netlist, comb, t0)
+    tdf_faults = len(TransitionSim(circuit, route="scalar").faults)
+    for label, test_set in sorted(sets.items()):
+        print(f"set {label}: {len(test_set)} tests, "
+              f"{test_set.clock_cycles()} cycles, "
+              f"{test_set.at_speed_pairs()} at-speed pairs")
+
+    print(f"scalar: {tdf_faults} transition faults ...", flush=True)
+    scalar = _run_delay_route(circuit, sets, "scalar")
+    print(f"  {scalar['seconds']}s ({scalar['tdf_passes']} passes)")
+    packed = None
+    if npsim.numpy_available() and \
+            npsim.kernel_unavailable_reason() is None:
+        print("packed: wide-word route ...", flush=True)
+        packed = _run_delay_route(circuit, sets, "packed")
+        print(f"  {packed['seconds']}s ({packed['tdf_passes']} passes)")
+    else:
+        print("NOTICE: packed TDF arm skipped (numpy or the C pass "
+              "kernel is unavailable); scalar route only")
+
+    identical = (packed is None
+                 or scalar["detected"] == packed["detected"])
+    if not identical:
+        print("ERROR: packed and scalar TDF routes disagree on "
+              "coverage", file=sys.stderr)
+    speedup = (None if packed is None else
+               round(scalar["seconds"] / max(packed["seconds"], 1e-9),
+                     2))
+    report = (packed or scalar).pop("report")
+    if packed is not None:
+        scalar.pop("report")
+    return {
+        "bench": "delay: wide-word packed TDF simulation vs the "
+                 "scalar big-int route",
+        "circuit": dict(_circuit_block(profile, netlist, faults, comb,
+                                       t0), tdf_faults=tdf_faults),
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": _numpy_version(),
+            "np_kernel": (npsim.kernel_unavailable_reason() is None
+                          if npsim.numpy_available() else False),
+        },
+        "scalar": scalar,
+        "packed": packed,
+        "report": report,
+        "speedup": speedup,
+        "identical_coverage": identical,
+    }
+
+
+def _delay_gate(payload: Dict[str, Any], ratio: float) -> bool:
+    """The packed route must be at least ``ratio`` x faster.
+
+    Returns True (with a visible notice) instead of failing when the
+    packed arm could not run -- numpy missing or no C compiler for
+    the pass kernel -- mirroring :func:`_numpy_gate`.
+    """
+    if payload["packed"] is None:
+        print("DELAY GATE SKIPPED: packed TDF route unavailable "
+              "(numpy or the C pass kernel is missing)")
+        return True
+    achieved = payload["speedup"]
+    if achieved < ratio:
+        print(f"DELAY GATE FAILED: packed TDF route is x{achieved:.2f} "
+              f"faster than scalar, need x{ratio:g}", file=sys.stderr)
+        return False
+    print(f"delay gate ok: x{achieved:.2f} >= x{ratio:g}")
+    return True
+
+
 def _power_gate(payload: Dict[str, Any], ratio: float) -> bool:
     """Per circuit: adjacent peak shift WTM <= ratio x random's."""
     ok = True
@@ -913,6 +1068,10 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--adi", action="store_true",
                         help="compare ADI-guided ordering against the "
                              "plain proposed procedure (quality gate)")
+    parser.add_argument("--delay", action="store_true",
+                        help="benchmark the wide-word packed "
+                             "transition-fault route vs the scalar "
+                             "route on the final test sets")
     parser.add_argument("--collapse", action="store_true",
                         help="compare representative-only simulation "
                              "(+ untestability proofs) against the "
@@ -928,6 +1087,21 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("-o", "--out", default=None)
     args = parser.parse_args(argv)
+
+    if args.delay:
+        out = args.out or "BENCH_delay.json"
+        payload = build_delay_payload(quick=args.quick, seed=args.seed)
+        atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
+        speedup = payload["speedup"]
+        print(f"wrote {out}: packed TDF speedup "
+              f"x{speedup if speedup is not None else '-'} "
+              f"(identical coverage: {payload['identical_coverage']})")
+        if not payload["identical_coverage"]:
+            return 1
+        if args.gate is not None and not _delay_gate(payload,
+                                                     args.gate):
+            return 1
+        return 0
 
     if args.trials:
         out = args.out or "BENCH_trials.json"

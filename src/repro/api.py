@@ -24,6 +24,9 @@ from .core.phase1 import DEFAULT_CANDIDATE_SCAN
 from .core.proposed import (PhaseObserver, ProposedResult,
                             run as run_proposed)
 from .core.scan_test import ScanTestSet, single_vector_test
+from .delay.clocking import ClockSpec, DelayReport
+from .delay.clocking import measure_delay as _measure_delay_sets
+from .delay.transition import TransitionSim
 from .sim import values as V
 from .sim.comb_sim import CombPatternSim
 from .sim.counters import SimCounters
@@ -327,6 +330,52 @@ def baseline_static(
         engine = ActivityEngine(wb.circuit, wb.counters)
         merge_filter = constrain.wtm_budget_filter(engine, power_budget)
     return static_compact(wb.sim, initial, merge_filter=merge_filter)
+
+
+def measure_delay(
+    netlist: Netlist,
+    sets: Dict[str, ScanTestSet],
+    spec: Optional[ClockSpec] = None,
+    workbench: Optional[Workbench] = None,
+    route: str = "auto",
+) -> DelayReport:
+    """Measure the at-speed quality of one or more final test sets.
+
+    For every labeled :class:`~repro.core.scan_test.ScanTestSet` this
+    runs the transition-fault simulator
+    (:class:`repro.delay.transition.TransitionSim`) over the full
+    launch-on-capture TDF list and prices the set under the test-clock
+    model of :mod:`repro.delay.clocking`.  The labels become the keys
+    of :attr:`~repro.delay.clocking.DelayReport.sets`, so the natural
+    call compares the proposed procedure's output against a baseline::
+
+        report = measure_delay(netlist, {
+            "seqgen": proposed.compacted_set,
+            "baseline4": combined.test_set,
+        })
+
+    Parameters
+    ----------
+    netlist:
+        The full-scan circuit.
+    sets:
+        Label -> final test set to grade.  All sets are simulated with
+        one shared simulator, so per-set numbers are comparable.
+    spec:
+        Test-clock scheme parameters; defaults to the paper-default
+        :class:`~repro.delay.clocking.ClockSpec`.
+    workbench:
+        Reuse an existing toolchain (its counters absorb the
+        ``tdf_*`` instrumentation); built fresh when omitted.
+    route:
+        Forwarded to :class:`~repro.delay.transition.TransitionSim`:
+        ``"auto"`` (packed wide-word route when numpy + the C kernel
+        are importable, scalar otherwise), ``"packed"`` (require it),
+        or ``"scalar"``.
+    """
+    wb = workbench or Workbench.for_netlist(netlist)
+    tsim = TransitionSim(wb.circuit, counters=wb.counters, route=route)
+    return _measure_delay_sets(tsim, sets, spec=spec)
 
 
 def baseline_dynamic(

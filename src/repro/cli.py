@@ -4,7 +4,7 @@ Subcommands::
 
     repro-compact list                         # suite circuits
     repro-compact circuit s298 [--seed N]      # one circuit, all methods
-    repro-compact tables [--full] [--transition] [--json OUT]
+    repro-compact tables [--full] [--delay] [--json OUT]
     repro-compact power s298 [--seed N]        # X-fill power sweep
     repro-compact lint [targets ...]           # static netlist analysis
     repro-compact analyze [targets ...]        # static fault-space pass
@@ -39,8 +39,11 @@ longer).
 
 ``circuit`` and ``tables`` also take ``--x-fill`` (don't-care fill
 strategy for the ATPG stages; the default ``random`` reproduces the
-paper runs byte-identically) and ``--power-budget`` (peak shift-WTM
-cap enforced during Phase-4 combining; see :mod:`repro.power`).
+paper runs byte-identically), ``--power-budget`` (peak shift-WTM
+cap enforced during Phase-4 combining; see :mod:`repro.power`), and
+``--delay`` (measure at-speed quality of the final test sets:
+transition-fault coverage through :mod:`repro.delay` plus the
+test-clock cycle budget, rendered as the Delay table).
 ``power`` runs every X-fill strategy on one circuit in process and
 prints the comparative power table.
 
@@ -147,7 +150,7 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
     if profiles is None:
         return 2
     outcome = run_suite_resilient(profiles, seed=args.seed,
-                                  with_transition=args.transition,
+                                  delay=args.delay,
                                   engine=args.engine, width=args.width,
                                   candidate_scan=args.candidate_scan,
                                   x_fill=args.x_fill,
@@ -156,7 +159,7 @@ def _cmd_circuit(args: argparse.Namespace) -> int:
                                   adi=args.adi, scoap=args.scoap,
                                   config=_harness_config(args))
     print(render_all(all_tables(outcome.runs,
-                                with_transition=args.transition,
+                                with_delay=args.delay,
                                 failures=outcome.failures,
                                 partials=outcome.partials)))
     print()
@@ -175,7 +178,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
             return 2
     outcome = run_suite_resilient(profiles, quick=not args.full,
                                   seed=args.seed,
-                                  with_transition=args.transition,
+                                  delay=args.delay,
                                   engine=args.engine, width=args.width,
                                   candidate_scan=args.candidate_scan,
                                   x_fill=args.x_fill,
@@ -184,7 +187,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
                                   adi=args.adi, scoap=args.scoap,
                                   config=_harness_config(args),
                                   verbose=True)
-    tables = all_tables(outcome.runs, with_transition=args.transition,
+    tables = all_tables(outcome.runs, with_delay=args.delay,
                         failures=outcome.failures,
                         partials=outcome.partials)
     tables.append(paper_comparison(outcome.runs,
@@ -585,8 +588,10 @@ def build_parser() -> argparse.ArgumentParser:
                                help="run one suite circuit")
     p_circuit.add_argument("name")
     p_circuit.add_argument("--seed", type=int, default=1)
-    p_circuit.add_argument("--transition", action="store_true",
-                           help="also compute transition-fault coverage")
+    p_circuit.add_argument("--delay", action="store_true",
+                           help="also measure at-speed quality: "
+                                "transition-fault coverage plus the "
+                                "test-clock cycle budget")
     p_circuit.set_defaults(func=_cmd_circuit)
 
     p_tables = sub.add_parser("tables", parents=[resilience, engine_opts,
@@ -595,7 +600,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--full", action="store_true",
                           help="run the full suite (slow)")
     p_tables.add_argument("--seed", type=int, default=1)
-    p_tables.add_argument("--transition", action="store_true")
+    p_tables.add_argument("--delay", action="store_true",
+                          help="also measure at-speed quality of the "
+                               "final test sets")
     p_tables.add_argument("--json", help="also dump tables as JSON")
     p_tables.add_argument("--circuits", nargs="*",
                           help="explicit circuit names")

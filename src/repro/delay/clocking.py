@@ -1,0 +1,286 @@
+"""On-chip test-clock cost model for at-speed scan testing.
+
+The paper's cost model (Section 2) counts *clock cycles*:
+``N_cyc = (k+1) * N_SV + sum_j L(T_j)`` -- every cycle is worth the
+same.  On silicon they are not: the scan shift clock is typically a
+divided-down (slow, low-power) clock while launch/capture pairs must
+run at the full functional rate, usually from an on-chip clock
+generator (Beck et al., "Logic Design for On-Chip Test Clock
+Generation -- Impact on Delay Test Quality", arXiv:0710.4763).  This
+module prices every scan test under that regime:
+
+* **shift cycles** run on the slow scan clock -- ``N_SV`` shifts per
+  scan operation, each costing ``shift_divisor`` functional-clock
+  periods on the tester;
+* **at-speed cycles** are the consecutive functional pairs
+  (``L(T) - 1`` per test) that exercise delay defects -- the quantity
+  a transition-fault test set is buying;
+* the first functional cycle of a test follows the scan-to-functional
+  switch and is *not* an at-speed launch (frame 0 is never a launch
+  frame, matching :mod:`repro.delay.transition`);
+* every switch between shift and functional mode costs ``sync_cycles``
+  dead cycles for the on-chip generator to resynchronize (two
+  switches per test under launch-on-capture).
+
+The paper-model total is preserved exactly: a
+:class:`DelayReport`'s per-set ``total_cycles`` equals
+:meth:`repro.core.scan_test.ScanTestSet.clock_cycles` and its
+``at_speed_cycles`` equals
+:meth:`~repro.core.scan_test.ScanTestSet.at_speed_pairs` -- the Beck
+adjustments only enter the separate ``tester_cycles`` figure.  All
+dataclasses round-trip through plain dicts (JSON-friendly) so reports
+survive the experiment harness's checkpoint store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..core.scan_test import ScanTest, ScanTestSet
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .transition import TransitionSim
+
+#: Launch/capture schemes the cost model knows how to price.
+CLOCK_SCHEMES = ("loc",)
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """Knobs of the on-chip test-clock generator.
+
+    Attributes
+    ----------
+    scheme:
+        Launch/capture scheme; only launch-on-capture (``"loc"``) is
+        modeled -- the functional sequence itself provides the launch
+        transitions, which is exactly the paper's setting.
+    shift_divisor:
+        Scan shift clock period as a multiple of the functional clock
+        period (shift runs slow to bound power and chain timing).
+    sync_cycles:
+        Dead functional-clock cycles per shift<->functional mode
+        switch while the on-chip generator resynchronizes.
+    """
+
+    scheme: str = "loc"
+    shift_divisor: int = 4
+    sync_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.scheme not in CLOCK_SCHEMES:
+            raise ValueError(f"unknown clock scheme {self.scheme!r}; "
+                             f"use one of {CLOCK_SCHEMES}")
+        if self.shift_divisor < 1:
+            raise ValueError("shift_divisor must be >= 1")
+        if self.sync_cycles < 0:
+            raise ValueError("sync_cycles must be >= 0")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scheme": self.scheme,
+            "shift_divisor": self.shift_divisor,
+            "sync_cycles": self.sync_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ClockSpec":
+        return cls(
+            scheme=str(data.get("scheme", "loc")),
+            shift_divisor=int(data.get("shift_divisor", 4)),  # type: ignore[arg-type]
+            sync_cycles=int(data.get("sync_cycles", 2)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class ClockPlan:
+    """Cycle accounting for applying one scan test.
+
+    ``shift_cycles`` is the test's scan operation under the paper's
+    overlap convention (scan-in of this test overlaps scan-out of the
+    previous one, so each test owns exactly ``N_SV`` shifts; the
+    final scan-out is the set-level extra).  ``functional_cycles`` is
+    ``L(T)``; ``at_speed_cycles`` is ``L(T) - 1`` -- the consecutive
+    functional pairs applied at speed.
+    """
+
+    length: int
+    shift_cycles: int
+    functional_cycles: int
+    at_speed_cycles: int
+    sync_switches: int
+
+    @property
+    def paper_cycles(self) -> int:
+        """This test's share of the paper's ``N_cyc``."""
+        return self.shift_cycles + self.functional_cycles
+
+    def tester_cycles(self, spec: ClockSpec) -> int:
+        """Functional-clock periods on the tester under ``spec``."""
+        return (self.shift_cycles * spec.shift_divisor
+                + self.functional_cycles
+                + self.sync_switches * spec.sync_cycles)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "length": self.length,
+            "shift_cycles": self.shift_cycles,
+            "functional_cycles": self.functional_cycles,
+            "at_speed_cycles": self.at_speed_cycles,
+            "sync_switches": self.sync_switches,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "ClockPlan":
+        return cls(
+            length=int(data.get("length", 0)),
+            shift_cycles=int(data.get("shift_cycles", 0)),
+            functional_cycles=int(data.get("functional_cycles", 0)),
+            at_speed_cycles=int(data.get("at_speed_cycles", 0)),
+            sync_switches=int(data.get("sync_switches", 0)),
+        )
+
+
+def plan_test(test: ScanTest, n_state_vars: int) -> ClockPlan:
+    """The :class:`ClockPlan` for one scan test.
+
+    Two mode switches per test under launch-on-capture: shift ->
+    functional before the sequence, functional -> shift after it.
+    """
+    return ClockPlan(
+        length=test.length,
+        shift_cycles=n_state_vars,
+        functional_cycles=test.length,
+        at_speed_cycles=test.length - 1,
+        sync_switches=2,
+    )
+
+
+def plan_set(test_set: ScanTestSet) -> List[ClockPlan]:
+    """Per-test clock plans for a whole set, in application order."""
+    return [plan_test(t, test_set.n_state_vars) for t in test_set]
+
+
+@dataclass
+class SetDelaySummary:
+    """TDF coverage + clock cost of one test set (JSON-friendly).
+
+    ``total_cycles`` is the paper's ``N_cyc`` for the set (equal to
+    :meth:`~repro.core.scan_test.ScanTestSet.clock_cycles`);
+    ``at_speed_cycles`` equals
+    :meth:`~repro.core.scan_test.ScanTestSet.at_speed_pairs`;
+    ``tester_cycles`` is the Beck-model figure with slow shifts and
+    resync overhead priced in.
+    """
+
+    tests: int = 0
+    faults: int = 0
+    detected: int = 0
+    coverage: float = 0.0
+    total_cycles: int = 0
+    at_speed_cycles: int = 0
+    tester_cycles: int = 0
+
+    @property
+    def at_speed_fraction(self) -> float:
+        """Share of the paper-model cycles applied at speed."""
+        if not self.total_cycles:
+            return 0.0
+        return self.at_speed_cycles / self.total_cycles
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "tests": self.tests,
+            "faults": self.faults,
+            "detected": self.detected,
+            "coverage": round(self.coverage, 2),
+            "total_cycles": self.total_cycles,
+            "at_speed_cycles": self.at_speed_cycles,
+            "tester_cycles": self.tester_cycles,
+            "at_speed_fraction": round(self.at_speed_fraction, 4),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "SetDelaySummary":
+        return cls(
+            tests=int(data.get("tests", 0)),
+            faults=int(data.get("faults", 0)),
+            detected=int(data.get("detected", 0)),
+            coverage=float(data.get("coverage", 0.0)),
+            total_cycles=int(data.get("total_cycles", 0)),
+            at_speed_cycles=int(data.get("at_speed_cycles", 0)),
+            tester_cycles=int(data.get("tester_cycles", 0)),
+        )
+
+
+def summarize_set(test_set: ScanTestSet, spec: ClockSpec,
+                  faults: int, detected: int) -> SetDelaySummary:
+    """Fold per-test plans and a TDF detection count into a summary."""
+    plans = plan_set(test_set)
+    total = sum(p.paper_cycles for p in plans)
+    if plans:
+        total += test_set.n_state_vars  # final scan-out, paper model
+    coverage = 100.0 * detected / faults if faults else 0.0
+    return SetDelaySummary(
+        tests=len(plans),
+        faults=faults,
+        detected=detected,
+        coverage=coverage,
+        total_cycles=total,
+        at_speed_cycles=sum(p.at_speed_cycles for p in plans),
+        tester_cycles=sum(p.tester_cycles(spec) for p in plans),
+    )
+
+
+@dataclass
+class DelayReport:
+    """At-speed quality report attached to a circuit run.
+
+    ``sets`` maps a test-set label (e.g. ``"seqgen"``, ``"random"``,
+    ``"baseline4"``) to its :class:`SetDelaySummary`; ``spec`` records
+    the clock-generator knobs and ``engine`` which TDF simulation
+    route produced the coverage numbers.
+    """
+
+    spec: ClockSpec = field(default_factory=ClockSpec)
+    engine: str = "scalar"
+    sets: Dict[str, SetDelaySummary] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.as_dict(),
+            "engine": self.engine,
+            "sets": {name: summary.as_dict()
+                     for name, summary in sorted(self.sets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DelayReport":
+        sets_raw = data.get("sets", {}) or {}
+        return cls(
+            spec=ClockSpec.from_dict(data.get("spec", {}) or {}),  # type: ignore[arg-type]
+            engine=str(data.get("engine", "scalar")),
+            sets={name: SetDelaySummary.from_dict(summary)
+                  for name, summary in sets_raw.items()},  # type: ignore[union-attr]
+        )
+
+
+def measure_delay(tsim: "TransitionSim",
+                  sets: Dict[str, ScanTestSet],
+                  spec: Optional[ClockSpec] = None) -> DelayReport:
+    """TDF coverage + clock cost for several labeled test sets.
+
+    One :class:`~repro.delay.transition.TransitionSim` serves every
+    set, so the fault list (and its length, the coverage denominator)
+    is shared and the per-circuit packing plans are reused.
+    """
+    if spec is None:
+        spec = ClockSpec()
+    report = DelayReport(spec=spec, engine=tsim.route)
+    n_faults = len(tsim.faults)
+    for name, test_set in sets.items():
+        detected = len(tsim.detect_test_set(test_set))
+        report.sets[name] = summarize_set(test_set, spec,
+                                          n_faults, detected)
+    return report

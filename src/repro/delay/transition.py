@@ -22,20 +22,57 @@ scan test with a length-1 sequence therefore detects **zero**
 transition faults -- which is exactly why the [4]-style single-vector
 test sets fare poorly here and the paper's long-sequence sets shine.
 
+Simulation routes
+-----------------
 The simulator packs all launches of a frame into bit-parallel words
 and carries them through the remaining frames together, with early
-exit once a word's faults are all detected.
+exit once a word's faults are all detected.  Two routes execute that
+plan:
+
+* **scalar** (the reference): per-net Python big-int words, at most
+  ``width - 1`` faults per word, one interpreted ``eval_frame`` call
+  per frame per word -- exactly the semantics of the stuck-at engine's
+  big-int path.
+* **packed** (the fast path): every launch of a frame goes into one
+  multi-word ``uint64`` array chunk executed by the C pass kernel of
+  :mod:`repro.sim.npsim` -- one kernel call for the launch frame
+  (injection stems force the late value, scan-out only if it is also
+  the last frame) and one for the fault-free propagation suffix
+  (stem-free plan, primary outputs observed every frame, final state
+  scanned out).  The kernel writes the captured next state back into
+  the shared arrays between calls, so the two segments compose into
+  the exact scalar pass.
+
+Detection is independent of how launches are grouped into words
+(every fault's machine evolves in its own bit-lane and the saturation
+break only fires once *all* lanes are caught), so the two routes are
+byte-identical; ``tests/delay/test_transition.py`` proves it with a
+hypothesis equivalence suite and -- under ``REPRO_SANITIZE=1`` -- the
+packed route spot-checks its first few captures against a scalar
+recomputation, reporting ``delay-agreement`` violations through
+:mod:`repro.analysis.sanitizer`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+import copy
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..analysis import sanitizer
 from ..circuits.netlist import Netlist
 from ..core.scan_test import ScanTest, ScanTestSet
 from ..sim import values as V
+from ..sim.counters import SimCounters
 from ..sim.logicsim import CompiledCircuit
+
+#: Packed launch-group captures cross-checked against the scalar route
+#: per simulator when the sanitizer is armed.
+_SANITIZE_SPOT_BUDGET = 3
+
+#: Simulation routes accepted by :class:`TransitionSim`.
+ROUTES = ("auto", "packed", "scalar")
 
 
 @dataclass(frozen=True)
@@ -64,12 +101,46 @@ def all_transition_faults(netlist: Netlist) -> List[TransitionFault]:
     return faults
 
 
+@dataclass
+class _TdfChunk:
+    """Duck-typed injection chunk for the wide-word TDF capture.
+
+    Carries the same ``indices`` / ``mask`` / ``stems`` / ``branch`` /
+    ``ff_branch`` / ``src_stem_ids`` fields a
+    :class:`repro.sim.fault_sim._Chunk` does, which is all
+    :class:`repro.sim.npsim._ChunkPlan` consumes.  TDF injection only
+    ever uses whole-stem forcing (the late transition pins the net's
+    old value for one frame), so the branch tables stay empty.
+    """
+
+    indices: List[int]
+    mask: int
+    stems: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    branch: Dict[int, List[Tuple[int, int, int]]] = field(
+        default_factory=dict)
+    ff_branch: List[Tuple[int, int, int]] = field(default_factory=list)
+    src_stem_ids: List[int] = field(default_factory=list)
+
+
 class TransitionSim:
-    """Transition-fault simulator bound to one circuit."""
+    """Transition-fault simulator bound to one circuit.
+
+    ``route`` selects the execution path: ``"scalar"`` forces the
+    big-int reference, ``"packed"`` demands the numpy + C-kernel path
+    (raising when it is unavailable), and ``"auto"`` -- the default --
+    takes the packed path when it can and falls back to scalar
+    otherwise.  The resolved choice is exposed as :attr:`route`.
+    Pass the workbench's shared
+    :class:`~repro.sim.counters.SimCounters` to surface
+    ``tdf_passes`` / ``tdf_words`` / ``tdf_s`` in the engine counters
+    table.
+    """
 
     def __init__(self, circuit: CompiledCircuit,
                  faults: Optional[Sequence[TransitionFault]] = None,
-                 width: int = 128) -> None:
+                 width: int = 128,
+                 counters: Optional[SimCounters] = None,
+                 route: str = "auto") -> None:
         self.circuit = circuit
         self.faults: List[TransitionFault] = list(
             faults if faults is not None
@@ -77,13 +148,67 @@ class TransitionSim:
         self.index: Dict[TransitionFault, int] = {
             f: i for i, f in enumerate(self.faults)}
         self.width = width
+        self.counters = counters if counters is not None \
+            else SimCounters()
         ids = circuit.netlist.net_ids
         self._nid: List[int] = [ids[f.net] for f in self.faults]
+        self._src_ids = frozenset(circuit.pi_ids) | \
+            frozenset(circuit.ff_ids)
+        if route not in ROUTES:
+            raise ValueError(f"unknown TDF route {route!r}; "
+                             f"use one of {ROUTES}")
+        self._backend = self._resolve_backend(route)
+        self.route = "packed" if self._backend is not None else "scalar"
+        self._plain_plans: "OrderedDict[int, Any]" = OrderedDict()
+        self._stem_site_buf: Optional[Any] = None
+        self._stem_dirty: List[int] = []
+        self._sanitize_spots_left = _SANITIZE_SPOT_BUDGET
+
+    #: Stem-free propagation plans retained, keyed by launch-group
+    #: size (they are a pure function of the word width).
+    _PLAIN_PLAN_CACHE_SIZE = 8
+
+    def _resolve_backend(self, route: str) -> Optional[Any]:
+        """The :class:`~repro.sim.npsim.ArrayBackend` to run packed
+        captures on, or ``None`` for the scalar route.
+
+        Reuses the circuit's registry backend when the circuit was
+        compiled for ``numpy`` / ``auto``; otherwise builds one for
+        TDF work alone (cached on the circuit -- the kernel plan
+        arrays are circuit-wide) so ``--delay`` is fast under the
+        default big-int engines too.
+        """
+        if route == "scalar":
+            return None
+        from ..sim import npsim
+        backend = self.circuit.array_backend
+        if backend is None and npsim.numpy_available():
+            backend = getattr(self.circuit, "_tdf_array_backend", None)
+            if backend is None:
+                backend = npsim.ArrayBackend(self.circuit)
+                self.circuit._tdf_array_backend = backend  # type: ignore[attr-defined]
+        if backend is not None and backend.kernel_available:
+            return backend
+        if route == "packed":
+            if backend is None:
+                raise RuntimeError(
+                    "the packed TDF route requires numpy; install the "
+                    "optional extra with `pip install repro[fast]` or "
+                    "use route='scalar'")
+            raise RuntimeError(
+                "the packed TDF route requires the compiled C pass "
+                f"kernel: {npsim.kernel_unavailable_reason()}")
+        return None
 
     # ------------------------------------------------------------------
     def detect_test(self, test: ScanTest,
                     target: Optional[Set[int]] = None) -> Set[int]:
         """Transition-fault indices detected by one scan test."""
+        with self.counters.phase_timer("tdf"):
+            return self._detect_test(test, target)
+
+    def _detect_test(self, test: ScanTest,
+                     target: Optional[Set[int]]) -> Set[int]:
         circuit = self.circuit
         if target is None:
             target = set(range(len(self.faults)))
@@ -111,7 +236,9 @@ class TransitionSim:
             for nid, val in zip(circuit.ff_ids, captured):
                 zero[nid], one[nid] = V.pack_scalar(val, 1)
 
-        last = test.length - 1
+        packed = self._backend is not None
+        vec_arr = self._backend._vec_array(test.vectors) if packed \
+            else None
         for t in range(1, test.length):
             prev_zero, prev_one = frames[t - 1]
             cur_zero, cur_one = frames[t]
@@ -126,8 +253,13 @@ class TransitionSim:
                         launched.append(fid)
             if not launched:
                 continue
-            caught = self._capture_and_propagate(test, states, frames,
-                                                 t, sorted(launched))
+            if packed:
+                caught = self._capture_packed(test, states, frames,
+                                              t, sorted(launched),
+                                              vec_arr)
+            else:
+                caught = self._capture_and_propagate(
+                    test, states, frames, t, sorted(launched))
             detected |= caught
             remaining -= caught
             if not remaining:
@@ -138,13 +270,16 @@ class TransitionSim:
                                states: Sequence[V.Vector],
                                frames: Sequence,
                                launch: int,
-                               launched: Sequence[int]) -> Set[int]:
-        """Bit-parallel check for one launch frame.
+                               launched: Sequence[int],
+                               count: bool = True) -> Set[int]:
+        """Bit-parallel check for one launch frame (scalar route).
 
         Frame ``launch`` is evaluated with the late-transition values
         forced (stuck-at-old); the resulting error state then runs
         through the remaining frames fault-free, observed at primary
         outputs each frame and at the final captured state.
+        ``count=False`` suppresses the counter bumps (the sanitizer's
+        shadow recomputation must not distort the measurements).
         """
         circuit = self.circuit
         detected: Set[int] = set()
@@ -167,6 +302,9 @@ class TransitionSim:
                      else states[launch - 1])
             for nid, val in zip(circuit.ff_ids, state):
                 zero[nid], one[nid] = V.pack_scalar(val, mask)
+            if count:
+                self.counters.tdf_passes += 1
+            frames_run = 0
             caught = 0
             for t in range(launch, test.length):
                 for nid, val in zip(circuit.pi_ids, test.vectors[t]):
@@ -179,6 +317,7 @@ class TransitionSim:
                     circuit.eval_frame(zero, one, mask, stems)
                 else:
                     circuit.eval_frame(zero, one, mask)
+                frames_run += 1
                 for nid in circuit.po_ids:
                     caught |= _diff(zero[nid], one[nid])
                 if t == last:
@@ -191,10 +330,161 @@ class TransitionSim:
                             for nid in circuit.ff_d_ids]
                 for nid, (z, o) in zip(circuit.ff_ids, captured):
                     zero[nid], one[nid] = z, o
+            if count:
+                self.counters.tdf_words += frames_run
             for pos, fid in enumerate(group):
                 if caught & (1 << (pos + 1)):
                     detected.add(fid)
         return detected
+
+    # ------------------------------------------------------------------
+    def _capture_packed(self, test: ScanTest,
+                        states: Sequence[V.Vector],
+                        frames: Sequence,
+                        launch: int,
+                        launched: Sequence[int],
+                        vec_arr: Any) -> Set[int]:
+        """Kernel check for one launch frame (packed route).
+
+        All launches go into one multi-word chunk: segment one runs
+        just the launch frame with the late values forced through the
+        injection-stem plan, segment two propagates fault-free through
+        the remaining frames on the same arrays (the kernel's
+        next-state write-back carries the error state across the
+        boundary).  Saturation in segment one means every lane is
+        already caught and the suffix is skipped.
+        """
+        from ..sim import npsim
+        backend = self._backend
+        np = backend.np
+        circuit = self.circuit
+        last = test.length - 1
+        group = list(launched)
+        site_of: Dict[int, int] = {}
+        bits0: List[List[int]] = []   # slow-to-rise: stuck-at-0 bits
+        bits1: List[List[int]] = []   # slow-to-fall: stuck-at-1 bits
+        for pos, fid in enumerate(group):
+            nid = self._nid[fid]
+            i = site_of.setdefault(nid, len(bits0))
+            if i == len(bits0):
+                bits0.append([])
+                bits1.append([])
+            (bits0 if self.faults[fid].rising else bits1)[i].append(
+                pos + 1)
+        plan = self._stem_plan(len(group), site_of, bits0, bits1)
+        # launch >= 1 always: frame 0 is never a launch frame.
+        zero, one = backend._init_state(plan, states[launch - 1])
+        W = plan.n_words
+        caught_arr = np.zeros(W, dtype=np.uint64)
+        ns_zero = np.zeros((max(1, len(circuit.ff_ids)), W),
+                           dtype=np.uint64)
+        ns_one = np.zeros_like(ns_zero)
+        counters = self.counters
+        counters.np_passes += 1
+        counters.tdf_passes += 1
+        status, _, frames_run = backend._kernel_segment(
+            plan, zero, one, vec_arr, launch, launch, True,
+            launch == last, None, False, None, None,
+            ns_zero, ns_one, caught_arr)
+        if launch < last and status != npsim._STATUS_SATURATED:
+            plain = self._plain_plan(len(group))
+            _, _, more = backend._kernel_segment(
+                plain, zero, one, vec_arr, launch + 1, last, True,
+                True, None, False, None, None, ns_zero, ns_one,
+                caught_arr)
+            frames_run += more
+        counters.tdf_words += frames_run
+        caught = V.array_to_word(caught_arr) & ~1
+        detected = {fid for pos, fid in enumerate(group)
+                    if caught & (1 << (pos + 1))}
+        if sanitizer.enabled() and self._sanitize_spots_left > 0:
+            self._sanitize_spots_left -= 1
+            self._spot_check(test, states, frames, launch, group,
+                             detected)
+        return detected
+
+    def _plain_plan(self, n_group: int) -> Any:
+        """The stem-free propagation plan for a launch group of
+        ``n_group`` faults (LRU-cached: it depends only on the word
+        width, which depends only on the group size)."""
+        plan = self._plain_plans.get(n_group)
+        if plan is None:
+            from ..sim import npsim
+            chunk = _TdfChunk(indices=list(range(n_group)),
+                              mask=(1 << (n_group + 1)) - 1)
+            plan = npsim._ChunkPlan(self._backend, chunk)
+            self._plain_plans[n_group] = plan
+            if len(self._plain_plans) > self._PLAIN_PLAN_CACHE_SIZE:
+                self._plain_plans.popitem(last=False)
+        else:
+            self._plain_plans.move_to_end(n_group)
+        return plan
+
+    def _stem_plan(self, n_group: int, site_of: Dict[int, int],
+                   bits0: Sequence[Sequence[int]],
+                   bits1: Sequence[Sequence[int]]) -> Any:
+        """The launch-frame plan for one group: the cached stem-free
+        template shallow-copied with only the stem arrays patched.
+
+        A full :class:`~repro.sim.npsim._ChunkPlan` rebuild per launch
+        frame is the packed route's hot spot (per-net site tables and
+        big-int row conversions each time); everything except the
+        stems is a pure function of the group size, and the stem rows
+        are set bit-by-bit straight into ``uint64`` words (``bits0`` /
+        ``bits1`` hold the stuck-at-0 / stuck-at-1 machine-bit
+        positions per stem site).  Only valid on the kernel path: the
+        copy's ``chunk`` still reports empty stems, which only the
+        pure-numpy fallback evaluator consults.  The per-net site
+        table is a single reused buffer -- entries dirtied by the
+        previous launch frame are cleared here, so the plan returned
+        by the last call stays valid until the next one.
+        """
+        np = self._backend.np
+        plan = copy.copy(self._plain_plan(n_group))
+        plan._kptrs = None   # the template's casts point at its arrays
+        site = self._stem_site_buf
+        if site is None or len(site) != self.circuit.n_nets:
+            site = np.full(self.circuit.n_nets, -1, dtype=np.int32)
+            self._stem_site_buf = site
+        for nid in self._stem_dirty:
+            site[nid] = -1
+        self._stem_dirty = list(site_of)
+        W = plan.n_words
+        n_sites = len(bits0)
+        f0 = np.zeros((max(1, n_sites), W), dtype=np.uint64)
+        f1 = np.zeros_like(f0)
+        for i in range(n_sites):
+            for b in bits0[i]:
+                f0[i, b >> 6] |= np.uint64(1 << (b & 63))
+            for b in bits1[i]:
+                f1[i, b >> 6] |= np.uint64(1 << (b & 63))
+        for nid, i in site_of.items():
+            site[nid] = i
+        plan.stem_site = site
+        plan.st_f0 = f0
+        plan.st_f1 = f1
+        plan.st_keep = plan.mask[None, :] & ~(f0 | f1)
+        src = [nid for nid in site_of if nid in self._src_ids]
+        plan.src_stem_ids = np.asarray(src, dtype=np.int32)
+        plan.src_stem_site = np.asarray(
+            [site_of[nid] for nid in src], dtype=np.int32)
+        return plan
+
+    def _spot_check(self, test: ScanTest,
+                    states: Sequence[V.Vector],
+                    frames: Sequence, launch: int,
+                    group: Sequence[int],
+                    detected: Set[int]) -> None:
+        """Scalar shadow recomputation of one packed capture."""
+        scalar = self._capture_and_propagate(test, states, frames,
+                                             launch, group,
+                                             count=False)
+        if scalar != detected:
+            sanitizer.report_violation(
+                "delay-agreement",
+                f"packed/scalar TDF mismatch at launch frame "
+                f"{launch}: packed {sorted(detected)}, scalar "
+                f"{sorted(scalar)}")
 
     # ------------------------------------------------------------------
     def detect_test_set(self, test_set: ScanTestSet) -> Set[int]:

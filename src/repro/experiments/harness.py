@@ -121,7 +121,11 @@ CHAOS_DIRECTIVES = CHAOS_KINDS
 ChaosFn = Callable[["JobSpec", int], Optional[str]]
 
 #: JobSpec fields a checkpointed run must have been produced under
-#: for :func:`_checkpoint_usable` to accept it.
+#: for :func:`_checkpoint_usable` to accept it.  ``delay`` is absent
+#: on purpose: it is measurement-only (never changes the produced
+#: test sets), so a delay-bearing checkpoint also serves a plain
+#: request; the reverse direction is the dedicated report-presence
+#: check in :func:`_checkpoint_usable`.
 CHECKPOINT_KNOBS = ("engine", "width", "candidate_scan", "x_fill",
                     "power_budget", "adi", "scoap")
 
@@ -156,7 +160,11 @@ class JobSpec:
     seed: int = 1
     arms: Tuple[str, ...] = ("seqgen", "random")
     with_baselines: bool = True
-    with_transition: bool = False
+    #: Also measure at-speed quality (TDF coverage + clock cost) of
+    #: the final test sets (result-shaping: compared on resume; legacy
+    #: spec dicts -- which carried ``with_transition`` -- default to
+    #: off, and workers accept either key).
+    delay: bool = False
     engine: str = "codegen"
     width: Union[int, str] = "auto"
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN
@@ -501,7 +509,8 @@ def _worker_main(conn, spec_dict: Dict[str, Any], seed: int,
             spec_dict["circuit"], seed=seed,
             arms=tuple(spec_dict["arms"]),
             with_baselines=spec_dict["with_baselines"],
-            with_transition=spec_dict["with_transition"],
+            delay=bool(spec_dict.get(
+                "delay", spec_dict.get("with_transition", False))),
             engine=spec_dict.get("engine", "codegen"),
             width=spec_dict.get("width", "auto"),
             candidate_scan=spec_dict.get("candidate_scan",
@@ -548,7 +557,7 @@ def _run_attempt_inline(spec: JobSpec, seed: int,
         run = run_circuit_by_name(
             spec.circuit, seed=seed, arms=spec.arms,
             with_baselines=spec.with_baselines,
-            with_transition=spec.with_transition,
+            delay=spec.delay,
             engine=spec.engine, width=spec.width,
             candidate_scan=spec.candidate_scan,
             x_fill=spec.x_fill, power_budget=spec.power_budget,
@@ -745,13 +754,16 @@ def run_jobs(specs: Sequence[JobSpec],
 
 
 def _checkpoint_usable(run: CircuitRun, spec: JobSpec) -> bool:
-    """A cached run satisfies the request (arms, baselines,
-    transition, and every result-shaping knob)."""
+    """A cached run satisfies the request (arms, baselines, delay,
+    and every result-shaping knob)."""
     if not all(a in run.arms for a in spec.arms):
         return False
     if spec.with_baselines and run.baseline4 is None:
         return False
-    if spec.with_transition and not run.transition:
+    # A delay request needs the full report; checkpoints from the old
+    # ``with_transition`` era carried only the flat coverage dict and
+    # are recomputed.
+    if spec.delay and run.delay is None:
         return False
     if run.knobs:
         # Modern checkpoints record the exact knobs they were
@@ -991,7 +1003,7 @@ def run_suite_resilient(
     seed: int = 1,
     arms: Sequence[str] = ("seqgen", "random"),
     with_baselines: bool = True,
-    with_transition: bool = False,
+    delay: bool = False,
     engine: str = "codegen",
     width: Union[int, str] = "auto",
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
@@ -1012,7 +1024,7 @@ def run_suite_resilient(
     """
     specs = [JobSpec(circuit=p.name, seed=seed, arms=tuple(arms),
                      with_baselines=with_baselines,
-                     with_transition=with_transition,
+                     delay=delay,
                      engine=engine, width=width,
                      candidate_scan=candidate_scan,
                      x_fill=x_fill, power_budget=power_budget,

@@ -22,6 +22,7 @@ from ..core.combine import CombineResult, CombineStats
 from ..core.dynamic import DynamicResult
 from ..core.proposed import IterationLog, ProposedResult
 from ..core.scan_test import ScanTest, ScanTestSet
+from ..delay.clocking import DelayReport
 from ..power.activity import PowerReport
 from ..sim import values as V
 
@@ -234,6 +235,8 @@ def run_to_dict(run: "CircuitRun") -> Dict[str, Any]:
         "diagnostics": [dict(d) for d in run.diagnostics],
         "power": (run.power.as_dict()
                   if run.power is not None else None),
+        "delay": (run.delay.as_dict()
+                  if run.delay is not None else None),
         "knobs": dict(run.knobs),
     }
 
@@ -277,6 +280,8 @@ def run_from_dict(data: Dict[str, Any]) -> "CircuitRun":
         diagnostics=[dict(d) for d in data.get("diagnostics", [])],
         power=(PowerReport.from_dict(data["power"])
                if data.get("power") is not None else None),
+        delay=(DelayReport.from_dict(data["delay"])
+               if data.get("delay") is not None else None),
         knobs=dict(data.get("knobs", {})),
         n_untestable=int(data.get("n_untestable", 0)),
     )
@@ -290,18 +295,21 @@ def engine_counters_table(runs: Sequence["CircuitRun"]) -> Table:
     machines packed per word, faults dropped by the cross-phase
     scoreboard, in-pass repacks, the per-phase wall-clock timers
     (``p1_s`` .. ``p4_s``), the power engine's words and wall clock
-    (``pw_words`` / ``pw_s``), the numpy backend's pass count
-    (``np``), and the trial-batch trio (``trials`` lane-batched trial
-    passes, ``lanes`` trials carried, ``adi`` ADI ordering decisions)
-    -- plus the engine knob the run executed under (``eng``, from
-    :attr:`CircuitRun.knobs`).  Runs restored from old checkpoints
-    render as ``-`` for whichever counters or knobs they lack.
+    (``pw_words`` / ``pw_s``), the transition-fault engine's passes,
+    words and wall clock (``tdf_passes`` / ``tdf_words`` / ``tdf_s``),
+    the numpy backend's pass count (``np``), and the trial-batch trio
+    (``trials`` lane-batched trial passes, ``lanes`` trials carried,
+    ``adi`` ADI ordering decisions) -- plus the engine knob the run
+    executed under (``eng``, from :attr:`CircuitRun.knobs`).  Runs
+    restored from old checkpoints render as ``-`` for whichever
+    counters or knobs they lack.
     """
     table = Table("Engine counters",
                   ["circuit", "eng", "frames", "words", "mach/word",
                    "dropped", "repacks", "np", "trials", "lanes",
                    "adi", "p1_s", "p2_s", "p3_s", "p4_s", "pw_words",
-                   "pw_s", "seconds"])
+                   "pw_s", "tdf_passes", "tdf_words", "tdf_s",
+                   "seconds"])
     for run in runs:
         c = run.counters
         engine = run.knobs.get("engine")
@@ -315,9 +323,12 @@ def engine_counters_table(runs: Sequence["CircuitRun"]) -> Table:
                           c.get("phase1_s"), c.get("phase2_s"),
                           c.get("phase3_s"), c.get("phase4_s"),
                           c.get("power_words"), c.get("power_s"),
+                          c.get("tdf_passes"), c.get("tdf_words"),
+                          c.get("tdf_s"),
                           run.seconds)
         else:
             table.add_row(run.name, engine, None, None, None, None,
                           None, None, None, None, None, None, None,
-                          None, None, None, None, run.seconds)
+                          None, None, None, None, None, None, None,
+                          run.seconds)
     return table

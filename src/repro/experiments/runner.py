@@ -23,6 +23,8 @@ from ..core.combine import CombineResult
 from ..core.dynamic import DynamicResult
 from ..core.phase1 import DEFAULT_CANDIDATE_SCAN
 from ..core.proposed import ProposedResult
+from ..core.scan_test import ScanTestSet
+from ..delay.clocking import DelayReport, measure_delay
 from ..delay.transition import TransitionSim
 from ..power.activity import ActivityEngine, PowerReport
 
@@ -50,6 +52,9 @@ class CircuitRun:
     arms: Dict[str, ArmResult]
     baseline4: Optional[CombineResult]
     dynamic: Optional[DynamicResult]
+    #: Transition-fault coverage (%) per final test set, kept as a
+    #: flat dict for the at-speed coverage table and for legacy
+    #: checkpoints; :attr:`delay` carries the full report.
     transition: Dict[str, float] = field(default_factory=dict)
     seconds: float = 0.0
     #: Engine instrumentation (``SimCounters.as_dict()`` of the
@@ -64,6 +69,11 @@ class CircuitRun:
     #: restored from pre-power checkpoints); see
     #: :class:`repro.power.activity.PowerReport`.
     power: Optional[PowerReport] = None
+    #: At-speed quality of the final test sets: TDF coverage plus the
+    #: test-clock cycle budget (``None`` unless the run was produced
+    #: with ``delay=True``); see
+    #: :class:`repro.delay.clocking.DelayReport`.
+    delay: Optional[DelayReport] = None
     #: The result-shaping knobs this run was produced under (engine,
     #: width, candidate_scan, x_fill, power_budget).  The harness
     #: compares these against a resumed job's spec so a checkpoint
@@ -97,7 +107,7 @@ def run_circuit(
     seed: int = 1,
     arms: Sequence[str] = ("seqgen", "random"),
     with_baselines: bool = True,
-    with_transition: bool = False,
+    delay: bool = False,
     engine: str = "codegen",
     width="auto",
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
@@ -120,8 +130,12 @@ def run_circuit(
         Which ``T0`` sources to run ("seqgen" and/or "random").
     with_baselines:
         Also run the [4] and [2,3] baselines.
-    with_transition:
-        Also compute transition-fault coverage of the final test sets.
+    delay:
+        Also measure at-speed quality of the final test sets:
+        transition-fault coverage (wide-word route when available)
+        plus the test-clock cycle budget, recorded as
+        :attr:`CircuitRun.delay` (and, flattened, in
+        :attr:`CircuitRun.transition`).
     engine, width:
         Simulation backend (``"codegen"``, ``"interp"``, ``"numpy"``
         or ``"auto"``) and fault-packing policy, forwarded to
@@ -225,14 +239,18 @@ def run_circuit(
             baseline4.test_set).summary()
 
     transition: Dict[str, float] = {}
-    if with_transition:
-        tsim = TransitionSim(wb.circuit)
+    delay_report: Optional[DelayReport] = None
+    if delay:
+        tsim = TransitionSim(wb.circuit, counters=wb.counters)
+        sets: Dict[str, ScanTestSet] = {}
         if baseline4 is not None:
-            transition["baseline4"] = tsim.coverage_percent(
-                baseline4.test_set)
+            sets["baseline4"] = baseline4.test_set
         for source, arm in arm_results.items():
-            final = arm.result.compacted_set or arm.result.test_set
-            transition[source] = tsim.coverage_percent(final)
+            sets[source] = arm.result.compacted_set or \
+                arm.result.test_set
+        delay_report = measure_delay(tsim, sets)
+        for label, summary in delay_report.sets.items():
+            transition[label] = summary.coverage
 
     return CircuitRun(
         profile=profile,
@@ -249,6 +267,7 @@ def run_circuit(
         counters=wb.counters.as_dict(),
         diagnostics=[d.to_dict() for d in wb.diagnostics],
         power=power,
+        delay=delay_report,
         knobs={
             "engine": engine,
             "width": width,
@@ -258,6 +277,7 @@ def run_circuit(
             "trial_batch": trial_batch,
             "adi": adi,
             "scoap": scoap,
+            "delay": delay,
         },
         n_untestable=wb.n_untestable,
     )
@@ -268,7 +288,7 @@ def run_circuit_by_name(
     seed: int = 1,
     arms: Sequence[str] = ("seqgen", "random"),
     with_baselines: bool = True,
-    with_transition: bool = False,
+    delay: bool = False,
     engine: str = "codegen",
     width="auto",
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
@@ -293,7 +313,7 @@ def run_circuit_by_name(
     from ..circuits.suite import profile as lookup
     return run_circuit(lookup(name), seed=seed, arms=arms,
                        with_baselines=with_baselines,
-                       with_transition=with_transition,
+                       delay=delay,
                        engine=engine, width=width,
                        candidate_scan=candidate_scan,
                        x_fill=x_fill, power_budget=power_budget,
@@ -317,7 +337,7 @@ def run_suite(
     seed: int = 1,
     arms: Sequence[str] = ("seqgen", "random"),
     with_baselines: bool = True,
-    with_transition: bool = False,
+    delay: bool = False,
     engine: str = "codegen",
     width="auto",
     candidate_scan: str = DEFAULT_CANDIDATE_SCAN,
@@ -342,7 +362,7 @@ def run_suite(
     for profile in profiles:
         run = run_circuit(profile, seed=seed, arms=arms,
                           with_baselines=with_baselines,
-                          with_transition=with_transition,
+                          delay=delay,
                           engine=engine, width=width,
                           candidate_scan=candidate_scan,
                           x_fill=x_fill, power_budget=power_budget,

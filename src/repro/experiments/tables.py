@@ -246,6 +246,46 @@ def table_atspeed_coverage(runs: Sequence[CircuitRun],
     return table
 
 
+def table_delay(runs: Sequence[CircuitRun],
+                failures: Failures = None,
+                partials: Partials = None) -> Table:
+    """Delay extension: at-speed quality vs clock cost per test set.
+
+    The paper-style comparison: the proposed long-sequence sets (both
+    ``T0`` arms) against the [4]-style single-vector baseline, scored
+    on transition-fault coverage *and* the test-clock budget that
+    bought it -- paper-model cycles (``cycles``), at-speed
+    launch/capture pairs (``at-speed``, always 0 for single-vector
+    sets), their ratio (``as-frac``), and the Beck-model tester
+    cycles with slow shifts and resync overhead priced in
+    (``tester``).  The ``clk`` column tags the clock scheme and shift
+    divisor the report was produced under; ``tdf`` is the simulation
+    route.  Runs without a delay report (legacy checkpoints, runs
+    without ``--delay``) contribute no rows.
+    """
+    table = Table(
+        "Delay: TDF coverage / test-clock cost of final test sets",
+        ["circuit", "clk", "tdf", "set", "tests", "TDF cov",
+         "at-speed", "cycles", "as-frac", "tester"])
+    for run in runs:
+        report = run.delay
+        if report is None:
+            continue
+        tag = f"{report.spec.scheme}/{report.spec.shift_divisor}"
+        for name in ("seqgen", "random", "baseline4"):
+            summary = report.sets.get(name)
+            if summary is None:
+                continue
+            table.add_row(run.name, tag, report.engine, name,
+                          summary.tests, summary.coverage,
+                          summary.at_speed_cycles,
+                          summary.total_cycles,
+                          summary.at_speed_fraction,
+                          summary.tester_cycles)
+    _add_failure_rows(table, failures, partials)
+    return table
+
+
 def table_power(runs: Sequence[CircuitRun],
                 failures: Failures = None,
                 partials: Partials = None) -> Table:
@@ -283,24 +323,32 @@ def table_power(runs: Sequence[CircuitRun],
 
 
 def all_tables(runs: Sequence[CircuitRun],
-               with_transition: bool = False,
+               with_delay: bool = False,
                failures: Failures = None,
                partials: Partials = None) -> List[Table]:
     """Every paper table (plus the extensions when data is present).
 
-    ``failures`` annotates circuits whose job produced no run;
-    ``partials`` upgrades those annotations to ``PARTIAL(phase k/4)``
-    rows with salvaged coverage columns.  The tables render with the
-    surviving subset either way.
+    ``with_delay`` forces the at-speed coverage table even when no
+    surviving run carries transition data (so a failed ``--delay``
+    campaign still renders the table frame); the Delay cost table
+    appears whenever any run carries a full
+    :class:`~repro.delay.clocking.DelayReport`.  ``failures``
+    annotates circuits whose job produced no run; ``partials``
+    upgrades those annotations to ``PARTIAL(phase k/4)`` rows with
+    salvaged coverage columns.  The tables render with the surviving
+    subset either way.
     """
     tables = [table1(runs, failures=failures, partials=partials),
               table2(runs, failures=failures, partials=partials),
               table3(runs, failures=failures, partials=partials),
               table4(runs, failures=failures, partials=partials),
               table5(runs, failures=failures, partials=partials)]
-    if with_transition or any(run.transition for run in runs):
+    if with_delay or any(run.transition for run in runs):
         tables.append(table_atspeed_coverage(runs, failures=failures,
                                              partials=partials))
+    if with_delay or any(run.delay is not None for run in runs):
+        tables.append(table_delay(runs, failures=failures,
+                                  partials=partials))
     if any(run.power is not None for run in runs):
         tables.append(table_power(runs, failures=failures,
                                   partials=partials))

@@ -77,6 +77,19 @@ zero unless the ``--adi`` knob is on (or ``--scoap``, which reuses
 the packing-order hook when ADI is off).  All three render as
 dashes for legacy checkpoints.
 
+Transition-fault counters
+-------------------------
+``tdf_passes`` counts launch-group capture passes by the
+transition-fault simulator (:class:`~repro.delay.transition.
+TransitionSim` -- one per packed word of launched faults carried
+through the remaining frames), ``tdf_words`` the word evaluations
+those passes performed (frames simulated per pass, summed), and
+``tdf_s`` the simulator's wall clock (via ``phase_timer("tdf")``).
+The good-machine recording pass is excluded: these counters measure
+the faulty-capture work the wide-word packing actually shrinks.
+Like the other families, all three render as dashes for legacy
+checkpoints.
+
 Static fault-space counters
 ---------------------------
 ``comb_passes`` counts per-fault faulty evaluations by the PPSFP
@@ -102,7 +115,7 @@ from dataclasses import dataclass, fields
 from typing import Dict
 
 #: Phases :meth:`SimCounters.phase_timer` accepts.
-PHASE_NAMES = ("phase1", "phase2", "phase3", "phase4", "power")
+PHASE_NAMES = ("phase1", "phase2", "phase3", "phase4", "power", "tdf")
 
 
 @dataclass
@@ -126,6 +139,9 @@ class SimCounters:
     power_passes: int = 0
     power_words: int = 0
     power_s: float = 0.0
+    tdf_passes: int = 0
+    tdf_words: int = 0
+    tdf_s: float = 0.0
     np_passes: int = 0
     trial_passes: int = 0
     trial_lanes: int = 0

@@ -833,6 +833,10 @@ class _ChunkPlan:
         self.ffbr_keep = _rows_array(
             np, [chunk.mask & ~(m0 | m1)
                  for _, m0, m1 in chunk.ff_branch], W)
+        #: Lazily built cffi casts of this plan's arrays; reset to
+        #: ``None`` whenever the arrays are swapped after construction
+        #: (see :meth:`ArrayBackend._kernel_segment`).
+        self._kptrs: Optional[Tuple[Any, ...]] = None
 
     # Dict-of-rows view for the pure-numpy evaluator (same shapes the
     # big-int eval_frame contract uses, with array masks).
@@ -896,6 +900,9 @@ class ArrayBackend:
         if use_kernel is None:
             use_kernel = os.environ.get("REPRO_NP_KERNEL") != "py"
         self._kernel = _load_kernel() if use_kernel else None
+        #: Lazily built cffi casts of the circuit-constant arrays
+        #: (see :meth:`_kernel_segment`).
+        self._const_ptrs: Optional[Tuple[Any, ...]] = None
         self._evaluator: Optional[Any] = None
         # Fault-free injection plans for the good lane pass, keyed by
         # word width (circuit-wide, so safely shared across simulators).
@@ -1025,25 +1032,54 @@ class ArrayBackend:
         scr_o = np.zeros((self.max_arity, W), dtype=np.uint64)
         stop = ffi.new("long*")
         frames = ffi.new("long*")
+        # Pointer casts dominate short segments (a TDF capture runs
+        # two per launch frame), so the backend-constant and
+        # plan-constant casts are built once and reused; the plan
+        # cache is invalidated (set to None) by anyone who swaps a
+        # plan's arrays after construction.
+        if self._const_ptrs is None:
+            self._const_ptrs = (
+                i32p(self.g_op), i32p(self.g_out),
+                ffi.cast("long*", self.g_foff.ctypes.data),
+                i32p(self.g_fan), i32p(self.pi_ids),
+                i32p(self.po_ids), i32p(self.ff_ids),
+                i32p(self.ffd_ids))
+        (p_gop, p_gout, p_gfoff, p_gfan, p_pi, p_po, p_ff,
+         p_ffd) = self._const_ptrs
+        if getattr(plan, "_kptrs", None) is None:
+            plan._kptrs = (
+                u64p(plan.mask), i32p(plan.stem_site),
+                u64p(plan.st_f0), u64p(plan.st_f1),
+                u64p(plan.st_keep), i32p(plan.src_stem_ids),
+                i32p(plan.src_stem_site), i32p(plan.br_start),
+                i32p(plan.br_count), i32p(plan.br_pin),
+                u64p(plan.br_f0), u64p(plan.br_f1),
+                u64p(plan.br_keep), i32p(plan.ffbr_pos),
+                u64p(plan.ffbr_f0), u64p(plan.ffbr_f1),
+                u64p(plan.ffbr_keep))
+        (p_mask, p_site, p_stf0, p_stf1, p_stkeep, p_srcids,
+         p_srcsite, p_brstart, p_brcount, p_brpin, p_brf0, p_brf1,
+         p_brkeep, p_ffbrpos, p_ffbrf0, p_ffbrf1,
+         p_ffbrkeep) = plan._kptrs
         status = lib.repro_run_pass(
-            u64p(zero), u64p(one), u64p(plan.mask), W,
-            self.n_gates, i32p(self.g_op), i32p(self.g_out),
-            ffi.cast("long*", self.g_foff.ctypes.data),
-            i32p(self.g_fan),
-            len(self.circuit.pi_ids), i32p(self.pi_ids),
-            len(self.circuit.po_ids), i32p(self.po_ids),
-            len(self.circuit.ff_ids), i32p(self.ff_ids),
-            i32p(self.ffd_ids),
-            i32p(plan.stem_site),
-            u64p(plan.st_f0), u64p(plan.st_f1), u64p(plan.st_keep),
+            u64p(zero), u64p(one), p_mask, W,
+            self.n_gates, p_gop, p_gout,
+            p_gfoff,
+            p_gfan,
+            len(self.circuit.pi_ids), p_pi,
+            len(self.circuit.po_ids), p_po,
+            len(self.circuit.ff_ids), p_ff,
+            p_ffd,
+            p_site,
+            p_stf0, p_stf1, p_stkeep,
             len(plan.src_stem_ids),
-            i32p(plan.src_stem_ids), i32p(plan.src_stem_site),
-            i32p(plan.br_start), i32p(plan.br_count),
-            i32p(plan.br_pin), u64p(plan.br_f0), u64p(plan.br_f1),
-            u64p(plan.br_keep),
-            plan.n_ffbr, i32p(plan.ffbr_pos),
-            u64p(plan.ffbr_f0), u64p(plan.ffbr_f1),
-            u64p(plan.ffbr_keep),
+            p_srcids, p_srcsite,
+            p_brstart, p_brcount,
+            p_brpin, p_brf0, p_brf1,
+            p_brkeep,
+            plan.n_ffbr, p_ffbrpos,
+            p_ffbrf0, p_ffbrf1,
+            p_ffbrkeep,
             ffi.cast("unsigned char*", vec_arr.ctypes.data),
             start, last,
             int(observe_po), int(scan_out), n_scan_obs, i32p(scan_obs),

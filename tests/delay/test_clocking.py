@@ -1,0 +1,166 @@
+"""Tests for the on-chip test-clock cost model."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.scan_test import ScanTest, ScanTestSet
+from repro.delay.clocking import (ClockPlan, ClockSpec, DelayReport,
+                                  SetDelaySummary, measure_delay,
+                                  plan_set, plan_test, summarize_set)
+from repro.delay.transition import TransitionSim
+from repro.sim import values as V
+from repro.sim.logicsim import CompiledCircuit
+
+
+def _test(n_sv, length, rng=None):
+    rng = rng or random.Random(0)
+    return ScanTest(V.random_binary_vector(n_sv, rng),
+                    tuple(V.random_binary_vector(2, rng)
+                          for _ in range(length)))
+
+
+class TestClockSpec:
+    def test_defaults(self):
+        spec = ClockSpec()
+        assert (spec.scheme, spec.shift_divisor, spec.sync_cycles) == \
+            ("loc", 4, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown clock scheme"):
+            ClockSpec(scheme="los")
+        with pytest.raises(ValueError, match="shift_divisor"):
+            ClockSpec(shift_divisor=0)
+        with pytest.raises(ValueError, match="sync_cycles"):
+            ClockSpec(sync_cycles=-1)
+
+    def test_json_round_trip(self):
+        spec = ClockSpec(shift_divisor=8, sync_cycles=3)
+        data = json.loads(json.dumps(spec.as_dict()))
+        assert ClockSpec.from_dict(data) == spec
+        assert ClockSpec.from_dict({}) == ClockSpec()
+
+
+class TestClockPlan:
+    def test_hand_computed_plan(self):
+        """A length-5 test on a 3-FF circuit: 3 shifts (overlap
+        convention), 5 functional cycles of which 4 are at-speed
+        pairs, two mode switches."""
+        plan = plan_test(_test(3, 5), 3)
+        assert plan.length == 5
+        assert plan.shift_cycles == 3
+        assert plan.functional_cycles == 5
+        assert plan.at_speed_cycles == 4
+        assert plan.sync_switches == 2
+        assert plan.paper_cycles == 8
+
+    def test_length_one_has_no_at_speed_cycles(self):
+        plan = plan_test(_test(3, 1), 3)
+        assert plan.at_speed_cycles == 0
+        assert plan.functional_cycles == 1
+
+    def test_hand_computed_tester_cycles(self):
+        """shift * divisor + functional + switches * sync:
+        3*4 + 5 + 2*2 = 21."""
+        plan = plan_test(_test(3, 5), 3)
+        assert plan.tester_cycles(ClockSpec()) == 21
+        fast_shift = ClockSpec(shift_divisor=1, sync_cycles=0)
+        assert plan.tester_cycles(fast_shift) == plan.paper_cycles
+
+    def test_json_round_trip(self):
+        plan = plan_test(_test(2, 4), 2)
+        data = json.loads(json.dumps(plan.as_dict()))
+        assert ClockPlan.from_dict(data) == plan
+
+
+class TestSummarize:
+    def test_paper_model_preserved(self):
+        """The summary's total_cycles is exactly the paper's N_cyc
+        (ScanTestSet.clock_cycles) and at_speed_cycles is exactly
+        at_speed_pairs -- Beck adjustments only enter tester_cycles."""
+        rng = random.Random(1)
+        ts = ScanTestSet(2, [_test(2, 3, rng), _test(2, 1, rng)])
+        summary = summarize_set(ts, ClockSpec(), faults=10, detected=4)
+        assert summary.total_cycles == ts.clock_cycles() == 10
+        assert summary.at_speed_cycles == ts.at_speed_pairs() == 2
+        assert summary.tests == 2
+        assert summary.coverage == 40.0
+
+    def test_hand_computed_tester_cycles(self):
+        """Two tests (lengths 3 and 1) on 2 FFs under the default
+        spec: (2*4 + 3 + 4) + (2*4 + 1 + 4) = 28."""
+        rng = random.Random(1)
+        ts = ScanTestSet(2, [_test(2, 3, rng), _test(2, 1, rng)])
+        summary = summarize_set(ts, ClockSpec(), faults=10, detected=4)
+        assert summary.tester_cycles == 28
+
+    def test_at_speed_fraction(self):
+        rng = random.Random(2)
+        ts = ScanTestSet(2, [_test(2, 3, rng), _test(2, 1, rng)])
+        summary = summarize_set(ts, ClockSpec(), faults=1, detected=0)
+        assert summary.at_speed_fraction == 2 / 10
+        assert SetDelaySummary().at_speed_fraction == 0.0
+
+    def test_empty_set(self):
+        summary = summarize_set(ScanTestSet(3, []), ClockSpec(),
+                                faults=0, detected=0)
+        assert summary.total_cycles == 0
+        assert summary.tester_cycles == 0
+        assert summary.coverage == 0.0
+
+    def test_plan_set_order(self):
+        rng = random.Random(3)
+        ts = ScanTestSet(2, [_test(2, n, rng) for n in (4, 1, 2)])
+        assert [p.length for p in plan_set(ts)] == [4, 1, 2]
+
+    def test_json_round_trip(self):
+        summary = SetDelaySummary(tests=3, faults=20, detected=11,
+                                  coverage=55.0, total_cycles=40,
+                                  at_speed_cycles=9, tester_cycles=90)
+        data = json.loads(json.dumps(summary.as_dict()))
+        assert SetDelaySummary.from_dict(data) == summary
+
+
+class TestDelayReport:
+    def test_json_round_trip(self):
+        report = DelayReport(
+            spec=ClockSpec(shift_divisor=2),
+            engine="packed",
+            sets={"proposed": SetDelaySummary(tests=1, faults=4,
+                                              detected=2, coverage=50.0,
+                                              total_cycles=7,
+                                              at_speed_cycles=2,
+                                              tester_cycles=15)})
+        data = json.loads(json.dumps(report.as_dict()))
+        back = DelayReport.from_dict(data)
+        assert back == report
+        assert DelayReport.from_dict({}) == DelayReport()
+
+    def test_measure_delay_invariants(self, s27):
+        """measure_delay shares one fault list across sets, records
+        the resolved route, and keeps the paper-model identities."""
+        rng = random.Random(4)
+        sets = {
+            "long": ScanTestSet(3, [ScanTest(
+                V.random_binary_vector(3, rng),
+                tuple(V.random_binary_vector(4, rng)
+                      for _ in range(8)))]),
+            "single": ScanTestSet(3, [ScanTest(
+                V.random_binary_vector(3, rng),
+                (V.random_binary_vector(4, rng),))]),
+        }
+        tsim = TransitionSim(CompiledCircuit(s27))
+        report = measure_delay(tsim, sets)
+        assert report.engine == tsim.route
+        assert set(report.sets) == {"long", "single"}
+        for name, ts in sets.items():
+            summary = report.sets[name]
+            assert summary.faults == len(tsim.faults)
+            assert summary.total_cycles == ts.clock_cycles()
+            assert summary.at_speed_cycles == ts.at_speed_pairs()
+        # A single-vector set buys zero at-speed cycles -- the paper's
+        # argument against [4]-style compaction, in one assertion.
+        assert report.sets["single"].at_speed_cycles == 0
+        assert report.sets["single"].detected == 0
+        assert report.sets["long"].at_speed_cycles > 0

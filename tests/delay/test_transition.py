@@ -3,13 +3,26 @@
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.circuits import library
+from repro.circuits import library, synth
 from repro.core.scan_test import ScanTest, ScanTestSet
-from repro.delay.transition import (TransitionFault, TransitionSim,
-                                    all_transition_faults)
+from repro.delay import transition as transition_mod
+from repro.delay.transition import (ROUTES, TransitionFault,
+                                    TransitionSim, all_transition_faults)
 from repro.sim import values as V
+from repro.sim.counters import SimCounters
 from repro.sim.logicsim import CompiledCircuit, simulate_sequence
+
+try:
+    from repro.sim import npsim
+    _PACKED_OK = (npsim.numpy_available()
+                  and npsim.kernel_unavailable_reason() is None)
+except ImportError:  # pragma: no cover - numpy present in CI
+    _PACKED_OK = False
+
+needs_packed = pytest.mark.skipif(
+    not _PACKED_OK, reason="packed TDF route needs numpy + C kernel")
 
 
 def oracle_detects(netlist, fault, test):
@@ -150,3 +163,175 @@ class TestTestSets:
         if full:
             some = set(sorted(full)[:3])
             assert sim.detect_test(test, some) == some
+
+
+# ----------------------------------------------------------------------
+# Route selection and the packed (wide-word) execution path
+# ----------------------------------------------------------------------
+
+_N_PI = 4
+_N_FF = 3
+
+_EQ_CACHE = {}
+
+
+def sims_for(seed):
+    """One scalar + one packed simulator per engine, cached across
+    hypothesis examples (fault lists and packing plans are per-circuit
+    and expensive to rebuild every example)."""
+    if seed not in _EQ_CACHE:
+        net = synth.generate("tdfeq", _N_PI, _N_FF, 4, 25, seed=seed)
+        pairs = []
+        for engine in ("codegen", "generic"):
+            cc = CompiledCircuit(net.copy(), engine=engine)
+            scalar = TransitionSim(cc, route="scalar")
+            packed = TransitionSim(cc, route="packed")
+            pairs.append((scalar, packed))
+        _EQ_CACHE[seed] = pairs
+    return _EQ_CACHE[seed]
+
+
+eq_seeds = st.integers(0, 9)
+
+
+def _vectors(data, rng, n):
+    """A PI sequence mixing binary and X-laden vectors."""
+    out = []
+    for _ in range(n):
+        if data.draw(st.booleans()):
+            out.append(V.random_binary_vector(_N_PI, rng))
+        else:
+            out.append(tuple(rng.choice((V.ZERO, V.ONE, V.X))
+                             for _ in range(_N_PI)))
+    return tuple(out)
+
+
+class TestRouteSelection:
+    def test_unknown_route_rejected(self, s27):
+        with pytest.raises(ValueError, match="unknown TDF route"):
+            TransitionSim(CompiledCircuit(s27), route="fused")
+        assert ROUTES == ("auto", "packed", "scalar")
+
+    def test_scalar_route_forced(self, s27):
+        sim = TransitionSim(CompiledCircuit(s27), route="scalar")
+        assert sim.route == "scalar"
+
+    def test_auto_resolves(self, s27):
+        sim = TransitionSim(CompiledCircuit(s27), route="auto")
+        assert sim.route in ("packed", "scalar")
+        if _PACKED_OK:
+            assert sim.route == "packed"
+
+    @needs_packed
+    def test_packed_route_forced(self, s27):
+        sim = TransitionSim(CompiledCircuit(s27), route="packed")
+        assert sim.route == "packed"
+
+    def test_counters_surface_tdf_fields(self, s27):
+        counters = SimCounters()
+        sim = TransitionSim(CompiledCircuit(s27), counters=counters)
+        rng = random.Random(7)
+        vectors = tuple(V.random_binary_vector(4, rng)
+                        for _ in range(8))
+        sim.detect_test(ScanTest(V.vec("010"), vectors))
+        assert counters.tdf_passes > 0
+        assert counters.tdf_words > 0
+        assert counters.tdf_s >= 0.0
+        back = SimCounters.from_dict(counters.as_dict())
+        assert back.tdf_passes == counters.tdf_passes
+        assert back.tdf_words == counters.tdf_words
+
+
+@needs_packed
+class TestRouteEquivalence:
+    """The packed kernel route must be byte-identical to the scalar
+    big-int reference -- including X-laden stimuli, restricted targets
+    and multi-word launch groups -- on both big-int engines."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=eq_seeds, data=st.data())
+    def test_detections_identical(self, seed, data):
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        vectors = _vectors(data, rng, data.draw(st.integers(1, 10)))
+        test = ScanTest(V.random_binary_vector(_N_FF, rng), vectors)
+        results = []
+        for scalar, packed in sims_for(seed):
+            got_scalar = scalar.detect_test(test)
+            got_packed = packed.detect_test(test)
+            assert got_packed == got_scalar
+            results.append(got_packed)
+        assert results[0] == results[1]  # engines agree too
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=eq_seeds, data=st.data())
+    def test_restricted_target_identical(self, seed, data):
+        """Target restriction + the all-caught saturation break must
+        not depend on the route."""
+        rng = random.Random(data.draw(st.integers(0, 999)))
+        vectors = _vectors(data, rng, data.draw(st.integers(2, 8)))
+        test = ScanTest(V.random_binary_vector(_N_FF, rng), vectors)
+        scalar, packed = sims_for(seed)[0]
+        full = scalar.detect_test(test)
+        if not full:
+            return
+        k = data.draw(st.integers(1, len(full)))
+        some = set(sorted(full)[:k])
+        assert packed.detect_test(test, some) == \
+            scalar.detect_test(test, some) == some
+
+    def test_length_one_detects_nothing_packed(self, s27):
+        sim = TransitionSim(CompiledCircuit(s27), route="packed")
+        test = ScanTest(V.vec("000"), (V.vec("1111"),))
+        assert sim.detect_test(test) == set()
+
+    def test_multi_word_launch_groups(self):
+        """A circuit with > 63 faults forces multi-word uint64 chunks;
+        detection must still match the scalar route exactly."""
+        net = synth.generate("tdfwide", 5, 4, 8, 80, seed=11)
+        cc = CompiledCircuit(net)
+        scalar = TransitionSim(cc, route="scalar")
+        packed = TransitionSim(cc, route="packed")
+        assert len(packed.faults) > 63
+        rng = random.Random(2)
+        tests = [ScanTest(V.random_binary_vector(4, rng),
+                          tuple(V.random_binary_vector(5, rng)
+                                for _ in range(12)))
+                 for _ in range(3)]
+        ts = ScanTestSet(4, tests)
+        assert packed.detect_test_set(ts) == scalar.detect_test_set(ts)
+
+    def test_sanitizer_spot_checks_packed_captures(self, monkeypatch):
+        """With REPRO_SANITIZE armed the packed route recomputes its
+        first captures on the scalar shadow; agreement means no
+        violation is reported and the spot budget is consumed."""
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        net = synth.generate("tdfsan", 4, 3, 5, 30, seed=5)
+        sim = TransitionSim(CompiledCircuit(net), route="packed")
+        rng = random.Random(9)
+        vectors = tuple(V.random_binary_vector(4, rng)
+                        for _ in range(10))
+        sim.detect_test(ScanTest(V.random_binary_vector(3, rng),
+                                 vectors))
+        assert sim._sanitize_spots_left < \
+            transition_mod._SANITIZE_SPOT_BUDGET
+
+    def test_shadow_does_not_distort_counters(self, monkeypatch):
+        """The sanitizer's scalar shadow recomputation must not bump
+        the TDF counters: armed and unarmed runs count the same."""
+        net = synth.generate("tdfsan", 4, 3, 5, 30, seed=6)
+        rng = random.Random(3)
+        vectors = tuple(V.random_binary_vector(4, rng)
+                        for _ in range(8))
+        test = ScanTest(V.random_binary_vector(3, rng), vectors)
+        counts = []
+        for armed in (False, True):
+            if armed:
+                monkeypatch.setenv("REPRO_SANITIZE", "1")
+            else:
+                monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+            sim = TransitionSim(CompiledCircuit(net.copy()),
+                                route="packed")
+            sim.detect_test(test)
+            counts.append((sim.counters.tdf_passes,
+                           sim.counters.tdf_words))
+        assert counts[0] == counts[1]

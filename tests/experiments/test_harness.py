@@ -32,7 +32,7 @@ def _cfg(**kw):
 @pytest.fixture(scope="module")
 def s27_full_run():
     return runner.run_circuit(suite.profile("s27"), seed=1,
-                              with_transition=True)
+                              delay=True)
 
 
 class TestSerialization:
@@ -50,6 +50,19 @@ class TestSerialization:
             assert rest.compacted_cycles() == orig.compacted_cycles()
         assert back.baseline4.stats == s27_full_run.baseline4.stats
         assert back.dynamic.detected == s27_full_run.dynamic.detected
+
+    def test_roundtrip_preserves_delay_report(self, s27_full_run):
+        """The at-speed report survives the JSON checkpoint verbatim;
+        legacy checkpoints without the key load with delay=None."""
+        assert s27_full_run.delay is not None
+        blob = json.dumps(reporting.run_to_dict(s27_full_run))
+        back = reporting.run_from_dict(json.loads(blob))
+        assert back.delay is not None
+        assert back.delay.as_dict() == s27_full_run.delay.as_dict()
+        assert back.delay.spec == s27_full_run.delay.spec
+        legacy = reporting.run_to_dict(s27_full_run)
+        del legacy["delay"]
+        assert reporting.run_from_dict(legacy).delay is None
 
     def test_roundtrip_preserves_counters(self, s27_full_run):
         assert s27_full_run.counters  # the runner collected them
@@ -309,7 +322,7 @@ class TestDegradedTables:
 
     def test_empty_runs_render(self):
         failures = {"s27": "timeout", "b02": "crash"}
-        for table in tables.all_tables([], with_transition=True,
+        for table in tables.all_tables([], with_delay=True,
                                        failures=failures):
             assert "FAILED" in table.render()
         comparison = tables.paper_comparison([], failures=failures)
@@ -489,7 +502,7 @@ class TestPowerSerialization:
     def test_checkpoint_usable_power_knobs(self, s27_full_run):
         from repro.experiments.harness import _checkpoint_usable
         base = _spec(arms=("seqgen", "random"), with_baselines=True,
-                     with_transition=True)
+                     delay=True)
         assert _checkpoint_usable(s27_full_run, base)
         # Non-default knobs reject a default checkpoint ...
         assert not _checkpoint_usable(
@@ -531,14 +544,14 @@ class TestPowerSerialization:
         from repro.experiments.harness import (CHECKPOINT_KNOBS,
                                                _checkpoint_usable)
         base = _spec(arms=("seqgen", "random"), with_baselines=True,
-                     with_transition=True)
+                     delay=True)
         different = {"engine": "interp", "width": 4,
                      "candidate_scan": "scalar", "x_fill": "adjacent",
                      "power_budget": 9.0, "adi": True, "scoap": True}
         assert set(different) == set(CHECKPOINT_KNOBS)
         for name, value in different.items():
             spec = _spec(arms=("seqgen", "random"), with_baselines=True,
-                         with_transition=True, **{name: value})
+                         **{"delay": True, name: value})
             assert not _checkpoint_usable(s27_full_run, spec), name
         # A legacy spec dict (pre-knob fields stripped) resolves to the
         # defaults and must still accept the matching checkpoint.
@@ -547,6 +560,23 @@ class TestPowerSerialization:
                      "power_budget", "adi", "scoap"):
             legacy.pop(name, None)
         assert _checkpoint_usable(s27_full_run, JobSpec(**legacy))
+
+    def test_checkpoint_usable_delay_asymmetric(self, s27_full_run):
+        """--delay is measurement-only: a delay-bearing checkpoint
+        serves both settings, but a bare checkpoint cannot serve a
+        delay request (nor can a with_transition-era one, which
+        carried only the flat coverage dict)."""
+        from repro.experiments.harness import _checkpoint_usable
+        plain = _spec(arms=("seqgen", "random"), with_baselines=True)
+        wants = _spec(arms=("seqgen", "random"), with_baselines=True,
+                      delay=True)
+        assert _checkpoint_usable(s27_full_run, plain)
+        assert _checkpoint_usable(s27_full_run, wants)
+        data = reporting.run_to_dict(s27_full_run)
+        data["delay"] = None
+        bare = reporting.run_from_dict(data)
+        assert _checkpoint_usable(bare, plain)
+        assert not _checkpoint_usable(bare, wants)
 
     def test_power_knobs_travel_through_jobspec(self):
         """x_fill/power_budget cross the spawn boundary and land in

@@ -13,7 +13,7 @@ from repro.experiments import runner, tables
 @pytest.fixture(scope="module")
 def s27_run():
     return runner.run_circuit(suite.profile("s27"), seed=1,
-                              with_transition=True)
+                              delay=True)
 
 
 class TestRunner:
@@ -27,6 +27,19 @@ class TestRunner:
     def test_transition_data(self, s27_run):
         assert "baseline4" in s27_run.transition
         assert "seqgen" in s27_run.transition
+
+    def test_delay_report_present(self, s27_run):
+        report = s27_run.delay
+        assert report is not None
+        assert {"baseline4", "seqgen", "random"} <= set(report.sets)
+        for summary in report.sets.values():
+            assert summary.at_speed_cycles <= summary.total_cycles
+            assert summary.total_cycles <= summary.tester_cycles
+
+    def test_delay_coverage_matches_transition(self, s27_run):
+        # The flat transition dict is derived from the delay report.
+        for label, cov in s27_run.transition.items():
+            assert s27_run.delay.sets[label].coverage == cov
 
     def test_counts_sane(self, s27_run):
         assert s27_run.n_faults == 32
@@ -91,9 +104,21 @@ class TestTables:
         _, b4, prop, rand = t.rows[0]
         assert prop > b4  # the paper's at-speed claim, quantified
 
+    def test_delay_table(self, s27_run):
+        t = tables.table_delay([s27_run])
+        rows = {row[3]: row for row in t.rows}
+        assert set(rows) == {"seqgen", "random", "baseline4"}
+        # The paper's at-speed claim priced in clock cycles: the
+        # long-sequence sets buy far more launch/capture pairs.
+        assert rows["seqgen"][6] > rows["baseline4"][6]
+        for row in t.rows:
+            assert 0.0 <= row[8] <= 1.0  # at-speed fraction
+
     def test_all_tables(self, s27_run):
         ts = tables.all_tables([s27_run])
-        assert len(ts) >= 5
+        # 5 paper tables + at-speed coverage + delay cost (run carries
+        # both transition data and a full delay report).
+        assert len(ts) >= 7
 
     def test_paper_comparison_table(self, s27_run):
         t = tables.paper_comparison([s27_run])
